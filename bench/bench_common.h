@@ -1,0 +1,84 @@
+#pragma once
+// Shared helpers for the paper-reproduction benches. Each bench binary
+// regenerates one table or figure from the paper's evaluation (§7); these
+// utilities build the scenarios and format results the way the paper
+// reports them.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "dash/video.h"
+#include "exp/scenario.h"
+#include "exp/session.h"
+#include "trace/locations.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace mpdash::bench {
+
+// MPDASH_QUICK=1 trims session lengths for fast smoke runs; default is
+// the paper's full 10-minute videos.
+inline bool quick_mode() {
+  const char* env = std::getenv("MPDASH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+inline Video bench_video(Video (*preset)(Duration) = big_buck_bunny,
+                         Duration chunk = seconds(4.0)) {
+  Video full = preset(chunk);
+  if (!quick_mode()) return full;
+  // Quick mode: first quarter of the video.
+  std::vector<DataRate> rates;
+  for (const auto& lv : full.levels()) rates.push_back(lv.avg_bitrate);
+  return Video(full.name(), full.chunk_duration(),
+               std::max(20, full.chunk_count() / 4), std::move(rates), 0.12,
+               42);
+}
+
+inline ScenarioConfig location_scenario(const LocationProfile& loc,
+                                        Duration horizon) {
+  ScenarioConfig cfg;
+  cfg.wifi_down = loc.wifi_trace(horizon);
+  cfg.lte_down = loc.lte_trace(horizon);
+  cfg.wifi_rtt = loc.wifi_rtt;
+  cfg.lte_rtt = loc.lte_rtt;
+  return cfg;
+}
+
+inline SessionResult run_scheme(const ScenarioConfig& net, const Video& video,
+                                Scheme scheme, const std::string& algo,
+                                bool record = false) {
+  Scenario scenario(net);
+  SessionConfig cfg;
+  cfg.scheme = scheme;
+  cfg.adaptation = algo;
+  cfg.record_packets = record;
+  return run_streaming_session(scenario, video, cfg);
+}
+
+inline double saving(double baseline, double value) {
+  if (baseline <= 0.0) return 0.0;
+  return (baseline - value) / baseline;
+}
+
+inline std::string mb(Bytes b) {
+  return TextTable::num(static_cast<double>(b) / 1e6, 2);
+}
+
+inline void print_header(const char* id, const char* what) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("==========================================================\n");
+}
+
+inline void print_cdf(const char* title, std::vector<double> values) {
+  std::printf("%s\n", title);
+  std::printf("  p10=%.1f%%  p25=%.1f%%  p50=%.1f%%  p75=%.1f%%  p90=%.1f%%\n",
+              percentile(values, 10) * 100, percentile(values, 25) * 100,
+              percentile(values, 50) * 100, percentile(values, 75) * 100,
+              percentile(values, 90) * 100);
+}
+
+}  // namespace mpdash::bench

@@ -1,0 +1,82 @@
+// Figure 4: the MP-DASH scheduler in isolation — a 5 MB download over
+// W=3.8/L=3.0 with deadlines of 8, 9, 10 s, on both the default (minRTT)
+// and round-robin MPTCP schedulers. Metrics: bytes over LTE and radio
+// energy, versus unmodified MPTCP.
+//
+// Also reproduces §7.2.1's alpha sweep (smaller alpha = more conservative
+// = more cellular data).
+
+#include "bench_common.h"
+
+using namespace mpdash;
+using namespace mpdash::bench;
+
+namespace {
+
+DownloadResult run_dl(const std::string& sched, bool mpdash, double deadline_s,
+                      double alpha = 1.0) {
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(3.8), DataRate::mbps(3.0)));
+  DownloadConfig cfg;
+  cfg.size = megabytes(5);
+  cfg.deadline = seconds(deadline_s);
+  cfg.use_mpdash = mpdash;
+  cfg.warmup = true;
+  cfg.mptcp_scheduler = sched;
+  cfg.alpha = alpha;
+  return run_download_session(scenario, cfg);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 4",
+               "scheduler-only: 5 MB download, deadlines 8/9/10 s");
+
+  for (const char* sched : {"minrtt", "roundrobin"}) {
+    std::printf("--- MPTCP scheduler: %s ---\n", sched);
+    TextTable table({"config", "LTE MB", "xfer J", "energy J", "finish s", "missed"});
+    const DownloadResult base = run_dl(sched, /*mpdash=*/false, 10.0);
+    table.add_row({"Baseline", mb(base.cell_bytes),
+                   TextTable::num(base.transfer_energy_j, 1),
+                   TextTable::num(base.energy_j(), 1),
+                   TextTable::num(to_seconds(base.finish_time), 2), "-"});
+    for (double d : {8.0, 9.0, 10.0}) {
+      const DownloadResult res = run_dl(sched, /*mpdash=*/true, d);
+      table.add_row({"MP-DASH D=" + TextTable::num(d, 0) + "s",
+                     mb(res.cell_bytes),
+                     TextTable::num(res.transfer_energy_j, 1),
+                     TextTable::num(res.energy_j(), 1),
+                     TextTable::num(to_seconds(res.finish_time), 2),
+                     res.deadline_missed ? "yes" : "no"});
+      if (d == 10.0) {
+        std::printf("  D=10s savings: cellular %.0f%%, transfer-energy "
+                    "%.0f%% (full-tail accounting: %.0f%%)\n",
+                    saving(static_cast<double>(base.cell_bytes),
+                           static_cast<double>(res.cell_bytes)) * 100,
+                    saving(base.transfer_energy_j, res.transfer_energy_j) * 100,
+                    saving(base.energy_j(), res.energy_j()) * 100);
+      }
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf("--- alpha sweep (deadline 10 s, minrtt) ---\n");
+  TextTable table({"alpha", "LTE MB", "xfer J", "missed"});
+  for (double alpha : {0.8, 0.9, 1.0}) {
+    const DownloadResult res = run_dl("minrtt", true, 10.0, alpha);
+    table.add_row({TextTable::num(alpha, 1), mb(res.cell_bytes),
+                   TextTable::num(res.transfer_energy_j, 1),
+                   res.deadline_missed ? "yes" : "no"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper shape: longer deadline => larger LTE-byte savings; smaller\n"
+      "alpha => more LTE bytes. Known deviation (DESIGN.md): the paper also\n"
+      "reports energy savings here, but under full RRC accounting a single\n"
+      "short download cannot show them — Algorithm 1 uses LTE at the start\n"
+      "(projected shortfall), so the 11.6 s LTE tail burns inside the\n"
+      "window either way; energy savings appear in the streaming benches\n"
+      "where tails amortize across chunks.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#pragma once
+// Shared field-study sweep for Figures 9/10 and Table 5: every location in
+// the 33-location profile DB, streaming Big Buck Bunny under six schemes —
+// FESTIVE and BBA, each with vanilla MPTCP, MP-DASH rate-based, and
+// MP-DASH duration-based deadlines (the paper's §7.3.3 methodology).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace mpdash::bench {
+
+struct LocationOutcome {
+  LocationProfile location;  // by value: caller vectors may be temporaries
+  // Keyed by "<algo>/<scheme>", e.g. "festive/rate".
+  std::map<std::string, SessionResult> runs;
+
+  const SessionResult& at(const std::string& key) const {
+    return runs.at(key);
+  }
+  double cell_saving(const std::string& algo,
+                     const std::string& scheme) const {
+    const auto& base = at(algo + "/baseline");
+    const auto& res = at(algo + "/" + scheme);
+    return saving(static_cast<double>(base.cell_bytes),
+                  static_cast<double>(res.cell_bytes));
+  }
+  double energy_saving(const std::string& algo,
+                       const std::string& scheme) const {
+    const auto& base = at(algo + "/baseline");
+    const auto& res = at(algo + "/" + scheme);
+    return saving(base.energy_j(), res.energy_j());
+  }
+  // Positive = MP-DASH played at a lower bitrate than the baseline.
+  double bitrate_reduction(const std::string& algo,
+                           const std::string& scheme) const {
+    const auto& base = at(algo + "/baseline");
+    const auto& res = at(algo + "/" + scheme);
+    if (base.steady_avg_bitrate_mbps <= 0.0) return 0.0;
+    return (base.steady_avg_bitrate_mbps - res.steady_avg_bitrate_mbps) /
+           base.steady_avg_bitrate_mbps;
+  }
+};
+
+inline std::vector<LocationOutcome> run_field_study(
+    const std::vector<LocationProfile>& locations) {
+  const Video video = bench_video();
+  const Duration horizon = video.total_duration() + seconds(120.0);
+
+  std::vector<LocationOutcome> out;
+  for (const auto& loc : locations) {
+    LocationOutcome outcome;
+    outcome.location = loc;
+    const ScenarioConfig net = location_scenario(loc, horizon);
+    for (const char* algo : {"festive", "bba"}) {
+      for (const auto& [key, scheme] :
+           std::vector<std::pair<std::string, Scheme>>{
+               {"baseline", Scheme::kBaseline},
+               {"rate", Scheme::kMpDashRate},
+               {"duration", Scheme::kMpDashDuration}}) {
+        outcome.runs.emplace(std::string(algo) + "/" + key,
+                             run_scheme(net, video, scheme, algo));
+      }
+    }
+    out.push_back(std::move(outcome));
+  }
+  return out;
+}
+
+}  // namespace mpdash::bench

@@ -1,0 +1,55 @@
+// Quickstart: stream Big Buck Bunny over an emulated WiFi+LTE multipath
+// network, once with vanilla MPTCP and once with MP-DASH (rate-based
+// deadlines), and compare cellular usage, energy, and playback quality.
+//
+// This is the paper's motivating experiment (§2.3 / Figure 1): WiFi at
+// 3.8 Mbps can't quite sustain the 3.94 Mbps top bitrate, so multipath is
+// needed — but vanilla MPTCP pulls half the video over the metered LTE
+// link, while MP-DASH uses LTE only to fill the gap.
+
+#include <cstdio>
+
+#include "dash/video.h"
+#include "exp/scenario.h"
+#include "exp/session.h"
+#include "util/table.h"
+
+using namespace mpdash;
+
+int main() {
+  const Video video = big_buck_bunny();
+
+  std::printf("Video: %s — %d chunks x %.0f s, levels:",
+              video.name().c_str(), video.chunk_count(),
+              to_seconds(video.chunk_duration()));
+  for (const auto& lv : video.levels()) {
+    std::printf(" %.2f", lv.avg_bitrate.as_mbps());
+  }
+  std::printf(" Mbps\n\n");
+
+  TextTable table({"scheme", "cell MB", "cell %", "energy J", "avg Mbps",
+                   "stalls", "switches"});
+
+  for (Scheme scheme : {Scheme::kBaseline, Scheme::kMpDashRate}) {
+    Scenario scenario(
+        constant_scenario(DataRate::mbps(3.8), DataRate::mbps(3.0)));
+    SessionConfig cfg;
+    cfg.scheme = scheme;
+    cfg.adaptation = "festive";
+    const SessionResult res = run_streaming_session(scenario, video, cfg);
+
+    table.add_row({to_string(scheme),
+                   TextTable::num(static_cast<double>(res.cell_bytes) / 1e6),
+                   TextTable::pct(res.cell_fraction, 1),
+                   TextTable::num(res.energy_j(), 0),
+                   TextTable::num(res.steady_avg_bitrate_mbps),
+                   std::to_string(res.stalls),
+                   std::to_string(res.switches)});
+    if (!res.completed) std::printf("warning: session hit the time limit\n");
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("MP-DASH should show a large cellular reduction with the same"
+              " playback bitrate and zero stalls.\n");
+  return 0;
+}

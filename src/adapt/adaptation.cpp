@@ -1,0 +1,13 @@
+#include "adapt/adaptation.h"
+
+namespace mpdash {
+
+int AdaptationView::highest_level_not_above(DataRate rate) const {
+  int best = 0;
+  for (int i = 0; i < level_count(); ++i) {
+    if (bitrates[static_cast<std::size_t>(i)] <= rate) best = i;
+  }
+  return best;
+}
+
+}  // namespace mpdash

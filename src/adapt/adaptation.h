@@ -1,0 +1,76 @@
+#pragma once
+// DASH rate-adaptation interface.
+//
+// The paper groups adaptation algorithms into throughput-based (GPAC,
+// FESTIVE), buffer-based (BBA, BBA-C), and hybrid (MPC); the MP-DASH
+// video adapter keys its integration strategy off `category()`.
+
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace mpdash {
+
+enum class AdaptationCategory : std::uint8_t {
+  kThroughputBased,
+  kBufferBased,
+  kHybrid,
+};
+
+// Snapshot of player state handed to select_level().
+struct AdaptationView {
+  TimePoint now = kTimeZero;
+  double buffer_level_s = 0.0;
+  double buffer_capacity_s = 0.0;
+  double chunk_duration_s = 0.0;
+  int last_level = -1;  // -1 before the first chunk
+  int next_chunk = 0;
+  int total_chunks = 0;
+  bool in_startup = true;  // before playback has begun
+
+  // Average encoding bitrate per level, ascending.
+  std::vector<DataRate> bitrates;
+  // Exact size of the next chunk at each level (from the manifest).
+  std::vector<Bytes> next_chunk_sizes;
+
+  // Throughput of the most recent chunk download, player-measured.
+  DataRate last_chunk_throughput;
+  // MP-DASH's aggregated multipath estimate (zero-rate when not enabled).
+  // Throughput-based algorithms use it in place of their own estimate so
+  // a deliberately idle cellular path doesn't read as missing capacity.
+  DataRate override_throughput;
+
+  int highest_level_not_above(DataRate rate) const;
+  int level_count() const { return static_cast<int>(bitrates.size()); }
+};
+
+class RateAdaptation {
+ public:
+  virtual ~RateAdaptation() = default;
+
+  // Picks the quality level for view.next_chunk.
+  virtual int select_level(const AdaptationView& view) = 0;
+
+  // Observes a finished download (for throughput windows etc.).
+  virtual void on_chunk_downloaded(int level, Bytes bytes,
+                                   Duration elapsed) {
+    (void)level; (void)bytes; (void)elapsed;
+  }
+
+  virtual AdaptationCategory category() const = 0;
+  virtual std::string name() const = 0;
+
+  // Buffer-based algorithms: the lowest buffer occupancy (seconds) at
+  // which `level` is still selected — the e_l the MP-DASH adapter builds
+  // its low-buffer threshold from. Negative when not applicable.
+  virtual double buffer_low_threshold_s(const AdaptationView& view,
+                                        int level) const {
+    (void)view; (void)level;
+    return -1.0;
+  }
+
+  virtual void reset() {}
+};
+
+}  // namespace mpdash

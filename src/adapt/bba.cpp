@@ -1,0 +1,125 @@
+#include "adapt/bba.h"
+
+#include <algorithm>
+
+namespace mpdash {
+
+BbaAdaptation::BbaAdaptation(BbaConfig config) : config_(config) {}
+
+void BbaAdaptation::on_chunk_downloaded(int level, Bytes bytes,
+                                        Duration elapsed) {
+  (void)level;
+  last_download_time_ = elapsed;
+  if (elapsed > kDurationZero) {
+    samples_.push_back(rate_of(bytes, elapsed).bps());
+    if (samples_.size() > config_.throughput_window) samples_.pop_front();
+  }
+}
+
+double BbaAdaptation::rate_map_bps(const AdaptationView& view,
+                                   double buffer_s) const {
+  const double r_min = view.bitrates.front().bps();
+  const double r_max = view.bitrates.back().bps();
+  const double reservoir = config_.reservoir_fraction * view.buffer_capacity_s;
+  const double upper = config_.upper_fraction * view.buffer_capacity_s;
+  if (buffer_s <= reservoir) return r_min;
+  if (buffer_s >= upper) return r_max;
+  const double t = (buffer_s - reservoir) / (upper - reservoir);
+  return r_min + t * (r_max - r_min);
+}
+
+double BbaAdaptation::buffer_low_threshold_s(const AdaptationView& view,
+                                             int level) const {
+  // Inverse of the rate map: the occupancy at which f(B) first reaches
+  // this level's bitrate (e_l in the paper's Ω discussion).
+  if (level <= 0) return 0.0;
+  const double r_min = view.bitrates.front().bps();
+  const double r_max = view.bitrates.back().bps();
+  const double rate = view.bitrates[static_cast<std::size_t>(level)].bps();
+  const double reservoir = config_.reservoir_fraction * view.buffer_capacity_s;
+  const double upper = config_.upper_fraction * view.buffer_capacity_s;
+  if (r_max <= r_min) return reservoir;
+  const double t = (rate - r_min) / (r_max - r_min);
+  return reservoir + t * (upper - reservoir);
+}
+
+DataRate BbaAdaptation::measured_throughput(const AdaptationView& view) const {
+  if (!view.override_throughput.is_zero()) return view.override_throughput;
+  if (samples_.empty()) return DataRate::bits_per_second(0);
+  double inv = 0.0;
+  for (double s : samples_) {
+    if (s <= 0.0) return DataRate::bits_per_second(0);
+    inv += 1.0 / s;
+  }
+  return DataRate::bits_per_second(static_cast<double>(samples_.size()) / inv);
+}
+
+int BbaAdaptation::select_level(const AdaptationView& view) {
+  const int current = std::max(view.last_level, 0);
+  int next = current;
+
+  if (view.last_level < 0) {
+    in_startup_ = true;
+    return 0;
+  }
+
+  const double fB = rate_map_bps(view, view.buffer_level_s);
+  const double reservoir = config_.reservoir_fraction * view.buffer_capacity_s;
+
+  if (in_startup_) {
+    // BBA-2 startup: step up while chunks download in < 7/8 of their play
+    // time; leave startup once the steady map catches up with the level,
+    // the reservoir is filled, or the buffer starts decreasing (the
+    // filling phase is over — BBA-2's startup-exit rule).
+    const bool buffer_decreasing =
+        prev_buffer_s_ >= 0.0 && view.buffer_level_s < prev_buffer_s_;
+    if (fB >= view.bitrates[static_cast<std::size_t>(current)].bps() ||
+        view.buffer_level_s >= reservoir + view.chunk_duration_s ||
+        buffer_decreasing) {
+      in_startup_ = false;
+    } else if (last_download_time_ > kDurationZero &&
+               to_seconds(last_download_time_) <
+                   0.875 * view.chunk_duration_s) {
+      next = std::min(current + 1, view.level_count() - 1);
+    }
+  }
+
+  if (!in_startup_) {
+    // Chunk-map hysteresis on the linear rate map.
+    const double cur_rate =
+        view.bitrates[static_cast<std::size_t>(current)].bps();
+    if (current + 1 < view.level_count() &&
+        fB >= view.bitrates[static_cast<std::size_t>(current + 1)].bps()) {
+      next = current + 1;
+    } else if (fB < cur_rate) {
+      // Drop to the highest level the map supports.
+      next = 0;
+      for (int l = view.level_count() - 1; l >= 0; --l) {
+        if (view.bitrates[static_cast<std::size_t>(l)].bps() <= fB) {
+          next = l;
+          break;
+        }
+      }
+    }
+  }
+
+  prev_buffer_s_ = view.buffer_level_s;
+
+  if (config_.cellular_friendly) {
+    // BBA-C: cap at the actual network capacity.
+    const DataRate capacity = measured_throughput(view);
+    if (!capacity.is_zero()) {
+      next = std::min(next, view.highest_level_not_above(capacity));
+    }
+  }
+  return next;
+}
+
+void BbaAdaptation::reset() {
+  samples_.clear();
+  in_startup_ = true;
+  last_download_time_ = kDurationZero;
+  prev_buffer_s_ = -1.0;
+}
+
+}  // namespace mpdash

@@ -1,0 +1,61 @@
+#pragma once
+// Buffer-Based Adaptation (Huang et al., SIGCOMM 2014), BBA-2 variant, and
+// BBA-C — the paper's cellular-friendly modification (§5.2.2).
+//
+// Steady state: a linear map f(B) from buffer occupancy to bitrate across
+// [reservoir, reservoir + cushion], with the chunk map's hysteresis
+// (upgrade only when f(B) clears the next level's rate, downgrade only
+// when f(B) falls below the current one). Startup: step up a level
+// whenever the last chunk downloaded in under 7/8 of its play time.
+//
+// BBA-C adds one rule: never select a bitrate above the measured network
+// throughput. This removes the r1/r2 oscillation BBA exhibits when the
+// capacity falls between two encoding rates (Figure 3) and is what
+// unlocks MP-DASH savings at low bandwidth (Figure 7c).
+
+#include <deque>
+
+#include "adapt/adaptation.h"
+
+namespace mpdash {
+
+struct BbaConfig {
+  double reservoir_fraction = 0.25;  // of buffer capacity
+  // f(B) reaches R_max here. The paper's Ω example ("el=20 to eh=40" on a
+  // 40 s buffer) implies the top level's band begins at half the buffer,
+  // i.e. the cushion ends at 0.5 x capacity.
+  double upper_fraction = 0.50;
+  bool cellular_friendly = false;    // BBA-C rate capping
+  std::size_t throughput_window = 5; // BBA-C capacity estimate window
+};
+
+class BbaAdaptation final : public RateAdaptation {
+ public:
+  explicit BbaAdaptation(BbaConfig config = {});
+
+  int select_level(const AdaptationView& view) override;
+  void on_chunk_downloaded(int level, Bytes bytes, Duration elapsed) override;
+  AdaptationCategory category() const override {
+    return AdaptationCategory::kBufferBased;
+  }
+  std::string name() const override {
+    return config_.cellular_friendly ? "bba-c" : "bba";
+  }
+  double buffer_low_threshold_s(const AdaptationView& view,
+                                int level) const override;
+  void reset() override;
+
+  // f(B) in bps for the given view (exposed for tests).
+  double rate_map_bps(const AdaptationView& view, double buffer_s) const;
+
+ private:
+  DataRate measured_throughput(const AdaptationView& view) const;
+
+  BbaConfig config_;
+  std::deque<double> samples_;  // bps, BBA-C capacity window
+  bool in_startup_ = true;
+  Duration last_download_time_ = kDurationZero;
+  double prev_buffer_s_ = -1.0;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,74 @@
+#include "adapt/festive.h"
+
+#include <algorithm>
+
+namespace mpdash {
+
+FestiveAdaptation::FestiveAdaptation(FestiveConfig config) : config_(config) {}
+
+void FestiveAdaptation::on_chunk_downloaded(int level, Bytes bytes,
+                                            Duration elapsed) {
+  (void)level;
+  if (elapsed <= kDurationZero) return;
+  samples_.push_back(rate_of(bytes, elapsed).bps());
+  if (samples_.size() > config_.window) samples_.pop_front();
+}
+
+DataRate FestiveAdaptation::estimate() const {
+  if (samples_.empty()) return DataRate::bits_per_second(0);
+  double inv = 0.0;
+  for (double s : samples_) {
+    if (s <= 0.0) return DataRate::bits_per_second(0);
+    inv += 1.0 / s;
+  }
+  return DataRate::bits_per_second(static_cast<double>(samples_.size()) / inv);
+}
+
+int FestiveAdaptation::select_level(const AdaptationView& view) {
+  // The MP-DASH override gives the multipath-wide estimate; otherwise use
+  // the harmonic mean of observed chunk throughputs.
+  DataRate est = view.override_throughput.is_zero() ? estimate()
+                                                    : view.override_throughput;
+  if (est.is_zero()) return 0;
+
+  const int current = std::max(view.last_level, 0);
+  const int target = view.highest_level_not_above(est * config_.safety);
+
+  if (view.last_level < 0) {
+    // First chunk: conservative start, at most the target.
+    stable_count_ = 0;
+    last_target_ = target;
+    return std::min(target, 0);
+  }
+
+  if (target > current) {
+    // Stability requirement before upgrading: the target must persist for
+    // k chunks, k scaling with the level being left (higher levels switch
+    // more reluctantly).
+    if (target == last_target_) {
+      ++stable_count_;
+    } else {
+      stable_count_ = 1;
+    }
+    last_target_ = target;
+    const int k = config_.min_stable_chunks + current;
+    if (stable_count_ >= k) {
+      stable_count_ = 0;
+      return current + 1;  // gradual: one level per switch
+    }
+    return current;
+  }
+
+  stable_count_ = 0;
+  last_target_ = target;
+  if (target < current) return current - 1;  // single-step down
+  return current;
+}
+
+void FestiveAdaptation::reset() {
+  samples_.clear();
+  stable_count_ = 0;
+  last_target_ = -1;
+}
+
+}  // namespace mpdash

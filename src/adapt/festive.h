@@ -1,0 +1,47 @@
+#pragma once
+// FESTIVE (Jiang, Sekar, Zhang — CoNEXT 2012), the paper's representative
+// throughput-based algorithm. Core mechanisms reproduced:
+//  * harmonic mean of the last `window` chunk throughputs (robust to
+//    one-off spikes),
+//  * gradual switch-up: one level at a time, and only after the target
+//    has been stable for k chunks (k grows with the level, the paper's
+//    stability heuristic),
+//  * immediate but single-step switch-down,
+//  * a bandwidth safety margin (FESTIVE targets ~85% of estimate).
+// The randomized chunk scheduling of the original (a fairness feature for
+// many competing players) is out of scope for a single-player session.
+
+#include <deque>
+
+#include "adapt/adaptation.h"
+
+namespace mpdash {
+
+struct FestiveConfig {
+  std::size_t window = 20;
+  double safety = 0.85;
+  int min_stable_chunks = 2;  // base k before the per-level scaling
+};
+
+class FestiveAdaptation final : public RateAdaptation {
+ public:
+  explicit FestiveAdaptation(FestiveConfig config = {});
+
+  int select_level(const AdaptationView& view) override;
+  void on_chunk_downloaded(int level, Bytes bytes, Duration elapsed) override;
+  AdaptationCategory category() const override {
+    return AdaptationCategory::kThroughputBased;
+  }
+  std::string name() const override { return "festive"; }
+  void reset() override;
+
+  DataRate estimate() const;
+
+ private:
+  FestiveConfig config_;
+  std::deque<double> samples_;  // bps
+  int stable_count_ = 0;
+  int last_target_ = -1;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,17 @@
+#include "adapt/gpac.h"
+
+namespace mpdash {
+
+GpacAdaptation::GpacAdaptation(double safety) : safety_(safety) {}
+
+int GpacAdaptation::select_level(const AdaptationView& view) {
+  // MP-DASH's aggregate estimate, when present, replaces the player's own
+  // single-chunk measurement (§5.2.1).
+  DataRate estimate = view.override_throughput.is_zero()
+                          ? view.last_chunk_throughput
+                          : view.override_throughput;
+  if (estimate.is_zero()) return 0;  // first chunk: start safe
+  return view.highest_level_not_above(estimate * safety_);
+}
+
+}  // namespace mpdash

@@ -1,0 +1,26 @@
+#pragma once
+// GPAC's built-in rate adaptation (the v0.5.2 player the paper extends):
+// estimate throughput from the last chunk's download time and pick the
+// highest encoding bitrate below it.
+
+#include "adapt/adaptation.h"
+
+namespace mpdash {
+
+class GpacAdaptation final : public RateAdaptation {
+ public:
+  // `safety` discounts the estimate slightly (GPAC picks strictly below
+  // the measured rate).
+  explicit GpacAdaptation(double safety = 1.0);
+
+  int select_level(const AdaptationView& view) override;
+  AdaptationCategory category() const override {
+    return AdaptationCategory::kThroughputBased;
+  }
+  std::string name() const override { return "gpac"; }
+
+ private:
+  double safety_;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,124 @@
+#include "adapt/mpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mpdash {
+
+MpcAdaptation::MpcAdaptation(MpcConfig config) : config_(config) {}
+
+void MpcAdaptation::on_chunk_downloaded(int level, Bytes bytes,
+                                        Duration elapsed) {
+  (void)level;
+  if (elapsed <= kDurationZero) return;
+  const double actual = rate_of(bytes, elapsed).bps();
+  if (last_prediction_bps_ > 0.0 && actual > 0.0) {
+    rel_errors_.push_back(std::abs(last_prediction_bps_ - actual) / actual);
+    if (rel_errors_.size() > config_.throughput_window) {
+      rel_errors_.pop_front();
+    }
+  }
+  samples_.push_back(actual);
+  if (samples_.size() > config_.throughput_window) samples_.pop_front();
+}
+
+DataRate MpcAdaptation::predicted_throughput() const {
+  if (samples_.empty()) return DataRate::bits_per_second(0);
+  double inv = 0.0;
+  for (double s : samples_) {
+    if (s <= 0.0) return DataRate::bits_per_second(0);
+    inv += 1.0 / s;
+  }
+  double pred = static_cast<double>(samples_.size()) / inv;
+  if (config_.robust && !rel_errors_.empty()) {
+    const double max_err =
+        *std::max_element(rel_errors_.begin(), rel_errors_.end());
+    pred /= 1.0 + max_err;
+  }
+  return DataRate::bits_per_second(pred);
+}
+
+DataRate MpcAdaptation::min_throughput_for(const AdaptationView& view,
+                                           int level) const {
+  // A level is sustainable when chunks of it download within their play
+  // time: required rate = chunk size / chunk duration.
+  if (level < 0 || level >= static_cast<int>(view.next_chunk_sizes.size())) {
+    return DataRate::bits_per_second(0);
+  }
+  return rate_of(view.next_chunk_sizes[static_cast<std::size_t>(level)],
+                 seconds(view.chunk_duration_s));
+}
+
+double MpcAdaptation::score_sequence(const AdaptationView& view,
+                                     const int* seq,
+                                     double throughput_Bps) const {
+  double buffer_s = view.buffer_level_s;
+  double qoe = 0.0;
+  int prev = std::max(view.last_level, seq[0]);
+  if (view.last_level >= 0) prev = view.last_level;
+  for (int h = 0; h < config_.horizon; ++h) {
+    const int level = seq[h];
+    // Nominal size for lookahead chunks beyond the next one.
+    const double size_B =
+        h == 0 && level < static_cast<int>(view.next_chunk_sizes.size())
+            ? static_cast<double>(
+                  view.next_chunk_sizes[static_cast<std::size_t>(level)])
+            : view.bitrates[static_cast<std::size_t>(level)].bps() / 8.0 *
+                  view.chunk_duration_s;
+    const double dl_time = throughput_Bps > 0 ? size_B / throughput_Bps : 1e9;
+    double rebuffer = 0.0;
+    if (dl_time > buffer_s) {
+      rebuffer = dl_time - buffer_s;
+      buffer_s = 0.0;
+    } else {
+      buffer_s -= dl_time;
+    }
+    buffer_s = std::min(buffer_s + view.chunk_duration_s,
+                        view.buffer_capacity_s);
+    qoe += static_cast<double>(level + 1);
+    qoe -= config_.lambda_switch * std::abs(level - prev);
+    qoe -= config_.mu_rebuffer * rebuffer;
+    prev = level;
+  }
+  return qoe;
+}
+
+int MpcAdaptation::select_level(const AdaptationView& view) {
+  if (view.last_level < 0 || samples_.empty()) return 0;
+
+  DataRate pred = view.override_throughput.is_zero()
+                      ? predicted_throughput()
+                      : view.override_throughput;
+  last_prediction_bps_ = pred.bps();
+  if (pred.is_zero()) return 0;
+  const double throughput_Bps = pred.bps() / 8.0;
+
+  const int n = view.level_count();
+  std::vector<int> seq(static_cast<std::size_t>(config_.horizon), 0);
+  std::vector<int> best_seq = seq;
+  double best = -1e18;
+  // Enumerate all n^H sequences (n=5, H=5 -> 3125: cheap).
+  const int total = static_cast<int>(std::pow(n, config_.horizon));
+  for (int code = 0; code < total; ++code) {
+    int c = code;
+    for (int h = 0; h < config_.horizon; ++h) {
+      seq[static_cast<std::size_t>(h)] = c % n;
+      c /= n;
+    }
+    const double s = score_sequence(view, seq.data(), throughput_Bps);
+    if (s > best) {
+      best = s;
+      best_seq = seq;
+    }
+  }
+  return best_seq[0];
+}
+
+void MpcAdaptation::reset() {
+  samples_.clear();
+  rel_errors_.clear();
+  last_prediction_bps_ = 0.0;
+}
+
+}  // namespace mpdash

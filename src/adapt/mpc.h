@@ -1,0 +1,55 @@
+#pragma once
+// Model Predictive Control adaptation (Yin et al., SIGCOMM 2015) — the
+// hybrid throughput+buffer category the paper sketches MP-DASH support
+// for in §5.2.3 (left as future work there; implemented here as the
+// framework's extension point).
+//
+// Online variant: over a lookahead horizon H, enumerate level sequences,
+// simulate the buffer under the predicted throughput (harmonic mean of
+// recent chunks, discounted by the observed prediction error as in
+// RobustMPC), score QoE = Σ quality − λ·Σ|switches| − μ·rebuffer, and play
+// the first level of the best sequence.
+
+#include <deque>
+
+#include "adapt/adaptation.h"
+
+namespace mpdash {
+
+struct MpcConfig {
+  int horizon = 5;
+  std::size_t throughput_window = 5;
+  double lambda_switch = 1.0;   // per level-step penalty (in quality units)
+  double mu_rebuffer = 8.0;     // per rebuffered second
+  bool robust = true;           // discount prediction by max recent error
+};
+
+class MpcAdaptation final : public RateAdaptation {
+ public:
+  explicit MpcAdaptation(MpcConfig config = {});
+
+  int select_level(const AdaptationView& view) override;
+  void on_chunk_downloaded(int level, Bytes bytes, Duration elapsed) override;
+  AdaptationCategory category() const override {
+    return AdaptationCategory::kHybrid;
+  }
+  std::string name() const override { return "mpc"; }
+  void reset() override;
+
+  DataRate predicted_throughput() const;
+  // Minimum sustained throughput a level needs: used by the MP-DASH
+  // adapter's deadline rule for hybrid algorithms (chunk size divided by
+  // this gives the deadline, §5.2.3).
+  DataRate min_throughput_for(const AdaptationView& view, int level) const;
+
+ private:
+  double score_sequence(const AdaptationView& view, const int* seq,
+                        double throughput_Bps) const;
+
+  MpcConfig config_;
+  std::deque<double> samples_;     // bps
+  std::deque<double> rel_errors_;  // |pred - actual| / actual
+  double last_prediction_bps_ = 0.0;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,94 @@
+#include "adapter/mpdash_adapter.h"
+
+#include <algorithm>
+
+namespace mpdash {
+
+MpDashAdapter::MpDashAdapter(MpDashSocket& socket, RateAdaptation& adaptation,
+                             AdapterConfig config)
+    : socket_(socket), adaptation_(adaptation), config_(config) {}
+
+DataRate MpDashAdapter::throughput_override(const AdaptationView& view) {
+  (void)view;
+  // The §3.2 query interface: aggregated estimate across every path. Zero
+  // until the transport has samples, in which case algorithms fall back
+  // to their own estimates. Smoothed across chunk-level queries so the
+  // player sees estimator dynamics comparable to its own chunk-based
+  // windows.
+  const DataRate raw = socket_.aggregate_throughput();
+  if (raw.is_zero()) return raw;
+  if (override_ewma_bps_ <= 0.0) {
+    override_ewma_bps_ = raw.bps();
+  } else {
+    override_ewma_bps_ = 0.4 * raw.bps() + 0.6 * override_ewma_bps_;
+  }
+  return DataRate::bits_per_second(override_ewma_bps_);
+}
+
+double MpDashAdapter::phi_seconds(const AdaptationView& view) const {
+  if (adaptation_.category() == AdaptationCategory::kBufferBased) {
+    // Keep the buffer from pinning at full: capacity minus one chunk.
+    return std::max(0.0, view.buffer_capacity_s - view.chunk_duration_s);
+  }
+  return config_.phi_fraction * view.buffer_capacity_s;
+}
+
+double MpDashAdapter::omega_seconds(const AdaptationView& view) const {
+  if (adaptation_.category() == AdaptationCategory::kBufferBased) {
+    // Ω = e_l(current level) + one chunk duration.
+    const int level = std::max(view.last_level, 0);
+    const double el = adaptation_.buffer_low_threshold_s(view, level);
+    return std::max(0.0, el) + view.chunk_duration_s;
+  }
+  // Throughput-based/hybrid: consider a window of T seconds of playback;
+  // T' is how much content (in time) the lowest bitrate could fetch in T.
+  const double T = config_.omega_window_multiple * view.buffer_capacity_s;
+  const DataRate est = socket_.aggregate_throughput().is_zero()
+                           ? view.last_chunk_throughput
+                           : socket_.aggregate_throughput();
+  const double lowest_bps = view.bitrates.front().bps();
+  const double t_prime = lowest_bps > 0.0 ? T * est.bps() / lowest_bps : 0.0;
+  const double omega = std::max(0.0, T - t_prime);
+  return std::max(omega, config_.omega_min_fraction * view.buffer_capacity_s);
+}
+
+bool MpDashAdapter::should_engage(const AdaptationView& view) const {
+  if (view.in_startup) return false;  // initial buffering: vanilla MPTCP
+  return view.buffer_level_s >= omega_seconds(view);
+}
+
+Duration MpDashAdapter::base_deadline(const AdaptationView& view, int level,
+                                      Bytes size) const {
+  if (config_.policy == DeadlinePolicy::kDurationBased) {
+    return seconds(view.chunk_duration_s);
+  }
+  // Rate-based: size / nominal average bitrate of the selected level.
+  const double bps = view.bitrates[static_cast<std::size_t>(level)].bps();
+  return seconds(static_cast<double>(size) * 8.0 / bps);
+}
+
+std::optional<Duration> MpDashAdapter::on_chunk_request(
+    const AdaptationView& view, int level, Bytes size) {
+  if (!should_engage(view)) {
+    ++bypassed_;
+    if (socket_.active()) socket_.disable();
+    return std::nullopt;
+  }
+  Duration deadline = base_deadline(view, level, size);
+  // Deadline extension in the safe region: buffer above Φ contributes its
+  // surplus to the window.
+  const double phi = phi_seconds(view);
+  if (view.buffer_level_s > phi) {
+    deadline += seconds(view.buffer_level_s - phi);
+  }
+  ++engaged_;
+  socket_.enable(size, deadline);
+  return deadline;
+}
+
+void MpDashAdapter::on_chunk_complete(const AdaptationView& view) {
+  (void)view;
+  if (socket_.active()) socket_.disable();
+}
+
+}  // namespace mpdash

@@ -1,0 +1,82 @@
+#pragma once
+// The MP-DASH video adapter (paper §5): the thin layer between an
+// off-the-shelf DASH rate adaptation and the MP-DASH scheduler.
+//
+// Per chunk it
+//   1. decides whether the scheduler should engage at all (low-buffer
+//      threshold Ω, category-specific),
+//   2. computes the chunk's deadline (duration-based or rate-based),
+//   3. extends the deadline when the buffer sits in the "safe region"
+//      above Φ,
+//   4. activates MP_DASH_ENABLE for the chunk's bytes,
+// and across chunks it exposes the aggregated multipath throughput so
+// throughput-based algorithms see the capacity of *all* paths, including
+// the ones MP-DASH is deliberately keeping idle.
+
+#include <optional>
+
+#include "adapt/adaptation.h"
+#include "core/mpdash_socket.h"
+#include "dash/player.h"
+
+namespace mpdash {
+
+enum class DeadlinePolicy : std::uint8_t {
+  kDurationBased,  // D = chunk play duration
+  kRateBased,      // D = chunk size / level's average encoding bitrate
+};
+
+inline const char* to_string(DeadlinePolicy p) {
+  return p == DeadlinePolicy::kDurationBased ? "duration" : "rate";
+}
+
+struct AdapterConfig {
+  DeadlinePolicy policy = DeadlinePolicy::kRateBased;
+
+  // Throughput-based algorithms (§5.2.1):
+  double phi_fraction = 0.8;        // Φ = 0.8 × buffer capacity
+  double omega_window_multiple = 2.0;  // T = 2 × buffer duration
+  double omega_min_fraction = 0.4;  // Ω ≥ 0.4 × buffer capacity
+
+  // Buffer-based algorithms (§5.2.2) use Φ = capacity − chunk duration and
+  // Ω = e_l(current level) + chunk duration; no knobs needed.
+};
+
+class MpDashAdapter final : public StreamingHooks {
+ public:
+  MpDashAdapter(MpDashSocket& socket, RateAdaptation& adaptation,
+                AdapterConfig config = {});
+
+  DataRate throughput_override(const AdaptationView& view) override;
+  std::optional<Duration> on_chunk_request(const AdaptationView& view,
+                                           int level, Bytes size) override;
+  void on_chunk_complete(const AdaptationView& view) override;
+
+  // Whether the scheduler would engage for this view (Ω rule); public for
+  // tests and ablations.
+  bool should_engage(const AdaptationView& view) const;
+  // Deadline before extension.
+  Duration base_deadline(const AdaptationView& view, int level,
+                         Bytes size) const;
+  // Φ in seconds for this view.
+  double phi_seconds(const AdaptationView& view) const;
+  // Ω in seconds for this view.
+  double omega_seconds(const AdaptationView& view) const;
+
+  int chunks_engaged() const { return engaged_; }
+  int chunks_bypassed() const { return bypassed_; }
+  const AdapterConfig& config() const { return config_; }
+
+ private:
+  MpDashSocket& socket_;
+  RateAdaptation& adaptation_;
+  AdapterConfig config_;
+  int engaged_ = 0;
+  int bypassed_ = 0;
+  // Smoothed aggregate (EWMA over per-chunk queries): rate adaptations
+  // tuned for chunk-granularity estimators (FESTIVE's harmonic window)
+  // would overreact to the transport estimator's 100 ms dynamics.
+  double override_ewma_bps_ = 0.0;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,203 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mpdash {
+
+const PathUsage* AnalysisReport::path(int id) const {
+  for (const auto& p : paths) {
+    if (p.path_id == id) return &p;
+  }
+  return nullptr;
+}
+
+namespace {
+
+constexpr int kMaxPaths = 8;
+
+void accumulate_path_usage(const std::vector<PacketRecord>& trace,
+                           AnalysisReport& report) {
+  std::map<int, PathUsage> usage;
+  for (const auto& r : trace) {
+    auto& u = usage[r.path_id];
+    u.path_id = r.path_id;
+    switch (r.op) {
+      case RecordOp::kDeliver:
+        ++u.packets;
+        if (r.is_downlink()) {
+          u.wire_bytes_down += r.wire_size;
+          if (r.kind == PacketKind::kData) u.data_bytes_down += r.payload_len;
+        } else {
+          u.wire_bytes_up += r.wire_size;
+        }
+        break;
+      case RecordOp::kDrop:
+        ++u.drops;
+        break;
+      case RecordOp::kSend:
+        if (r.retransmit && r.is_downlink()) ++u.retransmissions;
+        break;
+    }
+  }
+  for (auto& [id, u] : usage) report.paths.push_back(u);
+}
+
+// Reconstructs HTTP responses from the delivered downlink data stream.
+void reconstruct_chunks(const std::vector<PacketRecord>& trace,
+                        const std::vector<PlayerEvent>& events,
+                        AnalysisReport& report) {
+  // Unique delivered downlink data packets in data-sequence order.
+  std::map<std::uint64_t, const PacketRecord*> stream;
+  for (const auto& r : trace) {
+    if (r.op != RecordOp::kDeliver || !r.is_downlink() ||
+        r.kind != PacketKind::kData || r.payload_len == 0) {
+      continue;
+    }
+    stream.emplace(r.data_seq, &r);  // first delivery wins (dup = retx)
+  }
+
+  // Requested (level, chunk) pairs in order, from the player's log.
+  std::vector<std::pair<int, int>> requested;
+  for (const auto& ev : events) {
+    if (ev.type == PlayerEventType::kChunkRequest) {
+      requested.emplace_back(ev.level, ev.chunk);
+    }
+  }
+  std::size_t next_request = 0;
+
+  ChunkDelivery current;
+  bool is_media = false;
+  const PacketRecord* feeding = nullptr;
+  bool started = false;
+
+  HttpStreamParser parser(
+      HttpStreamParser::Mode::kResponses,
+      HttpStreamParser::Callbacks{
+          .on_request = nullptr,
+          .on_response_head =
+              [&](const HttpResponse& head) {
+                current = ChunkDelivery{};
+                current.index = static_cast<int>(report.chunks.size());
+                started = false;
+                const auto type = head.header("Content-Type");
+                is_media = type && *type == "video/iso.segment";
+                if (is_media && next_request < requested.size()) {
+                  current.level = requested[next_request].first;
+                  current.chunk = requested[next_request].second;
+                  ++next_request;
+                }
+              },
+          .on_body =
+              [&](Bytes count, const std::string&) {
+                current.total_bytes += count;
+                if (feeding && feeding->path_id >= 0 &&
+                    feeding->path_id < kMaxPaths) {
+                  current.bytes_per_path[feeding->path_id] += count;
+                }
+                if (feeding) {
+                  if (!started) {
+                    current.start = feeding->at;
+                    started = true;
+                  }
+                  current.end = feeding->at;
+                }
+              },
+          .on_message_complete =
+              [&] {
+                if (is_media) report.chunks.push_back(current);
+              }});
+
+  for (const auto& [seq, rec] : stream) {
+    feeding = rec;
+    parser.consume(rec->segments);
+  }
+  feeding = nullptr;
+}
+
+void collect_player_stats(const std::vector<PlayerEvent>& events,
+                          AnalysisReport& report) {
+  StallInterval open{};
+  bool in_stall = false;
+  for (const auto& ev : events) {
+    report.session_length = std::max(report.session_length, Duration(ev.at));
+    switch (ev.type) {
+      case PlayerEventType::kStallStart:
+        open.start = ev.at;
+        in_stall = true;
+        break;
+      case PlayerEventType::kStallEnd:
+        if (in_stall) {
+          open.end = ev.at;
+          report.stalls.push_back(open);
+          in_stall = false;
+        }
+        break;
+      case PlayerEventType::kQualitySwitch:
+        ++report.quality_switches;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+AnalysisReport analyze(const std::vector<PacketRecord>& trace,
+                       const std::vector<PlayerEvent>& events,
+                       const AnalyzerConfig& config) {
+  AnalysisReport report;
+  accumulate_path_usage(trace, report);
+  reconstruct_chunks(trace, events, report);
+  collect_player_stats(events, report);
+  for (const auto& r : trace) {
+    report.session_length = std::max(report.session_length, Duration(r.at));
+  }
+
+  // Radio energy from the packet trace (delivered wire bytes, as seen at
+  // the client's radios).
+  std::vector<ByteEvent> wifi_ev, lte_ev;
+  for (const auto& r : trace) {
+    if (r.op != RecordOp::kDeliver) continue;
+    ByteEvent ev{r.at, r.wire_size, r.is_downlink()};
+    if (r.path_id == config.wifi_path_id) {
+      wifi_ev.push_back(ev);
+    } else if (r.path_id == config.cellular_path_id) {
+      lte_ev.push_back(ev);
+    }
+  }
+  report.energy = price_session(config.device, wifi_ev, lte_ev,
+                                report.session_length);
+  return report;
+}
+
+ThroughputSeries throughput_series(const std::vector<PacketRecord>& trace,
+                                   Duration interval) {
+  ThroughputSeries out;
+  std::map<std::int64_t, std::array<Bytes, kMaxPaths + 1>> buckets;
+  for (const auto& r : trace) {
+    if (r.op != RecordOp::kDeliver || !r.is_downlink()) continue;
+    auto& b = buckets[r.at.count() / interval.count()];
+    if (r.path_id >= 0 && r.path_id < kMaxPaths) {
+      b[static_cast<std::size_t>(r.path_id)] += r.wire_size;
+    }
+    b[kMaxPaths] += r.wire_size;
+  }
+  const double dt = to_seconds(interval);
+  for (const auto& [idx, bytes] : buckets) {
+    const double t = static_cast<double>(idx) * dt;
+    for (int p = 0; p < kMaxPaths; ++p) {
+      if (bytes[static_cast<std::size_t>(p)] > 0) {
+        out.per_path[p].emplace_back(
+            t, static_cast<double>(bytes[static_cast<std::size_t>(p)]) * 8.0 /
+                   dt / 1e6);
+      }
+    }
+    out.total.emplace_back(
+        t, static_cast<double>(bytes[kMaxPaths]) * 8.0 / dt / 1e6);
+  }
+  return out;
+}
+
+}  // namespace mpdash

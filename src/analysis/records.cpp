@@ -1,0 +1,36 @@
+#include "analysis/records.h"
+
+namespace mpdash {
+
+void PacketRecorder::add(RecordOp op, int link_id, TimePoint at,
+                         const Packet& p) {
+  PacketRecord r;
+  r.at = at;
+  r.op = op;
+  r.link_id = link_id;
+  r.path_id = p.path_id;
+  r.kind = p.kind;
+  r.wire_size = p.wire_size;
+  r.payload_len = p.payload_len;
+  r.data_seq = p.data_seq;
+  r.retransmit = p.is_retransmit;
+  if (capture_payload_ && op == RecordOp::kDeliver &&
+      p.kind == PacketKind::kData) {
+    r.segments = p.segments;
+  }
+  records_.push_back(std::move(r));
+}
+
+void PacketRecorder::on_send(int link_id, TimePoint at, const Packet& p) {
+  add(RecordOp::kSend, link_id, at, p);
+}
+
+void PacketRecorder::on_deliver(int link_id, TimePoint at, const Packet& p) {
+  add(RecordOp::kDeliver, link_id, at, p);
+}
+
+void PacketRecorder::on_drop(int link_id, TimePoint at, const Packet& p) {
+  add(RecordOp::kDrop, link_id, at, p);
+}
+
+}  // namespace mpdash

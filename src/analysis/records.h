@@ -1,0 +1,53 @@
+#pragma once
+// Packet-trace recording: the network half of the cross-layer analysis
+// tool's input (the paper feeds it tcpdump traces; we tap the simulated
+// links).
+
+#include <vector>
+
+#include "link/link.h"
+#include "link/packet.h"
+#include "mptcp/wire_data.h"
+
+namespace mpdash {
+
+enum class RecordOp : std::uint8_t { kSend, kDeliver, kDrop };
+
+struct PacketRecord {
+  TimePoint at = kTimeZero;
+  RecordOp op = RecordOp::kSend;
+  int link_id = 0;   // even = downlink, odd = uplink (see NetPath)
+  int path_id = 0;
+  PacketKind kind = PacketKind::kData;
+  Bytes wire_size = 0;
+  Bytes payload_len = 0;
+  std::uint64_t data_seq = 0;
+  bool retransmit = false;
+  // Payload content (captured only when the recorder is configured to —
+  // needed for HTTP reconstruction).
+  WireData segments;
+
+  bool is_downlink() const { return link_id % 2 == 0; }
+};
+
+// PacketTap implementation that appends to an in-memory trace.
+class PacketRecorder final : public PacketTap {
+ public:
+  explicit PacketRecorder(bool capture_payload = true)
+      : capture_payload_(capture_payload) {}
+
+  void on_send(int link_id, TimePoint at, const Packet& p) override;
+  void on_deliver(int link_id, TimePoint at, const Packet& p) override;
+  void on_drop(int link_id, TimePoint at, const Packet& p) override;
+
+  const std::vector<PacketRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+ private:
+  void add(RecordOp op, int link_id, TimePoint at, const Packet& p);
+
+  bool capture_payload_;
+  std::vector<PacketRecord> records_;
+};
+
+}  // namespace mpdash

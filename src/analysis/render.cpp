@@ -1,0 +1,67 @@
+#include "analysis/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace mpdash {
+
+std::string render_chunk_timeline(const AnalysisReport& report,
+                                  RenderConfig config) {
+  std::ostringstream out;
+  if (report.chunks.empty()) return "(no chunks)\n";
+  const double total_s = to_seconds(report.session_length);
+  if (total_s <= 0.0) return "(empty session)\n";
+
+  const int width = std::max(config.width, 20);
+  // Row 1: bitrate level digit per column; row 2: cellular share.
+  std::string levels(static_cast<std::size_t>(width), ' ');
+  std::string cellular(static_cast<std::size_t>(width), ' ');
+
+  auto col = [&](TimePoint t) {
+    int c = static_cast<int>(to_seconds(t) / total_s * (width - 1));
+    return std::clamp(c, 0, width - 1);
+  };
+
+  for (const auto& ch : report.chunks) {
+    const int a = col(ch.start);
+    const int b = std::max(a, col(ch.end));
+    const char glyph =
+        ch.level >= 0 ? static_cast<char>('1' + std::min(ch.level, 8)) : '?';
+    const double frac = ch.cellular_fraction(config.cellular_path_id);
+    for (int c = a; c <= b; ++c) {
+      levels[static_cast<std::size_t>(c)] = glyph;
+      // Mark the leading fraction of the bar as cellular, like the black
+      // component in the paper's figure.
+      const double pos = b > a ? static_cast<double>(c - a) /
+                                     static_cast<double>(b - a + 1)
+                               : 0.0;
+      cellular[static_cast<std::size_t>(c)] = pos < frac ? '#' : '.';
+    }
+  }
+
+  out << "chunk level (digit = level+1, gap = idle):\n  " << levels << "\n";
+  out << "cellular share ('#' portion of each bar):\n  " << cellular << "\n";
+  out << "timeline: 0s .. " << TextTable::num(total_s, 1) << "s, "
+      << report.chunks.size() << " chunks, " << report.quality_switches
+      << " switches, " << report.stalls.size() << " stalls\n";
+  return out.str();
+}
+
+std::string render_path_summary(const AnalysisReport& report) {
+  TextTable table({"path", "data MB (down)", "wire MB (down)", "wire MB (up)",
+                   "packets", "drops", "retx"});
+  for (const auto& p : report.paths) {
+    table.add_row({std::to_string(p.path_id),
+                   TextTable::num(static_cast<double>(p.data_bytes_down) / 1e6),
+                   TextTable::num(static_cast<double>(p.wire_bytes_down) / 1e6),
+                   TextTable::num(static_cast<double>(p.wire_bytes_up) / 1e6),
+                   std::to_string(p.packets), std::to_string(p.drops),
+                   std::to_string(p.retransmissions)});
+  }
+  return table.render();
+}
+
+}  // namespace mpdash

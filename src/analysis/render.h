@@ -1,0 +1,24 @@
+#pragma once
+// ASCII rendering of the analysis tool's chunk timeline — the textual
+// counterpart of the paper's Figure 8 visualization: one bar per chunk,
+// width = download duration, glyph = bitrate level, '#' overlay = the
+// fraction delivered over cellular.
+
+#include <string>
+
+#include "analysis/analyzer.h"
+
+namespace mpdash {
+
+struct RenderConfig {
+  int width = 100;            // columns for the whole session
+  int cellular_path_id = 1;
+};
+
+std::string render_chunk_timeline(const AnalysisReport& report,
+                                  RenderConfig config = {});
+
+// Compact per-path usage summary table.
+std::string render_path_summary(const AnalysisReport& report);
+
+}  // namespace mpdash

@@ -1,0 +1,125 @@
+#include "core/deadline_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpdash {
+
+DeadlineScheduler::DeadlineScheduler(MultipathControl& control,
+                                     DeadlineSchedulerConfig config)
+    : control_(control), config_(config) {
+  if (config_.alpha <= 0.0 || config_.alpha > 1.0) {
+    throw std::invalid_argument("alpha must be in (0, 1]");
+  }
+  if (config_.hysteresis < 0.0) {
+    throw std::invalid_argument("hysteresis must be >= 0");
+  }
+}
+
+void DeadlineScheduler::begin(TimePoint now, Bytes size, Duration window) {
+  if (size <= 0 || window <= kDurationZero) {
+    throw std::invalid_argument("size and window must be positive");
+  }
+  active_ = true;
+  deadline_missed_ = false;
+  start_ = now;
+  window_ = window;
+  deadline_ = now + window;
+  size_ = size;
+  base_transferred_ = control_.transferred_bytes();
+  activations_ = 0;
+  enable_streak_ = 0;
+
+  // Algorithm 1 initialization: preferred (minimum-cost) paths on, all
+  // costlier paths off.
+  auto paths = control_.paths();
+  double min_cost = paths.empty() ? 0.0 : paths.front().unit_cost;
+  for (const auto& p : paths) min_cost = std::min(min_cost, p.unit_cost);
+  for (const auto& p : paths) {
+    control_.set_path_enabled(p.id, p.unit_cost <= min_cost);
+  }
+}
+
+Bytes DeadlineScheduler::remaining() const {
+  return std::max<Bytes>(0, size_ - (control_.transferred_bytes() -
+                                     base_transferred_));
+}
+
+void DeadlineScheduler::update(TimePoint now) {
+  if (!active_) return;
+
+  const Bytes left = remaining();
+  if (left == 0) {  // S bytes transferred: deactivate (paper §3.2 case 1)
+    end();
+    return;
+  }
+  if (now >= deadline_) {  // deadline passed: deactivate (case 2)
+    deadline_missed_ = true;
+    end();
+    return;
+  }
+
+  // Time budget per lines 16/19: alpha*D - timeSpent.
+  const double budget_s =
+      config_.alpha * to_seconds(window_) - to_seconds(now - start_);
+
+  // Feed data cheapest-first: walk paths in cost order, accumulating the
+  // bytes the already-kept set can move within the budget; enable a path
+  // only while the kept set falls short of the remaining bytes.
+  auto paths = control_.paths();
+  std::sort(paths.begin(), paths.end(),
+            [](const ControlledPath& a, const ControlledPath& b) {
+              if (a.unit_cost != b.unit_cost) return a.unit_cost < b.unit_cost;
+              return a.id < b.id;
+            });
+
+  const double min_cost = paths.front().unit_cost;
+  double deliverable = 0.0;
+  const double need = static_cast<double>(left);
+  for (const auto& p : paths) {
+    const bool is_preferred = p.unit_cost <= min_cost;
+    if (is_preferred) {
+      // Preferred paths always run at full capacity.
+      control_.set_path_enabled(p.id, true);
+      deliverable += control_.path_throughput(p.id).bps() / 8.0 *
+                     std::max(budget_s, 0.0);
+      continue;
+    }
+    const bool enabled = control_.path_enabled(p.id);
+    // Hysteresis: require the inequality to clear a small margin before
+    // flipping state.
+    const double h = config_.hysteresis;
+    bool want = enabled;
+    if (enabled && deliverable > need * (1.0 + h)) {
+      want = false;  // line 17: cheaper set suffices, drop this path
+      enable_streak_ = 0;
+    } else if (!enabled && deliverable < need * (1.0 - h)) {
+      // line 20: cheaper set misses the deadline — but only act once the
+      // shortfall has persisted (debounce against transient estimate dips).
+      ++enable_streak_;
+      if (enable_streak_ >= config_.enable_debounce_ticks) {
+        want = true;
+        enable_streak_ = 0;
+      }
+    } else {
+      enable_streak_ = 0;
+    }
+    if (want && !enabled) ++activations_;
+    control_.set_path_enabled(p.id, want);
+    if (want) {
+      deliverable += control_.path_throughput(p.id).bps() / 8.0 *
+                     std::max(budget_s, 0.0);
+    }
+  }
+}
+
+void DeadlineScheduler::end() {
+  if (!active_) return;
+  active_ = false;
+  // Vanilla MPTCP resumes: every path usable.
+  for (const auto& p : control_.paths()) {
+    control_.set_path_enabled(p.id, true);
+  }
+}
+
+}  // namespace mpdash

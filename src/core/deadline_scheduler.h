@@ -1,0 +1,83 @@
+#pragma once
+// The MP-DASH deadline-aware scheduler (paper §4, Algorithm 1).
+//
+// Given a transfer of S bytes due in D, the scheduler keeps the preferred
+// (cheapest) path(s) at full capacity and toggles costlier paths on only
+// when the preferred capacity alone would miss the deadline:
+//
+//   enable  costly path  iff (alpha*D - timeSpent) * R_pref < S - sent
+//   disable costly path  iff (alpha*D - timeSpent) * R_pref > S - sent
+//
+// generalized to N paths by feeding data cheapest-first (§4, "Optimality").
+// alpha < 1 finishes ahead of the real deadline to absorb estimation error
+// at the cost of extra costly-path bytes.
+
+#include <cstdint>
+
+#include "core/multipath_control.h"
+
+namespace mpdash {
+
+struct DeadlineSchedulerConfig {
+  // Safety factor on the deadline (Algorithm 1 lines 16/19).
+  double alpha = 1.0;
+  // Hysteresis margin: a path's state flips only if the inequality holds
+  // with this relative slack, preventing on/off flapping when the two
+  // sides are nearly equal. 0 reproduces the paper's algorithm literally.
+  double hysteresis = 0.05;
+  // Consecutive update() rounds the enable condition must hold before a
+  // costly path is switched on. TCP's slow-start restart makes the first
+  // throughput samples of every transfer look like a WiFi collapse; one
+  // extra tick of patience (~100 ms against multi-second deadlines)
+  // avoids waking the cellular radio for that artifact. 1 reproduces the
+  // paper's algorithm literally.
+  int enable_debounce_ticks = 2;
+};
+
+class DeadlineScheduler {
+ public:
+  DeadlineScheduler(MultipathControl& control,
+                    DeadlineSchedulerConfig config = {});
+
+  // Activates MP-DASH for the next `size` bytes due at now + `window`
+  // (the MP_DASH_ENABLE socket option). Cheapest path(s) are enabled,
+  // all costlier paths disabled, matching Algorithm 1's initialization.
+  void begin(TimePoint now, Bytes size, Duration window);
+
+  // Re-evaluates path states (the body of Algorithm 1's loop). Call on a
+  // timer or after delivery progress. No-op when inactive.
+  void update(TimePoint now);
+
+  // Deactivates (MP_DASH_DISABLE / S bytes done / deadline passed): all
+  // paths re-enabled, vanilla MPTCP behavior resumes.
+  void end();
+
+  bool active() const { return active_; }
+  // The transfer completed within its window (checked during update()).
+  bool deadline_missed() const { return deadline_missed_; }
+  TimePoint deadline() const { return deadline_; }
+  Bytes target_bytes() const { return size_; }
+
+  // Number of enable flips of non-preferred paths this transfer.
+  int costly_path_activations() const { return activations_; }
+
+  const DeadlineSchedulerConfig& config() const { return config_; }
+
+ private:
+  Bytes remaining() const;
+
+  MultipathControl& control_;
+  DeadlineSchedulerConfig config_;
+
+  bool active_ = false;
+  bool deadline_missed_ = false;
+  TimePoint start_ = kTimeZero;
+  TimePoint deadline_ = kTimeZero;
+  Duration window_ = kDurationZero;
+  Bytes size_ = 0;
+  Bytes base_transferred_ = 0;
+  int activations_ = 0;
+  int enable_streak_ = 0;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,189 @@
+#include "core/offline_optimal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace mpdash {
+
+SlottedInstance SlottedInstance::from_traces(
+    const std::vector<const BandwidthTrace*>& traces,
+    const std::vector<double>& costs, Bytes target, Duration deadline,
+    Duration slot) {
+  if (traces.size() != costs.size()) {
+    throw std::invalid_argument("traces/costs size mismatch");
+  }
+  if (slot <= kDurationZero || deadline < slot) {
+    throw std::invalid_argument("bad slot/deadline");
+  }
+  SlottedInstance inst;
+  inst.slot = slot;
+  inst.unit_cost = costs;
+  inst.target = target;
+  const auto n_slots = static_cast<std::size_t>(deadline / slot);
+  for (const BandwidthTrace* tr : traces) {
+    std::vector<Bytes> row(n_slots);
+    for (std::size_t j = 0; j < n_slots; ++j) {
+      const TimePoint a = TimePoint(slot * static_cast<std::int64_t>(j));
+      row[j] = tr->bytes_between(a, a + slot);
+    }
+    inst.bytes_per_slot.push_back(std::move(row));
+  }
+  return inst;
+}
+
+Bytes ScheduleResult::bytes_on_interface(const SlottedInstance& inst,
+                                         std::size_t i) const {
+  Bytes total = 0;
+  for (std::size_t j = 0; j < inst.slots(); ++j) {
+    if (use[i][j]) total += inst.bytes_per_slot[i][j];
+  }
+  return total;
+}
+
+ScheduleResult optimal_dp(const SlottedInstance& inst, Bytes unit) {
+  if (unit <= 0) throw std::invalid_argument("unit must be positive");
+  const std::size_t n = inst.interfaces();
+  const std::size_t d = inst.slots();
+
+  struct Item {
+    std::size_t i, j;
+    Bytes weight;       // coarsened units
+    double value;
+  };
+  std::vector<Item> items;
+  items.reserve(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const Bytes b = inst.bytes_per_slot[i][j];
+      if (b <= 0) continue;
+      items.push_back({i, j, b / unit,
+                       inst.unit_cost[i] * static_cast<double>(b)});
+    }
+  }
+  const Bytes target_units = (inst.target + unit - 1) / unit;
+  const auto w_cap = static_cast<std::size_t>(target_units);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[k][w] = min cost using first k items to cover >= w units (w capped).
+  std::vector<std::vector<double>> dp(
+      items.size() + 1, std::vector<double>(w_cap + 1, kInf));
+  dp[0][0] = 0.0;
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    const Item& it = items[k];
+    for (std::size_t w = 0; w <= w_cap; ++w) {
+      if (dp[k][w] == kInf) continue;
+      // skip item
+      dp[k + 1][w] = std::min(dp[k + 1][w], dp[k][w]);
+      // take item
+      const std::size_t nw =
+          std::min<std::size_t>(w_cap, w + static_cast<std::size_t>(it.weight));
+      dp[k + 1][nw] = std::min(dp[k + 1][nw], dp[k][w] + it.value);
+    }
+  }
+
+  ScheduleResult res;
+  res.use.assign(n, std::vector<bool>(d, false));
+  if (dp[items.size()][w_cap] == kInf) {
+    res.feasible = false;
+    return res;
+  }
+  res.feasible = true;
+  res.total_cost = dp[items.size()][w_cap];
+
+  // Reconstruct: walk items backwards deciding take/skip.
+  std::size_t w = w_cap;
+  for (std::size_t k = items.size(); k-- > 0;) {
+    // Was dp[k+1][w] achieved by skipping?
+    if (dp[k][w] == dp[k + 1][w]) continue;
+    // Otherwise the item was taken from some w' with min(cap, w'+wt) == w.
+    const Item& it = items[k];
+    bool found = false;
+    for (std::size_t pw = 0; pw <= w_cap; ++pw) {
+      const std::size_t nw =
+          std::min<std::size_t>(w_cap, pw + static_cast<std::size_t>(it.weight));
+      if (nw == w && dp[k][pw] + it.value == dp[k + 1][w]) {
+        res.use[it.i][it.j] = true;
+        res.total_bytes += inst.bytes_per_slot[it.i][it.j];
+        w = pw;
+        found = true;
+        break;
+      }
+    }
+    assert(found);
+    (void)found;
+  }
+  return res;
+}
+
+ScheduleResult greedy_waterfall(const SlottedInstance& inst) {
+  const std::size_t n = inst.interfaces();
+  const std::size_t d = inst.slots();
+  ScheduleResult res;
+  res.use.assign(n, std::vector<bool>(d, false));
+
+  // Interface order: cheapest first.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (inst.unit_cost[a] != inst.unit_cost[b]) {
+      return inst.unit_cost[a] < inst.unit_cost[b];
+    }
+    return a < b;
+  });
+
+  Bytes covered = 0;
+  for (std::size_t oi = 0; oi < n && covered < inst.target; ++oi) {
+    const std::size_t i = order[oi];
+    if (oi == 0) {
+      // Cheapest interface: use every slot.
+      for (std::size_t j = 0; j < d; ++j) {
+        if (inst.bytes_per_slot[i][j] <= 0) continue;
+        res.use[i][j] = true;
+        covered += inst.bytes_per_slot[i][j];
+        res.total_cost += inst.unit_cost[i] *
+                          static_cast<double>(inst.bytes_per_slot[i][j]);
+      }
+      continue;
+    }
+    // Costlier interface: fill from the latest slots backwards — the
+    // shape Algorithm 1 converges to with perfect knowledge (enable the
+    // costly path as late as possible).
+    for (std::size_t j = d; j-- > 0 && covered < inst.target;) {
+      const Bytes b = inst.bytes_per_slot[i][j];
+      if (b <= 0) continue;
+      res.use[i][j] = true;
+      covered += b;
+      res.total_cost += inst.unit_cost[i] * static_cast<double>(b);
+    }
+  }
+  res.total_bytes = covered;
+  res.feasible = covered >= inst.target;
+  return res;
+}
+
+TwoPathFluidResult optimal_two_path_fluid(const BandwidthTrace& preferred,
+                                          const BandwidthTrace& costly,
+                                          Bytes target, Duration deadline) {
+  TwoPathFluidResult res;
+  const TimePoint end = TimePoint(deadline);
+  const Bytes pref = preferred.bytes_between(kTimeZero, end);
+  const Bytes cost_cap = costly.bytes_between(kTimeZero, end);
+  if (pref >= target) {
+    res.feasible = true;
+    res.preferred_bytes = target;
+    res.costly_bytes = 0;
+  } else {
+    res.preferred_bytes = pref;
+    res.costly_bytes = std::min(cost_cap, target - pref);
+    res.feasible = pref + cost_cap >= target;
+  }
+  res.costly_fraction = target > 0 ? static_cast<double>(res.costly_bytes) /
+                                         static_cast<double>(target)
+                                   : 0.0;
+  return res;
+}
+
+}  // namespace mpdash

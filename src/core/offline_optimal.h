@@ -1,0 +1,69 @@
+#pragma once
+// Offline schedulers for the paper's general formulation (§4): choose
+// which interface to use in which time slot so the S-byte transfer meets
+// its deadline at minimum cost. These are the yardsticks the online
+// Algorithm 1 is compared against (Table 2) and the oracle used in tests.
+
+#include <vector>
+
+#include "trace/bandwidth_trace.h"
+#include "util/units.h"
+
+namespace mpdash {
+
+// A discretized instance: N interfaces x D slots of duration `slot`;
+// bytes_per_slot[i][j] = b(i,j)*d, unit_cost[i] = c(i).
+struct SlottedInstance {
+  Duration slot = milliseconds(50);
+  std::vector<std::vector<Bytes>> bytes_per_slot;
+  std::vector<double> unit_cost;
+  Bytes target = 0;  // S
+
+  std::size_t interfaces() const { return bytes_per_slot.size(); }
+  std::size_t slots() const {
+    return bytes_per_slot.empty() ? 0 : bytes_per_slot.front().size();
+  }
+  // Builds an instance by sampling bandwidth traces over [0, deadline).
+  static SlottedInstance from_traces(
+      const std::vector<const BandwidthTrace*>& traces,
+      const std::vector<double>& costs, Bytes target, Duration deadline,
+      Duration slot);
+};
+
+struct ScheduleResult {
+  bool feasible = false;
+  double total_cost = 0.0;
+  Bytes total_bytes = 0;
+  // x(i,j): interface i used during slot j.
+  std::vector<std::vector<bool>> use;
+
+  Bytes bytes_on_interface(const SlottedInstance& inst, std::size_t i) const;
+};
+
+// Exact 0-1 min-knapsack via dynamic programming: minimize total cost
+// subject to total bytes >= target. `unit` coarsens byte weights to keep
+// the DP table tractable (weights are rounded down, so the result is
+// feasible w.r.t. the coarsened instance). Complexity O(N*D*S/unit).
+ScheduleResult optimal_dp(const SlottedInstance& inst, Bytes unit = 1);
+
+// Cost-sorted greedy ("waterfall"): cheapest interface used everywhere,
+// each costlier interface only in the latest slots needed to close the
+// remaining gap. Optimal for N=2 with fractional slot use; an
+// approximation for general cost profiles.
+ScheduleResult greedy_waterfall(const SlottedInstance& inst);
+
+// Fluid (fractional-slot) two-path optimum, computed directly from the
+// traces: the preferred path runs the whole window; the costly path
+// contributes exactly the deficit. This is the "Cell % Optimal" column of
+// Table 2.
+struct TwoPathFluidResult {
+  bool feasible = false;
+  Bytes preferred_bytes = 0;
+  Bytes costly_bytes = 0;
+  double costly_fraction = 0.0;  // costly_bytes / S
+};
+TwoPathFluidResult optimal_two_path_fluid(const BandwidthTrace& preferred,
+                                          const BandwidthTrace& costly,
+                                          Bytes target, Duration deadline);
+
+}  // namespace mpdash

@@ -1,0 +1,84 @@
+#include "core/online_simulator.h"
+
+#include <stdexcept>
+
+namespace mpdash {
+
+OnlineSimResult simulate_online_two_path(const BandwidthTrace& preferred,
+                                         const BandwidthTrace& costly,
+                                         Bytes target, Duration deadline,
+                                         const OnlineSimConfig& config) {
+  if (target <= 0 || deadline <= kDurationZero) {
+    throw std::invalid_argument("target and deadline must be positive");
+  }
+  OnlineSimResult res;
+  HoltWinters predictor(config.hw);
+
+  Bytes sent = 0;
+  bool costly_enabled = false;  // Algorithm 1 line 3
+  int enable_streak = 0;
+  const TimePoint due = TimePoint(deadline);
+  TimePoint t = kTimeZero;
+  const double alpha_D = config.alpha * to_seconds(deadline);
+
+  // Hard stop far past any sane deadline (zero-rate tails).
+  const TimePoint hard_stop = due + TimePoint(seconds(3600.0));
+
+  while (sent < target && t < hard_stop) {
+    const TimePoint next = t + config.slot;
+    const bool past_deadline = t >= due;
+
+    // Deliver this slot's bytes on the enabled paths.
+    const Bytes pref_b = preferred.bytes_between(t, next);
+    sent += pref_b;
+    res.preferred_bytes += pref_b;
+    Bytes cost_b = 0;
+    if (costly_enabled || past_deadline) {
+      cost_b = costly.bytes_between(t, next);
+      sent += cost_b;
+      res.costly_bytes += cost_b;
+    }
+
+    // Observe the preferred path's throughput (line 15).
+    predictor.add_sample(rate_of(pref_b, config.slot));
+    const DataRate r_pref = predictor.predict();
+
+    res.timeline.push_back(
+        {t, costly_enabled || past_deadline, pref_b, cost_b, r_pref});
+
+    t = next;
+    if (sent >= target) break;
+
+    if (past_deadline) {
+      // Deactivated: both interfaces run until the transfer drains.
+      costly_enabled = true;
+      continue;
+    }
+    // Lines 16-21: compare deliverable preferred bytes against remainder,
+    // with the kernel scheduler's hysteresis + enable debounce.
+    const double budget_s = alpha_D - to_seconds(t);
+    const double deliverable = r_pref.bps() / 8.0 * std::max(budget_s, 0.0);
+    const double remaining = static_cast<double>(target - sent);
+    const double h = config.hysteresis;
+    if (costly_enabled && deliverable > remaining * (1.0 + h)) {
+      costly_enabled = false;  // line 17
+      enable_streak = 0;
+    } else if (!costly_enabled && deliverable < remaining * (1.0 - h)) {
+      if (++enable_streak >= config.enable_debounce_ticks) {
+        costly_enabled = true;  // line 20
+        enable_streak = 0;
+      }
+    } else {
+      enable_streak = 0;
+    }
+  }
+
+  res.finish_time = Duration(t);
+  res.deadline_missed = Duration(t) > deadline;
+  if (res.deadline_missed) res.miss_by = Duration(t) - deadline;
+  res.costly_fraction =
+      static_cast<double>(res.costly_bytes) / static_cast<double>(target);
+  return res;
+}
+
+}  // namespace mpdash

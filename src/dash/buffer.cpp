@@ -1,0 +1,48 @@
+#include "dash/buffer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpdash {
+
+PlaybackBuffer::PlaybackBuffer(Duration capacity) : capacity_(capacity) {
+  if (capacity_ <= kDurationZero) {
+    throw std::invalid_argument("buffer capacity must be positive");
+  }
+}
+
+void PlaybackBuffer::settle(TimePoint now) const {
+  if (playing_) {
+    const Duration played = now - last_update_;
+    level_ = std::max(kDurationZero, level_ - played);
+  }
+  last_update_ = now;
+}
+
+Duration PlaybackBuffer::level(TimePoint now) const {
+  settle(now);
+  return level_;
+}
+
+bool PlaybackBuffer::has_room(TimePoint now, Duration chunk_duration) const {
+  return level(now) + chunk_duration <= capacity_;
+}
+
+void PlaybackBuffer::add(TimePoint now, Duration chunk_duration) {
+  settle(now);
+  level_ = std::min(capacity_, level_ + chunk_duration);
+  total_added_ += chunk_duration;
+}
+
+void PlaybackBuffer::set_playing(TimePoint now, bool playing) {
+  settle(now);
+  playing_ = playing;
+}
+
+TimePoint PlaybackBuffer::depletion_time(TimePoint now) const {
+  settle(now);
+  if (!playing_) return TimePoint::max();
+  return now + level_;
+}
+
+}  // namespace mpdash

@@ -1,0 +1,66 @@
+#include "dash/events.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace mpdash {
+
+const char* to_string(PlayerEventType t) {
+  switch (t) {
+    case PlayerEventType::kPlaybackStart: return "playback_start";
+    case PlayerEventType::kChunkRequest: return "chunk_request";
+    case PlayerEventType::kChunkComplete: return "chunk_complete";
+    case PlayerEventType::kQualitySwitch: return "quality_switch";
+    case PlayerEventType::kStallStart: return "stall_start";
+    case PlayerEventType::kStallEnd: return "stall_end";
+    case PlayerEventType::kBufferSample: return "buffer_sample";
+    case PlayerEventType::kPlaybackDone: return "playback_done";
+  }
+  return "unknown";
+}
+
+namespace {
+
+PlayerEventType type_from_string(const std::string& s) {
+  for (int t = 0; t <= static_cast<int>(PlayerEventType::kPlaybackDone); ++t) {
+    const auto type = static_cast<PlayerEventType>(t);
+    if (s == to_string(type)) return type;
+  }
+  throw std::invalid_argument("unknown event type: " + s);
+}
+
+}  // namespace
+
+std::string event_log_to_csv(const std::vector<PlayerEvent>& log) {
+  CsvWriter csv({"time_s", "event", "level", "chunk", "bytes", "extra"});
+  char t[32], e[32];
+  for (const auto& ev : log) {
+    std::snprintf(t, sizeof(t), "%.6f", to_seconds(ev.at));
+    std::snprintf(e, sizeof(e), "%.6f", ev.extra);
+    csv.add_row({t, to_string(ev.type), std::to_string(ev.level),
+                 std::to_string(ev.chunk), std::to_string(ev.bytes), e});
+  }
+  return csv.str();
+}
+
+std::vector<PlayerEvent> event_log_from_csv(const std::string& csv) {
+  std::vector<PlayerEvent> log;
+  for (const auto& row : parse_csv(csv)) {
+    if (row.size() < 6 || row[0] == "time_s") continue;
+    PlayerEvent ev;
+    ev.at = seconds(std::strtod(row[0].c_str(), nullptr));
+    ev.type = type_from_string(row[1]);
+    ev.level = std::atoi(row[2].c_str());
+    ev.chunk = std::atoi(row[3].c_str());
+    ev.bytes = std::atoll(row[4].c_str());
+    ev.extra = std::strtod(row[5].c_str(), nullptr);
+    log.push_back(ev);
+  }
+  return log;
+}
+
+}  // namespace mpdash

@@ -1,0 +1,38 @@
+#pragma once
+// Player event log: the application-layer half of what the cross-layer
+// analysis tool (src/analysis) correlates with the packet trace.
+
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace mpdash {
+
+enum class PlayerEventType : std::uint8_t {
+  kPlaybackStart,
+  kChunkRequest,   // level, chunk, bytes(size), extra(deadline seconds)
+  kChunkComplete,  // level, chunk, bytes(received)
+  kQualitySwitch,  // level(new), chunk, extra(old level)
+  kStallStart,
+  kStallEnd,       // extra(stall seconds)
+  kBufferSample,   // extra(buffer seconds)
+  kPlaybackDone,
+};
+
+struct PlayerEvent {
+  TimePoint at = kTimeZero;
+  PlayerEventType type = PlayerEventType::kBufferSample;
+  int level = -1;
+  int chunk = -1;
+  Bytes bytes = 0;
+  double extra = 0.0;
+};
+
+const char* to_string(PlayerEventType t);
+
+// One row per event: "time_s,event,level,chunk,bytes,extra".
+std::string event_log_to_csv(const std::vector<PlayerEvent>& log);
+std::vector<PlayerEvent> event_log_from_csv(const std::string& csv);
+
+}  // namespace mpdash

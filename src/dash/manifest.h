@@ -1,0 +1,29 @@
+#pragma once
+// DASH MPD (Media Presentation Description) subset.
+//
+// The manifest serializes a Video — including exact per-chunk sizes. The
+// MPEG-DASH spec makes chunk size optional; the paper (following Yin et
+// al.) argues it should be mandatory because deadline scheduling and
+// model-predictive adaptation both need it, so our manifest always
+// carries a <ChunkSizes> list per representation.
+
+#include <string>
+
+#include "dash/video.h"
+
+namespace mpdash {
+
+// XML text of the MPD for `video`.
+std::string manifest_to_xml(const Video& video);
+
+// Reconstructs a Video from MPD text produced by manifest_to_xml.
+// Throws std::invalid_argument on malformed input.
+Video video_from_manifest(const std::string& xml);
+
+// URL scheme used between player and server.
+std::string manifest_url();
+std::string chunk_url(int level, int chunk);
+// Parses a chunk URL; returns false if `target` is not a chunk URL.
+bool parse_chunk_url(const std::string& target, int& level, int& chunk);
+
+}  // namespace mpdash

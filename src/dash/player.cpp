@@ -1,0 +1,216 @@
+#include "dash/player.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mpdash {
+
+DashPlayer::DashPlayer(EventLoop& loop, HttpClient& client,
+                       RateAdaptation& adaptation, PlayerConfig config,
+                       StreamingHooks* hooks)
+    : loop_(loop),
+      client_(client),
+      adaptation_(adaptation),
+      config_(config),
+      hooks_(hooks) {}
+
+DashPlayer::~DashPlayer() {
+  loop_.cancel(fetch_timer_);
+  loop_.cancel(depletion_timer_);
+  loop_.cancel(sample_timer_);
+}
+
+void DashPlayer::start() {
+  client_.get(manifest_url(),
+              [this](const HttpTransfer& t) { on_manifest(t); });
+}
+
+void DashPlayer::on_manifest(const HttpTransfer& transfer) {
+  if (transfer.response.status != 200) {
+    throw std::runtime_error("manifest fetch failed");
+  }
+  video_ = video_from_manifest(transfer.body);
+  buffer_.emplace(config_.buffer_capacity);
+  sample_timer_ = loop_.schedule_in(config_.buffer_sample_interval,
+                                    [this] { sample_buffer(); });
+  fetch_next_chunk();
+}
+
+AdaptationView DashPlayer::make_view() const {
+  AdaptationView v;
+  v.now = loop_.now();
+  v.buffer_level_s = to_seconds(buffer_->level(loop_.now()));
+  v.buffer_capacity_s = to_seconds(buffer_->capacity());
+  v.chunk_duration_s = to_seconds(video_->chunk_duration());
+  v.last_level = last_level_;
+  v.next_chunk = next_chunk_;
+  v.total_chunks = video_->chunk_count();
+  v.in_startup = !playing_started_;
+  v.bitrates.reserve(static_cast<std::size_t>(video_->level_count()));
+  for (const auto& lv : video_->levels()) v.bitrates.push_back(lv.avg_bitrate);
+  if (next_chunk_ < video_->chunk_count()) {
+    for (int l = 0; l < video_->level_count(); ++l) {
+      v.next_chunk_sizes.push_back(video_->chunk_size(l, next_chunk_));
+    }
+  }
+  v.last_chunk_throughput = last_chunk_throughput_;
+  if (hooks_) v.override_throughput = hooks_->throughput_override(v);
+  return v;
+}
+
+void DashPlayer::schedule_fetch() {
+  // Wait until the buffer has room for one more chunk.
+  const Duration level = buffer_->level(loop_.now());
+  const Duration room_at =
+      level + video_->chunk_duration() - buffer_->capacity();
+  loop_.cancel(fetch_timer_);
+  fetch_timer_ = loop_.schedule_in(std::max(room_at, kDurationZero) +
+                                       microseconds(1),
+                                   [this] { fetch_next_chunk(); });
+}
+
+void DashPlayer::fetch_next_chunk() {
+  fetch_timer_ = EventId{};
+  if (done_ || all_fetched_) return;
+  if (next_chunk_ >= video_->chunk_count()) {
+    all_fetched_ = true;
+    return;
+  }
+  if (!buffer_->has_room(loop_.now(), video_->chunk_duration())) {
+    schedule_fetch();
+    return;
+  }
+
+  AdaptationView view = make_view();
+  int level = adaptation_.select_level(view);
+  level = std::clamp(level, 0, video_->highest_level());
+
+  if (last_level_ >= 0 && level != last_level_) {
+    ++switches_;
+    log(PlayerEventType::kQualitySwitch, level, next_chunk_, 0,
+        static_cast<double>(last_level_));
+  }
+
+  const Bytes size = video_->chunk_size(level, next_chunk_);
+  pending_deadline_.reset();
+  if (hooks_) pending_deadline_ = hooks_->on_chunk_request(view, level, size);
+  pending_request_time_ = loop_.now();
+  pending_level_ = level;
+
+  log(PlayerEventType::kChunkRequest, level, next_chunk_, size,
+      pending_deadline_ ? to_seconds(*pending_deadline_) : 0.0);
+
+  client_.get(chunk_url(level, next_chunk_),
+              [this](const HttpTransfer& t) { on_chunk_done(t); });
+}
+
+void DashPlayer::on_chunk_done(const HttpTransfer& transfer) {
+  if (transfer.response.status != 200) {
+    throw std::runtime_error("chunk fetch failed");
+  }
+  const TimePoint now = loop_.now();
+
+  ChunkRecord rec;
+  rec.chunk = next_chunk_;
+  rec.level = pending_level_;
+  rec.bytes = transfer.body_bytes;
+  rec.requested = pending_request_time_;
+  rec.completed = now;
+  rec.deadline = pending_deadline_;
+  rec.buffer_at_request_s = to_seconds(buffer_->level(pending_request_time_));
+  chunk_log_.push_back(rec);
+
+  last_chunk_throughput_ =
+      rate_of(transfer.body_bytes, now - pending_request_time_);
+  adaptation_.on_chunk_downloaded(pending_level_, transfer.body_bytes,
+                                  now - pending_request_time_);
+
+  buffer_->add(now, video_->chunk_duration());
+  log(PlayerEventType::kChunkComplete, pending_level_, next_chunk_,
+      transfer.body_bytes);
+  last_level_ = pending_level_;
+  ++next_chunk_;
+
+  if (hooks_) hooks_->on_chunk_complete(make_view());
+
+  maybe_start_playback();
+  if (stalled_ &&
+      buffer_->level(now) >= std::min(config_.startup_buffer,
+                                      buffer_->capacity() / 2)) {
+    stalled_ = false;
+    buffer_->set_playing(now, true);
+    total_stall_ += now - stall_started_;
+    log(PlayerEventType::kStallEnd, -1, -1, 0,
+        to_seconds(now - stall_started_));
+  }
+  arm_depletion_watch();
+  fetch_next_chunk();
+}
+
+void DashPlayer::maybe_start_playback() {
+  if (playing_started_) return;
+  const TimePoint now = loop_.now();
+  const bool enough = buffer_->level(now) >= config_.startup_buffer ||
+                      next_chunk_ >= video_->chunk_count();
+  if (!enough) return;
+  playing_started_ = true;
+  buffer_->set_playing(now, true);
+  log(PlayerEventType::kPlaybackStart);
+  arm_depletion_watch();
+}
+
+void DashPlayer::arm_depletion_watch() {
+  loop_.cancel(depletion_timer_);
+  depletion_timer_ = EventId{};
+  if (!playing_started_ || stalled_ || done_) return;
+  const TimePoint at = buffer_->depletion_time(loop_.now());
+  if (at == TimePoint::max()) return;
+  depletion_timer_ = loop_.schedule_at(at, [this] { on_depleted(); });
+}
+
+void DashPlayer::on_depleted() {
+  depletion_timer_ = EventId{};
+  const TimePoint now = loop_.now();
+  if (buffer_->level(now) > milliseconds(1)) {
+    arm_depletion_watch();  // chunk arrived between scheduling and firing
+    return;
+  }
+  if (next_chunk_ >= video_->chunk_count()) {
+    finish();
+    return;
+  }
+  // Mid-stream empty buffer: a stall.
+  stalled_ = true;
+  stall_started_ = now;
+  ++stall_count_;
+  buffer_->set_playing(now, false);
+  log(PlayerEventType::kStallStart);
+}
+
+void DashPlayer::sample_buffer() {
+  sample_timer_ = EventId{};
+  if (done_) return;
+  log(PlayerEventType::kBufferSample, -1, -1, 0,
+      to_seconds(buffer_->level(loop_.now())));
+  sample_timer_ = loop_.schedule_in(config_.buffer_sample_interval,
+                                    [this] { sample_buffer(); });
+}
+
+void DashPlayer::finish() {
+  if (done_) return;
+  done_ = true;
+  buffer_->set_playing(loop_.now(), false);
+  log(PlayerEventType::kPlaybackDone);
+  loop_.cancel(fetch_timer_);
+  loop_.cancel(depletion_timer_);
+  loop_.cancel(sample_timer_);
+  if (on_done_) on_done_();
+}
+
+void DashPlayer::log(PlayerEventType type, int level, int chunk, Bytes bytes,
+                     double extra) {
+  events_.push_back({loop_.now(), type, level, chunk, bytes, extra});
+}
+
+}  // namespace mpdash

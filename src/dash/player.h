@@ -1,0 +1,141 @@
+#pragma once
+// DASH video player.
+//
+// Control loop: fetch manifest -> repeatedly (pick level via the rate
+// adaptation, let the MP-DASH adapter set up the chunk's deadline, GET the
+// chunk, feed the playback buffer) -> drain. Playback consumes buffered
+// seconds in real time; an empty buffer while playing is a stall
+// (rebuffering) event. All externally relevant behavior lands in the
+// event log and per-chunk records consumed by the analysis + experiment
+// layers.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "adapt/adaptation.h"
+#include "dash/buffer.h"
+#include "dash/events.h"
+#include "dash/manifest.h"
+#include "dash/video.h"
+#include "http/client.h"
+#include "sim/event_loop.h"
+
+namespace mpdash {
+
+// Integration points for the MP-DASH video adapter. The player itself
+// stays adapter-agnostic: with null hooks it is a vanilla DASH client.
+class StreamingHooks {
+ public:
+  virtual ~StreamingHooks() = default;
+  // Aggregate multipath throughput to expose to the adaptation (zero-rate
+  // = no override).
+  virtual DataRate throughput_override(const AdaptationView& view) {
+    (void)view;
+    return DataRate::bits_per_second(0);
+  }
+  // About to request `size` bytes of chunk at `level`; the adapter may
+  // activate the deadline scheduler here. Returns the deadline it set, if
+  // any (recorded in the chunk log).
+  virtual std::optional<Duration> on_chunk_request(const AdaptationView& view,
+                                                   int level, Bytes size) {
+    (void)view; (void)level; (void)size;
+    return std::nullopt;
+  }
+  virtual void on_chunk_complete(const AdaptationView& view) { (void)view; }
+};
+
+struct PlayerConfig {
+  Duration buffer_capacity = seconds(40.0);
+  // Playback begins once this much content is buffered (and resumes from
+  // a stall the same way).
+  Duration startup_buffer = seconds(8.0);
+  Duration buffer_sample_interval = seconds(1.0);
+};
+
+struct ChunkRecord {
+  int chunk = 0;
+  int level = 0;
+  Bytes bytes = 0;
+  TimePoint requested = kTimeZero;
+  TimePoint completed = kTimeZero;
+  std::optional<Duration> deadline;  // set when MP-DASH was active
+  double buffer_at_request_s = 0.0;
+
+  Duration download_time() const { return completed - requested; }
+};
+
+class DashPlayer {
+ public:
+  DashPlayer(EventLoop& loop, HttpClient& client, RateAdaptation& adaptation,
+             PlayerConfig config = {}, StreamingHooks* hooks = nullptr);
+  ~DashPlayer();
+
+  DashPlayer(const DashPlayer&) = delete;
+  DashPlayer& operator=(const DashPlayer&) = delete;
+
+  // Fetches the manifest and starts streaming.
+  void start();
+  // Invoked when the last buffered second has played out.
+  void set_done_callback(std::function<void()> cb) { on_done_ = std::move(cb); }
+
+  bool done() const { return done_; }
+  const std::optional<Video>& video() const { return video_; }
+  const std::vector<PlayerEvent>& events() const { return events_; }
+  const std::vector<ChunkRecord>& chunks() const { return chunk_log_; }
+  const PlaybackBuffer* buffer() const { return buffer_ ? &*buffer_ : nullptr; }
+
+  int stall_count() const { return stall_count_; }
+  Duration total_stall_time() const { return total_stall_; }
+  int quality_switches() const { return switches_; }
+
+ private:
+  void on_manifest(const HttpTransfer& transfer);
+  void schedule_fetch();
+  void fetch_next_chunk();
+  void on_chunk_done(const HttpTransfer& transfer);
+  AdaptationView make_view() const;
+  void maybe_start_playback();
+  void arm_depletion_watch();
+  void on_depleted();
+  void sample_buffer();
+  void log(PlayerEventType type, int level = -1, int chunk = -1,
+           Bytes bytes = 0, double extra = 0.0);
+  void finish();
+
+  EventLoop& loop_;
+  HttpClient& client_;
+  RateAdaptation& adaptation_;
+  PlayerConfig config_;
+  StreamingHooks* hooks_;
+
+  std::optional<Video> video_;
+  std::optional<PlaybackBuffer> buffer_;
+  std::function<void()> on_done_;
+
+  int next_chunk_ = 0;
+  int last_level_ = -1;
+  bool playing_started_ = false;
+  bool stalled_ = false;
+  TimePoint stall_started_ = kTimeZero;
+  bool all_fetched_ = false;
+  bool done_ = false;
+
+  DataRate last_chunk_throughput_;
+  std::optional<Duration> pending_deadline_;
+  TimePoint pending_request_time_ = kTimeZero;
+  int pending_level_ = 0;
+
+  EventId fetch_timer_;
+  EventId depletion_timer_;
+  EventId sample_timer_;
+
+  std::vector<PlayerEvent> events_;
+  std::vector<ChunkRecord> chunk_log_;
+  int stall_count_ = 0;
+  Duration total_stall_ = kDurationZero;
+  int switches_ = 0;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,27 @@
+#pragma once
+// DASH origin server application: serves the manifest and chunk URLs of
+// one Video over an HttpServer. Knows nothing about MP-DASH (the paper's
+// server-side change is confined to the MPTCP stack).
+
+#include "dash/manifest.h"
+#include "dash/video.h"
+#include "http/server.h"
+
+namespace mpdash {
+
+class DashServer {
+ public:
+  DashServer(MptcpEndpoint& endpoint, Video video);
+
+  const Video& video() const { return video_; }
+  std::size_t chunks_served() const { return chunks_served_; }
+
+ private:
+  HttpResponse handle(const HttpRequest& req);
+
+  Video video_;
+  HttpServer http_;
+  std::size_t chunks_served_ = 0;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,66 @@
+#pragma once
+// Video content model.
+//
+// A Video is a chunked, multi-bitrate encoding: `levels` carries the
+// average encoding bitrate per quality (Table 3), and `chunk_sizes[l][k]`
+// the exact byte size of chunk k at level l (VBR: sizes vary around
+// bitrate * duration with a seeded, reproducible spread).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace mpdash {
+
+struct QualityLevel {
+  int index = 0;            // 0-based; paper's levels 1..5
+  DataRate avg_bitrate;
+};
+
+class Video {
+ public:
+  Video(std::string name, Duration chunk_duration, int chunk_count,
+        std::vector<DataRate> level_bitrates, double vbr_spread,
+        std::uint64_t seed);
+
+  // Constructs from explicit chunk sizes (manifest parsing).
+  Video(std::string name, Duration chunk_duration, int chunk_count,
+        std::vector<DataRate> level_bitrates,
+        std::vector<std::vector<Bytes>> chunk_sizes);
+
+  const std::string& name() const { return name_; }
+  Duration chunk_duration() const { return chunk_duration_; }
+  int chunk_count() const { return chunk_count_; }
+  Duration total_duration() const { return chunk_duration_ * chunk_count_; }
+
+  int level_count() const { return static_cast<int>(levels_.size()); }
+  const std::vector<QualityLevel>& levels() const { return levels_; }
+  const QualityLevel& level(int l) const { return levels_.at(static_cast<std::size_t>(l)); }
+  int highest_level() const { return level_count() - 1; }
+
+  Bytes chunk_size(int level, int chunk) const;
+  // Nominal (average-bitrate) size of any chunk at `level`.
+  Bytes nominal_chunk_size(int level) const;
+
+  // Highest level whose average bitrate is <= rate; 0 if none.
+  int highest_level_not_above(DataRate rate) const;
+
+ private:
+  std::string name_;
+  Duration chunk_duration_;
+  int chunk_count_;
+  std::vector<QualityLevel> levels_;
+  std::vector<std::vector<Bytes>> chunk_sizes_;  // [level][chunk]
+};
+
+// The four videos of the paper's Table 3 (average encoding bitrates in
+// Mbps; 10-minute content). `chunk_duration` defaults to the 4 s used in
+// the evaluation; 6 s and 10 s variants are also valid per §7.3.
+Video big_buck_bunny(Duration chunk_duration = seconds(4.0));
+Video red_bull_playstreets(Duration chunk_duration = seconds(4.0));
+Video tears_of_steel(Duration chunk_duration = seconds(4.0));
+Video tears_of_steel_hd(Duration chunk_duration = seconds(4.0));
+
+}  // namespace mpdash

@@ -1,0 +1,39 @@
+#include "energy/accounting.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mpdash {
+
+std::vector<TransferSample> bucket_events(std::vector<ByteEvent> events,
+                                          Duration window) {
+  std::map<std::int64_t, TransferSample> buckets;
+  for (const auto& ev : events) {
+    const std::int64_t idx = ev.at.count() / window.count();
+    auto& s = buckets[idx];
+    s.at = TimePoint(window * idx);
+    if (ev.downlink) {
+      s.down += ev.bytes;
+    } else {
+      s.up += ev.bytes;
+    }
+  }
+  std::vector<TransferSample> out;
+  out.reserve(buckets.size());
+  for (auto& [idx, s] : buckets) out.push_back(s);
+  return out;
+}
+
+SessionEnergy price_session(const DeviceEnergyProfile& device,
+                            const std::vector<ByteEvent>& wifi_events,
+                            const std::vector<ByteEvent>& lte_events,
+                            Duration horizon, Duration window) {
+  SessionEnergy out;
+  out.wifi = RadioEnergyModel(device.wifi)
+                 .compute(bucket_events(wifi_events, window), window, horizon);
+  out.lte = RadioEnergyModel(device.lte)
+                .compute(bucket_events(lte_events, window), window, horizon);
+  return out;
+}
+
+}  // namespace mpdash

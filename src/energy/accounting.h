@@ -1,0 +1,37 @@
+#pragma once
+// Helpers to turn raw per-packet byte events into the aligned windowed
+// samples RadioEnergyModel consumes, and to price a whole multipath
+// session on a device profile.
+
+#include <vector>
+
+#include "energy/radio_model.h"
+
+namespace mpdash {
+
+struct ByteEvent {
+  TimePoint at;
+  Bytes bytes = 0;
+  bool downlink = true;
+};
+
+// Buckets events into `window`-aligned TransferSamples (sorted, gaps
+// omitted).
+std::vector<TransferSample> bucket_events(std::vector<ByteEvent> events,
+                                          Duration window);
+
+struct SessionEnergy {
+  EnergyBreakdown wifi;
+  EnergyBreakdown lte;
+  double total_j() const { return wifi.total_j() + lte.total_j(); }
+};
+
+// Prices one session: per-interface byte events over `horizon` on
+// `device`.
+SessionEnergy price_session(const DeviceEnergyProfile& device,
+                            const std::vector<ByteEvent>& wifi_events,
+                            const std::vector<ByteEvent>& lte_events,
+                            Duration horizon,
+                            Duration window = milliseconds(100));
+
+}  // namespace mpdash

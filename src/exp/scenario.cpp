@@ -1,0 +1,69 @@
+#include "exp/scenario.h"
+
+namespace mpdash {
+
+ScenarioConfig constant_scenario(DataRate wifi_mbps, DataRate lte_mbps) {
+  ScenarioConfig cfg;
+  cfg.wifi_down = BandwidthTrace::constant(wifi_mbps);
+  cfg.lte_down = BandwidthTrace::constant(lte_mbps);
+  return cfg;
+}
+
+Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
+  {
+    PathEndpointsConfig wifi;
+    wifi.description.id = kWifiPathId;
+    wifi.description.name = "wifi";
+    wifi.description.kind = InterfaceKind::kWifi;
+    wifi.description.metered = false;
+    wifi.downlink_rate = config_.wifi_down;
+    wifi.uplink_rate = BandwidthTrace::constant(config_.wifi_up);
+    wifi.one_way_delay = config_.wifi_rtt / 2;
+    wifi.queue_capacity = config_.queue_capacity;
+    wifi.random_loss = config_.random_loss;
+    std::vector<PathDescription> descs{wifi.description};
+    config_.policy.apply(descs);
+    wifi.description = descs.front();
+    wifi_ = std::make_unique<NetPath>(loop_, std::move(wifi));
+  }
+  if (!config_.wifi_only) {
+    PathEndpointsConfig lte;
+    lte.description.id = kCellularPathId;
+    lte.description.name = "lte";
+    lte.description.kind = InterfaceKind::kCellular;
+    lte.description.metered = true;
+    lte.downlink_rate = config_.lte_down;
+    lte.uplink_rate = BandwidthTrace::constant(config_.lte_up);
+    lte.one_way_delay = config_.lte_rtt / 2;
+    lte.queue_capacity = config_.queue_capacity;
+    lte.random_loss = config_.random_loss;
+    lte.downlink_shaper = config_.lte_throttle;
+    std::vector<PathDescription> descs{lte.description};
+    config_.policy.apply(descs);
+    lte.description = descs.front();
+    lte_ = std::make_unique<NetPath>(loop_, std::move(lte));
+  }
+}
+
+std::vector<NetPath*> Scenario::paths() {
+  std::vector<NetPath*> out{wifi_.get()};
+  if (lte_) out.push_back(lte_.get());
+  return out;
+}
+
+void Scenario::set_tap(PacketTap* tap) {
+  wifi_->set_tap(tap);
+  if (lte_) lte_->set_tap(tap);
+}
+
+Bytes Scenario::wifi_bytes() const {
+  return wifi_->downlink().delivered_bytes() +
+         wifi_->uplink().delivered_bytes();
+}
+
+Bytes Scenario::cellular_bytes() const {
+  if (!lte_) return 0;
+  return lte_->downlink().delivered_bytes() + lte_->uplink().delivered_bytes();
+}
+
+}  // namespace mpdash

@@ -1,0 +1,61 @@
+#pragma once
+// Network scenario construction: WiFi + LTE path pair (or WiFi alone)
+// with configurable bandwidth traces, RTTs, and the optional cellular
+// throttle of Table 4.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/policy.h"
+#include "link/path.h"
+#include "sim/event_loop.h"
+
+namespace mpdash {
+
+inline constexpr int kWifiPathId = 0;
+inline constexpr int kCellularPathId = 1;
+
+struct ScenarioConfig {
+  BandwidthTrace wifi_down;
+  BandwidthTrace lte_down;
+  // Uplinks default to generous fixed rates (requests + acks only).
+  DataRate wifi_up = DataRate::mbps(10.0);
+  DataRate lte_up = DataRate::mbps(8.0);
+  Duration wifi_rtt = milliseconds(50);   // paper's Dummynet setting
+  Duration lte_rtt = milliseconds(55);    // commercial LTE, 50-60 ms
+  Bytes queue_capacity = 192 * 1000;
+  double random_loss = 0.0;  // extra i.i.d. loss on every link
+  std::optional<ShaperConfig> lte_throttle;  // Table 4 strawman
+  PathPolicy policy = prefer_wifi_policy();
+  bool wifi_only = false;  // single-path baseline (Figure 11 bottom)
+};
+
+// Convenience constructors for common setups.
+ScenarioConfig constant_scenario(DataRate wifi_mbps, DataRate lte_mbps);
+
+// Owns the event loop and the paths for one experiment run.
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+
+  EventLoop& loop() { return loop_; }
+  std::vector<NetPath*> paths();
+  NetPath& wifi() { return *wifi_; }
+  NetPath* cellular() { return lte_ ? lte_.get() : nullptr; }
+  const ScenarioConfig& config() const { return config_; }
+
+  void set_tap(PacketTap* tap);
+
+  // Bytes that crossed each interface (both directions, delivered).
+  Bytes wifi_bytes() const;
+  Bytes cellular_bytes() const;
+
+ private:
+  ScenarioConfig config_;
+  EventLoop loop_;
+  std::unique_ptr<NetPath> wifi_;
+  std::unique_ptr<NetPath> lte_;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,265 @@
+#include "exp/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "adapt/bba.h"
+#include "adapt/festive.h"
+#include "adapt/gpac.h"
+#include "adapt/mpc.h"
+#include "adapter/mpdash_adapter.h"
+#include "core/mpdash_socket.h"
+#include "dash/server.h"
+#include "http/client.h"
+#include "mptcp/connection.h"
+
+namespace mpdash {
+
+const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kWifiOnly: return "wifi-only";
+    case Scheme::kBaseline: return "baseline";
+    case Scheme::kMpDashDuration: return "mpdash-duration";
+    case Scheme::kMpDashRate: return "mpdash-rate";
+  }
+  return "unknown";
+}
+
+bool scheme_uses_mpdash(Scheme s) {
+  return s == Scheme::kMpDashDuration || s == Scheme::kMpDashRate;
+}
+
+std::unique_ptr<RateAdaptation> make_adaptation(const std::string& name) {
+  if (name == "gpac") return std::make_unique<GpacAdaptation>();
+  if (name == "festive") return std::make_unique<FestiveAdaptation>();
+  if (name == "bba") return std::make_unique<BbaAdaptation>();
+  if (name == "bba-c") {
+    BbaConfig cfg;
+    cfg.cellular_friendly = true;
+    return std::make_unique<BbaAdaptation>(cfg);
+  }
+  if (name == "mpc") return std::make_unique<MpcAdaptation>();
+  throw std::invalid_argument("unknown adaptation: " + name);
+}
+
+namespace {
+
+// Samples per-interface delivered bytes every 100 ms for the energy model;
+// stops itself once `done` flips.
+class EnergyProbe {
+ public:
+  // Events are timestamped relative to `base` (construction time) so the
+  // energy model's horizon starts at the measured transfer, not at
+  // simulation time zero.
+  EnergyProbe(Scenario& scenario, const bool& done)
+      : scenario_(scenario), done_(done), base_(scenario.loop().now()) {
+    prev_ = read();
+    arm();
+  }
+
+  std::vector<ByteEvent> wifi_events;
+  std::vector<ByteEvent> lte_events;
+
+ private:
+  struct Counters {
+    Bytes wifi_down = 0, wifi_up = 0, lte_down = 0, lte_up = 0;
+  };
+
+  Counters read() const {
+    Counters c;
+    c.wifi_down = scenario_.wifi().downlink().delivered_bytes();
+    c.wifi_up = scenario_.wifi().uplink().delivered_bytes();
+    if (NetPath* lte = scenario_.cellular()) {
+      c.lte_down = lte->downlink().delivered_bytes();
+      c.lte_up = lte->uplink().delivered_bytes();
+    }
+    return c;
+  }
+
+  void arm() {
+    scenario_.loop().schedule_in(milliseconds(100), [this] {
+      const TimePoint now = scenario_.loop().now() - base_;
+      const Counters cur = read();
+      if (cur.wifi_down > prev_.wifi_down) {
+        wifi_events.push_back({now, cur.wifi_down - prev_.wifi_down, true});
+      }
+      if (cur.wifi_up > prev_.wifi_up) {
+        wifi_events.push_back({now, cur.wifi_up - prev_.wifi_up, false});
+      }
+      if (cur.lte_down > prev_.lte_down) {
+        lte_events.push_back({now, cur.lte_down - prev_.lte_down, true});
+      }
+      if (cur.lte_up > prev_.lte_up) {
+        lte_events.push_back({now, cur.lte_up - prev_.lte_up, false});
+      }
+      prev_ = cur;
+      if (!done_) arm();
+    });
+  }
+
+  Scenario& scenario_;
+  const bool& done_;
+  TimePoint base_;
+  Counters prev_;
+};
+
+}  // namespace
+
+SessionResult run_streaming_session(Scenario& scenario, const Video& video,
+                                    const SessionConfig& config) {
+  EventLoop& loop = scenario.loop();
+  std::vector<NetPath*> paths = scenario.paths();
+  if (config.scheme == Scheme::kWifiOnly && paths.size() > 1) {
+    paths.resize(1);  // single-path TCP over WiFi
+  }
+  MptcpConnection conn(loop, paths);
+  conn.server().set_scheduler(make_scheduler(config.mptcp_scheduler));
+
+  PacketRecorder recorder(/*capture_payload=*/true);
+  if (config.record_packets) scenario.set_tap(&recorder);
+
+  DashServer server(conn.server(), video);
+  HttpClient client(loop, conn.client());
+
+  std::unique_ptr<RateAdaptation> adaptation =
+      make_adaptation(config.adaptation);
+
+  std::unique_ptr<MpDashSocket> socket;
+  std::unique_ptr<MpDashAdapter> adapter;
+  if (scheme_uses_mpdash(config.scheme)) {
+    MpDashSocketConfig scfg;
+    scfg.scheduler.alpha = config.alpha;
+    scfg.scheduler.enable_debounce_ticks = config.debounce_ticks;
+    socket = std::make_unique<MpDashSocket>(loop, conn, scfg);
+    AdapterConfig acfg;
+    acfg.policy = config.scheme == Scheme::kMpDashDuration
+                      ? DeadlinePolicy::kDurationBased
+                      : DeadlinePolicy::kRateBased;
+    adapter = std::make_unique<MpDashAdapter>(*socket, *adaptation, acfg);
+  }
+
+  DashPlayer player(loop, client, *adaptation, config.player, adapter.get());
+
+  bool done = false;
+  player.set_done_callback([&done] { done = true; });
+  EnergyProbe probe(scenario, done);
+
+  player.start();
+  loop.run_until(TimePoint(config.time_limit));
+
+  SessionResult res;
+  res.completed = player.done();
+  res.session_s = to_seconds(loop.now());
+  if (player.done() && !player.events().empty()) {
+    res.session_s = to_seconds(player.events().back().at);
+  }
+  res.wifi_bytes = scenario.wifi_bytes();
+  res.cell_bytes = scenario.cellular_bytes();
+  const Bytes total = res.wifi_bytes + res.cell_bytes;
+  res.cell_fraction =
+      total > 0 ? static_cast<double>(res.cell_bytes) /
+                      static_cast<double>(total)
+                : 0.0;
+
+  res.stalls = player.stall_count();
+  res.stall_s = to_seconds(player.total_stall_time());
+  res.switches = player.quality_switches();
+  res.chunk_log = player.chunks();
+  res.events = player.events();
+  res.chunks = static_cast<int>(res.chunk_log.size());
+  if (socket) res.deadline_misses = socket->deadline_misses();
+  if (adapter) res.chunks_engaged = adapter->chunks_engaged();
+  if (config.record_packets) res.packets = recorder.records();
+
+  if (!res.chunk_log.empty() && player.video()) {
+    const Video& v = *player.video();
+    double sum_all = 0.0, sum_steady = 0.0, sum_level = 0.0;
+    const std::size_t skip = static_cast<std::size_t>(
+        config.steady_skip_fraction * static_cast<double>(res.chunk_log.size()));
+    std::size_t steady_n = 0;
+    for (std::size_t i = 0; i < res.chunk_log.size(); ++i) {
+      const double mbps =
+          v.level(res.chunk_log[i].level).avg_bitrate.as_mbps();
+      sum_all += mbps;
+      sum_level += res.chunk_log[i].level;
+      if (i >= skip) {
+        sum_steady += mbps;
+        ++steady_n;
+      }
+    }
+    res.avg_bitrate_mbps = sum_all / static_cast<double>(res.chunk_log.size());
+    res.avg_level = sum_level / static_cast<double>(res.chunk_log.size());
+    res.steady_avg_bitrate_mbps =
+        steady_n > 0 ? sum_steady / static_cast<double>(steady_n) : 0.0;
+  }
+
+  const Duration horizon = seconds(res.session_s);
+  const SessionEnergy energy = price_session(
+      config.device, probe.wifi_events, probe.lte_events, horizon);
+  res.wifi_energy_j = energy.wifi.total_j();
+  res.lte_energy_j = energy.lte.total_j();
+  return res;
+}
+
+DownloadResult run_download_session(Scenario& scenario,
+                                    const DownloadConfig& config) {
+  EventLoop& loop = scenario.loop();
+  MptcpConnection conn(loop, scenario.paths());
+  conn.server().set_scheduler(make_scheduler(config.mptcp_scheduler));
+
+  // A bare file server: the target selects the virtual body size.
+  HttpServer server(conn.server(), [&config](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.headers.push_back({"Content-Type", "application/octet-stream"});
+    resp.body_len = req.target == "/warmup" ? config.warmup_size : config.size;
+    return resp;
+  });
+  HttpClient client(loop, conn.client());
+
+  std::unique_ptr<MpDashSocket> socket;
+  if (config.use_mpdash) {
+    MpDashSocketConfig scfg;
+    scfg.scheduler.alpha = config.alpha;
+    socket = std::make_unique<MpDashSocket>(loop, conn, scfg);
+  }
+
+  if (config.warmup) {
+    bool warmed = false;
+    client.get("/warmup", [&warmed](const HttpTransfer&) { warmed = true; });
+    loop.run_until(TimePoint(seconds(30.0)));
+    if (!warmed) return DownloadResult{};  // network unusable
+  }
+  const TimePoint start = loop.now();
+  const Bytes wifi_before = scenario.wifi_bytes();
+  const Bytes cell_before = scenario.cellular_bytes();
+
+  bool done = false;
+  DownloadResult res;
+  EnergyProbe probe(scenario, done);
+
+  if (socket) socket->enable(config.size, config.deadline);
+  client.get("/file", [&](const HttpTransfer& transfer) {
+    done = true;
+    res.completed = true;
+    res.finish_time = Duration(transfer.completed - start);
+  });
+  loop.run_until(start + config.time_limit);
+
+  res.deadline_missed = res.completed && res.finish_time > config.deadline;
+  res.wifi_bytes = scenario.wifi_bytes() - wifi_before;
+  res.cell_bytes = scenario.cellular_bytes() - cell_before;
+
+  const Duration horizon =
+      res.completed ? res.finish_time + seconds(1.0) : config.time_limit;
+  const SessionEnergy energy = price_session(
+      config.device, probe.wifi_events, probe.lte_events, horizon);
+  res.wifi_energy_j = energy.wifi.total_j();
+  res.lte_energy_j = energy.lte.total_j();
+  const SessionEnergy transfer_only =
+      price_session(config.device, probe.wifi_events, probe.lte_events,
+                    res.completed ? res.finish_time : config.time_limit);
+  res.transfer_energy_j = transfer_only.total_j();
+  return res;
+}
+
+}  // namespace mpdash

@@ -1,0 +1,114 @@
+#pragma once
+// End-to-end experiment runners: a full DASH streaming session (the §7.3
+// evaluations) and a single deadline-aware file download (the §7.2
+// scheduler-only evaluations), each returning the metrics the paper
+// reports.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapt/adaptation.h"
+#include "analysis/records.h"
+#include "dash/player.h"
+#include "energy/accounting.h"
+#include "exp/scenario.h"
+
+namespace mpdash {
+
+enum class Scheme : std::uint8_t {
+  kWifiOnly,         // single path (no MPTCP)
+  kBaseline,         // vanilla MPTCP
+  kMpDashDuration,   // MP-DASH, duration-based deadline
+  kMpDashRate,       // MP-DASH, rate-based deadline
+};
+
+const char* to_string(Scheme s);
+bool scheme_uses_mpdash(Scheme s);
+
+// Factory for the evaluated DASH algorithms: "gpac", "festive", "bba",
+// "bba-c", "mpc".
+std::unique_ptr<RateAdaptation> make_adaptation(const std::string& name);
+
+struct SessionConfig {
+  Scheme scheme = Scheme::kBaseline;
+  std::string adaptation = "festive";
+  std::string mptcp_scheduler = "minrtt";
+  double alpha = 1.0;
+  // Deadline-scheduler enable debounce (see DeadlineSchedulerConfig).
+  int debounce_ticks = 2;
+  PlayerConfig player;
+  Duration time_limit = seconds(1800.0);
+  bool record_packets = false;
+  DeviceEnergyProfile device = galaxy_note();
+  // The paper reports statistics over the last 80% of chunks (steady
+  // state).
+  double steady_skip_fraction = 0.2;
+};
+
+struct SessionResult {
+  bool completed = false;
+  double session_s = 0.0;
+
+  Bytes wifi_bytes = 0;
+  Bytes cell_bytes = 0;
+  double cell_fraction = 0.0;  // of total delivered wire bytes
+
+  int stalls = 0;
+  double stall_s = 0.0;
+  int switches = 0;
+  int chunks = 0;
+  double avg_bitrate_mbps = 0.0;         // all chunks
+  double steady_avg_bitrate_mbps = 0.0;  // last 80 %
+  double avg_level = 0.0;
+  int deadline_misses = 0;
+  int chunks_engaged = 0;   // MP-DASH activated for these
+
+  double wifi_energy_j = 0.0;
+  double lte_energy_j = 0.0;
+  double energy_j() const { return wifi_energy_j + lte_energy_j; }
+
+  std::vector<ChunkRecord> chunk_log;
+  std::vector<PlayerEvent> events;
+  std::vector<PacketRecord> packets;  // when record_packets
+};
+
+SessionResult run_streaming_session(Scenario& scenario, const Video& video,
+                                    const SessionConfig& config);
+
+// --- §7.2: scheduler-only single-file download -------------------------
+struct DownloadConfig {
+  Bytes size = megabytes(5);
+  Duration deadline = seconds(10.0);
+  bool use_mpdash = true;
+  std::string mptcp_scheduler = "minrtt";
+  double alpha = 1.0;
+  Duration time_limit = seconds(600.0);
+  DeviceEnergyProfile device = galaxy_note();
+  // Runs a small unmeasured transfer first so congestion windows and
+  // throughput estimates are warm — the paper averages 10 consecutive
+  // runs on a live connection, so its measured downloads never start
+  // cold. Byte and energy accounting cover only the measured transfer.
+  bool warmup = false;
+  Bytes warmup_size = kilobytes(500);
+};
+
+struct DownloadResult {
+  bool completed = false;
+  Duration finish_time = kDurationZero;
+  bool deadline_missed = false;
+  Bytes wifi_bytes = 0;
+  Bytes cell_bytes = 0;
+  double wifi_energy_j = 0.0;
+  double lte_energy_j = 0.0;
+  double energy_j() const { return wifi_energy_j + lte_energy_j; }
+  // Energy accounted only over the transfer itself (horizon = finish
+  // time, post-transfer radio tails excluded) — the windowing the paper's
+  // small per-download Joule figures imply.
+  double transfer_energy_j = 0.0;
+};
+
+DownloadResult run_download_session(Scenario& scenario,
+                                    const DownloadConfig& config);
+
+}  // namespace mpdash

@@ -1,0 +1,65 @@
+#include "http/client.h"
+
+#include <utility>
+
+namespace mpdash {
+
+HttpClient::HttpClient(EventLoop& loop, MptcpEndpoint& endpoint)
+    : loop_(loop),
+      endpoint_(endpoint),
+      parser_(HttpStreamParser::Mode::kResponses,
+              HttpStreamParser::Callbacks{
+                  .on_request = nullptr,
+                  .on_response_head =
+                      [this](const HttpResponse& head) {
+                        current_.response = head;
+                        current_.head_received = loop_.now();
+                      },
+                  .on_body =
+                      [this](Bytes count, const std::string& real) {
+                        current_.body_bytes += count;
+                        current_.body += real;
+                        if (!pending_.empty() && pending_.front().on_progress) {
+                          pending_.front().on_progress(
+                              current_.body_bytes,
+                              current_.response.content_length());
+                        }
+                      },
+                  .on_message_complete =
+                      [this] {
+                        current_.completed = loop_.now();
+                        Pending done = std::move(pending_.front());
+                        pending_.pop_front();
+                        in_flight_ = false;
+                        HttpTransfer result = std::move(current_);
+                        current_ = HttpTransfer{};
+                        // Issue the next request before the callback so
+                        // back-to-back fetches pipeline tightly.
+                        maybe_send_next();
+                        if (done.on_done) done.on_done(result);
+                      }}) {
+  endpoint_.set_receive_handler(
+      [this](const WireData& data) { on_stream_data(data); });
+}
+
+void HttpClient::get(std::string target, CompletionHandler on_done,
+                     ProgressHandler on_progress) {
+  pending_.push_back(
+      {std::move(target), std::move(on_done), std::move(on_progress)});
+  maybe_send_next();
+}
+
+void HttpClient::maybe_send_next() {
+  if (in_flight_ || pending_.empty()) return;
+  in_flight_ = true;
+  current_ = HttpTransfer{};
+  current_.request_sent = loop_.now();
+  HttpRequest req;
+  req.target = pending_.front().target;
+  req.headers.push_back({"Host", "mpdash.local"});
+  endpoint_.send(req.to_wire());
+}
+
+void HttpClient::on_stream_data(const WireData& data) { parser_.consume(data); }
+
+}  // namespace mpdash

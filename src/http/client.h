@@ -1,0 +1,63 @@
+#pragma once
+// Sequential HTTP/1.1 client over an MPTCP endpoint: one request in
+// flight at a time (DASH players fetch chunks back to back). Completion
+// callbacks carry the parsed response, any real body bytes (manifests),
+// and transfer timing.
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "http/message.h"
+#include "http/parser.h"
+#include "mptcp/endpoint.h"
+#include "sim/event_loop.h"
+
+namespace mpdash {
+
+struct HttpTransfer {
+  HttpResponse response;
+  std::string body;       // real body bytes only (virtual bytes omitted)
+  Bytes body_bytes = 0;   // total body bytes, real + virtual
+  TimePoint request_sent = kTimeZero;
+  TimePoint head_received = kTimeZero;
+  TimePoint completed = kTimeZero;
+
+  Duration download_time() const { return completed - request_sent; }
+  DataRate goodput() const { return rate_of(body_bytes, download_time()); }
+};
+
+class HttpClient {
+ public:
+  using CompletionHandler = std::function<void(const HttpTransfer&)>;
+  using ProgressHandler = std::function<void(Bytes received, Bytes total)>;
+
+  // Installs itself as the endpoint's receive handler.
+  HttpClient(EventLoop& loop, MptcpEndpoint& endpoint);
+
+  // Enqueues a GET. `on_done` fires when the full body has arrived.
+  void get(std::string target, CompletionHandler on_done,
+           ProgressHandler on_progress = nullptr);
+
+  std::size_t outstanding() const { return pending_.size(); }
+  bool busy() const { return in_flight_; }
+
+ private:
+  struct Pending {
+    std::string target;
+    CompletionHandler on_done;
+    ProgressHandler on_progress;
+  };
+
+  void maybe_send_next();
+  void on_stream_data(const WireData& data);
+
+  EventLoop& loop_;
+  MptcpEndpoint& endpoint_;
+  HttpStreamParser parser_;
+  std::deque<Pending> pending_;
+  bool in_flight_ = false;
+  HttpTransfer current_;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,69 @@
+#include "http/message.h"
+
+#include <cctype>
+
+namespace mpdash {
+
+bool header_name_equals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+std::optional<std::string> find_header(const std::vector<HttpHeader>& headers,
+                                       const std::string& name) {
+  for (const auto& h : headers) {
+    if (header_name_equals(h.name, name)) return h.value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> HttpRequest::header(const std::string& name) const {
+  return find_header(headers, name);
+}
+
+std::string HttpRequest::serialize() const {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  for (const auto& h : headers) out += h.name + ": " + h.value + "\r\n";
+  out += "\r\n";
+  return out;
+}
+
+WireData HttpRequest::to_wire() const { return wire_from_string(serialize()); }
+
+std::optional<std::string> HttpResponse::header(const std::string& name) const {
+  return find_header(headers, name);
+}
+
+Bytes HttpResponse::content_length() const {
+  return body.empty() ? body_len : static_cast<Bytes>(body.size());
+}
+
+std::string HttpResponse::serialize_head() const {
+  std::string out =
+      "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  for (const auto& h : headers) out += h.name + ": " + h.value + "\r\n";
+  out += "Content-Length: " + std::to_string(content_length()) + "\r\n\r\n";
+  return out;
+}
+
+WireData HttpResponse::to_wire() const {
+  WireData wire = wire_from_string(serialize_head());
+  if (!body.empty()) {
+    wire_append(wire, wire_from_string(body));
+  } else if (body_len > 0) {
+    wire_append(wire, wire_virtual(body_len));
+  }
+  return wire;
+}
+
+}  // namespace mpdash

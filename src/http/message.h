@@ -1,0 +1,52 @@
+#pragma once
+// Minimal HTTP/1.1 message model: what a DASH exchange needs (GET with a
+// path, response with status + Content-Length body) plus arbitrary
+// headers. Serialization produces the real header bytes that travel on the
+// wire and that the cross-layer analysis tool parses back.
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mptcp/wire_data.h"
+
+namespace mpdash {
+
+struct HttpHeader {
+  std::string name;
+  std::string value;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";
+  std::vector<HttpHeader> headers;
+
+  // Case-insensitive lookup; first match.
+  std::optional<std::string> header(const std::string& name) const;
+
+  // Full request bytes (requests have no body in this model).
+  std::string serialize() const;
+  WireData to_wire() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::vector<HttpHeader> headers;  // Content-Length appended automatically
+  Bytes body_len = 0;               // virtual body bytes
+  std::string body;                 // real body bytes (manifests); exclusive
+                                    // with body_len
+
+  std::optional<std::string> header(const std::string& name) const;
+  Bytes content_length() const;
+
+  std::string serialize_head() const;
+  WireData to_wire() const;
+};
+
+// Case-insensitive ASCII comparison for header names.
+bool header_name_equals(const std::string& a, const std::string& b);
+
+}  // namespace mpdash

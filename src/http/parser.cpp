@@ -1,0 +1,143 @@
+#include "http/parser.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace mpdash {
+namespace {
+
+constexpr const char kHeadEnd[] = "\r\n\r\n";
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find("\r\n", pos);
+    if (eol == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 2;
+  }
+  return lines;
+}
+
+HttpHeader parse_header_line(const std::string& line) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string::npos) {
+    throw std::runtime_error("malformed header line: " + line);
+  }
+  std::string name = line.substr(0, colon);
+  std::size_t vstart = colon + 1;
+  while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+  return {std::move(name), line.substr(vstart)};
+}
+
+}  // namespace
+
+HttpStreamParser::HttpStreamParser(Mode mode, Callbacks callbacks)
+    : mode_(mode), cb_(std::move(callbacks)) {}
+
+void HttpStreamParser::consume(const WireData& data) {
+  for (const auto& seg : data) {
+    std::size_t seg_pos = 0;
+    while (seg_pos < seg.len) {
+      if (state_ == State::kHead) {
+        if (seg.is_virtual()) {
+          throw std::runtime_error("virtual bytes inside HTTP head");
+        }
+        // Append up to the head terminator, searching across the boundary.
+        const std::size_t prev = head_buf_.size();
+        head_buf_.append(*seg.real, seg.offset + seg_pos, seg.len - seg_pos);
+        const std::size_t search_from = prev >= 3 ? prev - 3 : 0;
+        const std::size_t end = head_buf_.find(kHeadEnd, search_from);
+        if (end == std::string::npos) {
+          seg_pos = seg.len;  // whole segment consumed into the head
+          continue;
+        }
+        // Bytes of this segment actually belonging to the head:
+        const std::size_t head_total = end + 4;
+        const std::size_t consumed_from_seg = head_total - prev;
+        seg_pos += consumed_from_seg;
+        head_buf_.resize(head_total);
+        parse_head(head_buf_);
+        head_buf_.clear();
+        if (body_remaining_ == 0) finish_message();
+      } else {
+        const Bytes avail = static_cast<Bytes>(seg.len - seg_pos);
+        const Bytes take = std::min(body_remaining_, avail);
+        if (cb_.on_body) {
+          std::string real;
+          if (!seg.is_virtual()) {
+            real.assign(*seg.real, seg.offset + seg_pos,
+                        static_cast<std::size_t>(take));
+          }
+          cb_.on_body(take, real);
+        }
+        body_remaining_ -= take;
+        seg_pos += static_cast<std::size_t>(take);
+        if (body_remaining_ == 0) finish_message();
+      }
+    }
+  }
+}
+
+void HttpStreamParser::parse_head(const std::string& head) {
+  // Strip the trailing blank line before splitting.
+  const std::string text = head.substr(0, head.size() - 2);
+  const std::vector<std::string> lines = split_lines(text);
+  if (lines.empty()) throw std::runtime_error("empty HTTP head");
+
+  if (mode_ == Mode::kRequests) {
+    HttpRequest req;
+    const std::string& start = lines[0];
+    const std::size_t sp1 = start.find(' ');
+    const std::size_t sp2 = start.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      throw std::runtime_error("malformed request line: " + start);
+    }
+    req.method = start.substr(0, sp1);
+    req.target = start.substr(sp1 + 1, sp2 - sp1 - 1);
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      if (lines[i].empty()) continue;
+      req.headers.push_back(parse_header_line(lines[i]));
+    }
+    body_remaining_ = 0;  // requests carry no body in this model
+    state_ = State::kBody;
+    if (cb_.on_request) cb_.on_request(req);
+  } else {
+    HttpResponse resp;
+    const std::string& start = lines[0];
+    if (start.rfind("HTTP/1.1 ", 0) != 0 || start.size() < 12) {
+      throw std::runtime_error("malformed status line: " + start);
+    }
+    resp.status = std::atoi(start.c_str() + 9);
+    const std::size_t sp = start.find(' ', 9);
+    resp.reason = sp == std::string::npos ? "" : start.substr(sp + 1);
+    Bytes content_length = 0;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      if (lines[i].empty()) continue;
+      HttpHeader h = parse_header_line(lines[i]);
+      if (header_name_equals(h.name, "Content-Length")) {
+        content_length = std::atoll(h.value.c_str());
+      }
+      resp.headers.push_back(std::move(h));
+    }
+    resp.body_len = content_length;
+    body_remaining_ = content_length;
+    state_ = State::kBody;
+    if (cb_.on_response_head) cb_.on_response_head(resp);
+  }
+}
+
+void HttpStreamParser::finish_message() {
+  state_ = State::kHead;
+  body_remaining_ = 0;
+  ++completed_;
+  if (cb_.on_message_complete) cb_.on_message_complete();
+}
+
+}  // namespace mpdash

@@ -1,0 +1,54 @@
+#pragma once
+// Incremental HTTP/1.1 stream parser.
+//
+// Consumes the in-order MPTCP byte stream (WireData chunks) and emits
+// message events. Heads must be real bytes; bodies may be virtual (video
+// payload) or real (manifests). Used by the client and server transports
+// and — on recorded packet payloads — by the cross-layer analysis tool.
+
+#include <functional>
+#include <string>
+
+#include "http/message.h"
+#include "mptcp/wire_data.h"
+
+namespace mpdash {
+
+class HttpStreamParser {
+ public:
+  enum class Mode { kRequests, kResponses };
+
+  struct Callbacks {
+    // Exactly one of these fires per message head, matching the mode.
+    std::function<void(const HttpRequest&)> on_request;
+    std::function<void(const HttpResponse&)> on_response_head;
+    // Body progress: `count` bytes arrived, of which `real` holds any
+    // actual content (manifest text); may fire many times per message.
+    std::function<void(Bytes count, const std::string& real)> on_body;
+    std::function<void()> on_message_complete;
+  };
+
+  HttpStreamParser(Mode mode, Callbacks callbacks);
+
+  // Feeds the next in-order stream chunk. Throws std::runtime_error on
+  // malformed heads (virtual bytes inside a head, bad start line).
+  void consume(const WireData& data);
+
+  bool mid_message() const { return state_ != State::kHead || !head_buf_.empty(); }
+  std::size_t messages_completed() const { return completed_; }
+
+ private:
+  enum class State { kHead, kBody };
+
+  void parse_head(const std::string& head);
+  void finish_message();
+
+  Mode mode_;
+  Callbacks cb_;
+  State state_ = State::kHead;
+  std::string head_buf_;
+  Bytes body_remaining_ = 0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,33 @@
+#include "http/server.h"
+
+#include <utility>
+
+namespace mpdash {
+
+HttpServer::HttpServer(MptcpEndpoint& endpoint, Handler handler)
+    : endpoint_(endpoint),
+      handler_(std::move(handler)),
+      parser_(HttpStreamParser::Mode::kRequests,
+              HttpStreamParser::Callbacks{
+                  .on_request =
+                      [this](const HttpRequest& req) {
+                        HttpResponse resp = handler_(req);
+                        ++served_;
+                        endpoint_.send(resp.to_wire());
+                      },
+                  .on_response_head = nullptr,
+                  .on_body = nullptr,
+                  .on_message_complete = nullptr}) {
+  endpoint_.set_receive_handler(
+      [this](const WireData& data) { parser_.consume(data); });
+}
+
+HttpResponse not_found() {
+  HttpResponse resp;
+  resp.status = 404;
+  resp.reason = "Not Found";
+  resp.body = "not found";
+  return resp;
+}
+
+}  // namespace mpdash

@@ -1,0 +1,34 @@
+#pragma once
+// HTTP/1.1 server engine over an MPTCP endpoint: parses the request
+// stream and writes handler-produced responses back in order. The video
+// server application stays untouched by MP-DASH, exactly as the paper's
+// deployment story requires — path control arrives via the transport.
+
+#include <functional>
+
+#include "http/message.h"
+#include "http/parser.h"
+#include "mptcp/endpoint.h"
+
+namespace mpdash {
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  // Installs itself as the endpoint's receive handler.
+  HttpServer(MptcpEndpoint& endpoint, Handler handler);
+
+  std::size_t requests_served() const { return served_; }
+
+ private:
+  MptcpEndpoint& endpoint_;
+  Handler handler_;
+  HttpStreamParser parser_;
+  std::size_t served_ = 0;
+};
+
+// Convenience 404.
+HttpResponse not_found();
+
+}  // namespace mpdash

@@ -1,0 +1,61 @@
+#include "link/link.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mpdash {
+
+Link::Link(EventLoop& loop, LinkConfig config)
+    : loop_(loop), config_(std::move(config)) {}
+
+void Link::send(Packet p) {
+  if (tap_) tap_->on_send(config_.id, loop_.now(), p);
+  const bool random_drop =
+      config_.random_loss > 0.0 && loss_rng_ && loss_rng_() < config_.random_loss;
+  if (random_drop || queued_bytes_ + p.wire_size > config_.queue_capacity) {
+    dropped_bytes_ += p.wire_size;
+    ++dropped_packets_;
+    if (tap_) tap_->on_drop(config_.id, loop_.now(), p);
+    return;
+  }
+  queued_bytes_ += p.wire_size;
+  queue_.push_back(std::move(p));
+  if (!busy_) start_serializing();
+}
+
+void Link::start_serializing() {
+  assert(!queue_.empty());
+  busy_ = true;
+  const TimePoint done =
+      config_.rate.time_to_deliver(loop_.now(), queue_.front().wire_size);
+  if (done == TimePoint::max()) {
+    // Zero-rate tail: the packet is stuck; retry after a coarse interval so
+    // looped/step traces can resume.
+    loop_.schedule_in(milliseconds(100), [this] {
+      busy_ = false;
+      if (!queue_.empty()) start_serializing();
+    });
+    return;
+  }
+  loop_.schedule_at(done, [this] { on_serialized(); });
+}
+
+void Link::on_serialized() {
+  assert(!queue_.empty());
+  Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= p.wire_size;
+
+  loop_.schedule_in(config_.propagation_delay,
+                    [this, p = std::move(p)]() mutable {
+                      delivered_bytes_ += p.wire_size;
+                      ++delivered_packets_;
+                      if (tap_) tap_->on_deliver(config_.id, loop_.now(), p);
+                      if (deliver_) deliver_(std::move(p));
+                    });
+
+  busy_ = false;
+  if (!queue_.empty()) start_serializing();
+}
+
+}  // namespace mpdash

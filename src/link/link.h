@@ -1,0 +1,79 @@
+#pragma once
+// One-way link with a time-varying rate, propagation delay, and a drop-tail
+// queue — the simulator's equivalent of a shaped WiFi or LTE hop.
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "link/packet.h"
+#include "sim/event_loop.h"
+#include "trace/bandwidth_trace.h"
+
+namespace mpdash {
+
+// Observes packets crossing a link; used by the analysis recorder.
+class PacketTap {
+ public:
+  virtual ~PacketTap() = default;
+  virtual void on_send(int link_id, TimePoint at, const Packet& p) = 0;
+  virtual void on_deliver(int link_id, TimePoint at, const Packet& p) = 0;
+  virtual void on_drop(int link_id, TimePoint at, const Packet& p) = 0;
+};
+
+struct LinkConfig {
+  int id = 0;
+  BandwidthTrace rate;                       // serialization capacity
+  Duration propagation_delay = milliseconds(25);  // one-way
+  Bytes queue_capacity = 192 * 1000;         // drop-tail buffer
+  double random_loss = 0.0;                  // extra i.i.d. loss probability
+};
+
+class Link {
+ public:
+  using DeliverHandler = std::function<void(Packet)>;
+
+  Link(EventLoop& loop, LinkConfig config);
+
+  // Offers a packet to the link. Queue overflow (or random loss) silently
+  // drops it, exactly as a real bottleneck would — senders learn via
+  // missing ACKs.
+  void send(Packet p);
+
+  void set_deliver_handler(DeliverHandler h) { deliver_ = std::move(h); }
+  void set_tap(PacketTap* tap) { tap_ = tap; }
+  void set_loss_rng(std::function<double()> uniform) {
+    loss_rng_ = std::move(uniform);
+  }
+
+  int id() const { return config_.id; }
+  const BandwidthTrace& rate_trace() const { return config_.rate; }
+  Duration propagation_delay() const { return config_.propagation_delay; }
+
+  Bytes queued_bytes() const { return queued_bytes_; }
+  Bytes delivered_bytes() const { return delivered_bytes_; }
+  Bytes dropped_bytes() const { return dropped_bytes_; }
+  std::size_t delivered_packets() const { return delivered_packets_; }
+  std::size_t dropped_packets() const { return dropped_packets_; }
+
+ private:
+  void start_serializing();
+  void on_serialized();
+
+  EventLoop& loop_;
+  LinkConfig config_;
+  DeliverHandler deliver_;
+  PacketTap* tap_ = nullptr;
+  std::function<double()> loss_rng_;
+
+  std::deque<Packet> queue_;
+  Bytes queued_bytes_ = 0;
+  bool busy_ = false;
+
+  Bytes delivered_bytes_ = 0;
+  Bytes dropped_bytes_ = 0;
+  std::size_t delivered_packets_ = 0;
+  std::size_t dropped_packets_ = 0;
+};
+
+}  // namespace mpdash

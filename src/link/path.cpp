@@ -1,0 +1,64 @@
+#include "link/path.h"
+
+#include <utility>
+
+namespace mpdash {
+
+NetPath::NetPath(EventLoop& loop, PathEndpointsConfig config)
+    : desc_(config.description) {
+  LinkConfig down;
+  down.id = desc_.id * 2;  // even ids: downlink, odd ids: uplink
+  down.rate = std::move(config.downlink_rate);
+  down.propagation_delay = config.one_way_delay;
+  down.queue_capacity = config.queue_capacity;
+  down.random_loss = config.random_loss;
+  down_ = std::make_unique<Link>(loop, std::move(down));
+
+  LinkConfig up;
+  up.id = desc_.id * 2 + 1;
+  up.rate = std::move(config.uplink_rate);
+  up.propagation_delay = config.one_way_delay;
+  up.queue_capacity = config.queue_capacity;
+  up.random_loss = config.random_loss;
+  up_ = std::make_unique<Link>(loop, std::move(up));
+
+  if (config.downlink_shaper) {
+    down_shaper_ =
+        std::make_unique<TokenBucketShaper>(loop, *config.downlink_shaper);
+    down_shaper_->set_forward_handler(
+        [this](Packet p) { down_->send(std::move(p)); });
+  }
+}
+
+void NetPath::send_downlink(Packet p) {
+  p.path_id = desc_.id;
+  if (down_shaper_) {
+    down_shaper_->send(std::move(p));
+  } else {
+    down_->send(std::move(p));
+  }
+}
+
+void NetPath::send_uplink(Packet p) {
+  p.path_id = desc_.id;
+  up_->send(std::move(p));
+}
+
+void NetPath::set_downlink_deliver(Link::DeliverHandler h) {
+  down_->set_deliver_handler(std::move(h));
+}
+
+void NetPath::set_uplink_deliver(Link::DeliverHandler h) {
+  up_->set_deliver_handler(std::move(h));
+}
+
+void NetPath::set_tap(PacketTap* tap) {
+  down_->set_tap(tap);
+  up_->set_tap(tap);
+}
+
+Duration NetPath::base_rtt() const {
+  return down_->propagation_delay() + up_->propagation_delay();
+}
+
+}  // namespace mpdash

@@ -1,0 +1,80 @@
+#pragma once
+// A network path = forward + reverse link pair plus the user-facing
+// metadata MP-DASH schedules on (interface kind, unit-data cost,
+// preference order).
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "link/link.h"
+#include "link/shaper.h"
+
+namespace mpdash {
+
+enum class InterfaceKind : std::uint8_t {
+  kWifi,
+  kCellular,
+  kOther,
+};
+
+inline const char* to_string(InterfaceKind k) {
+  switch (k) {
+    case InterfaceKind::kWifi: return "wifi";
+    case InterfaceKind::kCellular: return "cellular";
+    default: return "other";
+  }
+}
+
+struct PathDescription {
+  int id = 0;
+  std::string name;
+  InterfaceKind kind = InterfaceKind::kOther;
+  // Unit-data cost c(i) from the paper's formulation; lower = preferred.
+  // WiFi defaults to free, cellular to metered.
+  double unit_cost = 0.0;
+  bool metered = false;
+};
+
+struct PathEndpointsConfig {
+  PathDescription description;
+  BandwidthTrace downlink_rate;   // server -> client (video data)
+  BandwidthTrace uplink_rate;     // client -> server (requests, ACKs)
+  Duration one_way_delay = milliseconds(25);
+  Bytes queue_capacity = 192 * 1000;
+  double random_loss = 0.0;
+  // Optional throttle applied to the downlink (Table 4's strawman).
+  std::optional<ShaperConfig> downlink_shaper;
+};
+
+// Owns the two links (and optional shaper) realizing one path.
+class NetPath {
+ public:
+  NetPath(EventLoop& loop, PathEndpointsConfig config);
+
+  const PathDescription& description() const { return desc_; }
+  int id() const { return desc_.id; }
+
+  // Entry points: packets from the server side (data) / client side (ACKs,
+  // requests).
+  void send_downlink(Packet p);
+  void send_uplink(Packet p);
+
+  void set_downlink_deliver(Link::DeliverHandler h);
+  void set_uplink_deliver(Link::DeliverHandler h);
+  void set_tap(PacketTap* tap);
+
+  Link& downlink() { return *down_; }
+  Link& uplink() { return *up_; }
+  const Link& downlink() const { return *down_; }
+  const Link& uplink() const { return *up_; }
+  Duration base_rtt() const;
+
+ private:
+  PathDescription desc_;
+  std::unique_ptr<Link> down_;
+  std::unique_ptr<Link> up_;
+  std::unique_ptr<TokenBucketShaper> down_shaper_;
+};
+
+}  // namespace mpdash

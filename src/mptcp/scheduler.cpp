@@ -1,0 +1,39 @@
+#include "mptcp/scheduler.h"
+
+#include <stdexcept>
+
+namespace mpdash {
+
+int MinRttScheduler::select(const std::vector<SubflowSnapshot>& subflows) {
+  int best = -1;
+  Duration best_rtt = Duration::max();
+  for (const auto& sf : subflows) {
+    if (!sf.enabled || !sf.has_cwnd_space) continue;
+    if (sf.srtt < best_rtt) {
+      best_rtt = sf.srtt;
+      best = sf.path_id;
+    }
+  }
+  return best;
+}
+
+int RoundRobinScheduler::select(const std::vector<SubflowSnapshot>& subflows) {
+  if (subflows.empty()) return -1;
+  const std::size_t n = subflows.size();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const auto& sf = subflows[(next_ + probe) % n];
+    if (sf.enabled && sf.has_cwnd_space) {
+      next_ = (next_ + probe + 1) % n;
+      return sf.path_id;
+    }
+  }
+  return -1;
+}
+
+std::unique_ptr<MptcpScheduler> make_scheduler(const std::string& name) {
+  if (name == "minrtt") return std::make_unique<MinRttScheduler>();
+  if (name == "roundrobin") return std::make_unique<RoundRobinScheduler>();
+  throw std::invalid_argument("unknown MPTCP scheduler: " + name);
+}
+
+}  // namespace mpdash

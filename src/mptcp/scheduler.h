@@ -1,0 +1,53 @@
+#pragma once
+// Stock MPTCP packet schedulers.
+//
+// The default Linux-MPTCP scheduler picks, among subflows with congestion
+// window space, the one with the smallest RTT estimate; a round-robin
+// scheduler is also supported. MP-DASH deliberately *overlays* these
+// (src/core): disabling a path simply removes it from the candidate set,
+// so MP-DASH composes with any scheduler implementing this interface.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace mpdash {
+
+struct SubflowSnapshot {
+  int path_id = 0;
+  bool has_cwnd_space = false;
+  bool enabled = true;  // MP-DASH path mask applied before scheduling
+  Duration srtt = kDurationZero;
+};
+
+class MptcpScheduler {
+ public:
+  virtual ~MptcpScheduler() = default;
+  // Returns the path_id of the subflow to send the next packet on, or -1
+  // if no enabled subflow has window space.
+  virtual int select(const std::vector<SubflowSnapshot>& subflows) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Lowest-SRTT-first (Linux MPTCP default).
+class MinRttScheduler final : public MptcpScheduler {
+ public:
+  int select(const std::vector<SubflowSnapshot>& subflows) override;
+  std::string name() const override { return "minrtt"; }
+};
+
+// Cycles through eligible subflows packet by packet.
+class RoundRobinScheduler final : public MptcpScheduler {
+ public:
+  int select(const std::vector<SubflowSnapshot>& subflows) override;
+  std::string name() const override { return "roundrobin"; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+std::unique_ptr<MptcpScheduler> make_scheduler(const std::string& name);
+
+}  // namespace mpdash

@@ -1,0 +1,38 @@
+#include "mptcp/stream_buffer.h"
+
+#include <algorithm>
+
+namespace mpdash {
+
+void StreamBuffer::append(WireData data) {
+  for (auto& seg : data) {
+    if (seg.len == 0) continue;
+    size_ += static_cast<Bytes>(seg.len);
+    segments_.push_back(std::move(seg));
+  }
+}
+
+WireData StreamBuffer::pull(Bytes max_len) {
+  WireData out;
+  Bytes remaining = std::min(max_len, size_);
+  while (remaining > 0) {
+    SegmentRef& head = segments_.front();
+    const Bytes take = std::min<Bytes>(remaining, static_cast<Bytes>(head.len));
+    SegmentRef piece;
+    piece.real = head.real;
+    piece.offset = head.offset;
+    piece.len = static_cast<std::size_t>(take);
+    out.push_back(std::move(piece));
+    size_ -= take;
+    remaining -= take;
+    if (take == static_cast<Bytes>(head.len)) {
+      segments_.pop_front();
+    } else {
+      head.offset += static_cast<std::size_t>(take);
+      head.len -= static_cast<std::size_t>(take);
+    }
+  }
+  return out;
+}
+
+}  // namespace mpdash

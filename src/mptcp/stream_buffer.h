@@ -1,0 +1,27 @@
+#pragma once
+// FIFO byte buffer over WireData segments: the MPTCP connection-level send
+// queue. Appending a message is O(segments); pulling the next MSS-sized
+// slice is O(1) amortized.
+
+#include <deque>
+
+#include "mptcp/wire_data.h"
+
+namespace mpdash {
+
+class StreamBuffer {
+ public:
+  void append(WireData data);
+
+  // Removes and returns up to `max_len` bytes from the front.
+  WireData pull(Bytes max_len);
+
+  Bytes size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  std::deque<SegmentRef> segments_;
+  Bytes size_ = 0;
+};
+
+}  // namespace mpdash

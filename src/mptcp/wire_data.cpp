@@ -1,0 +1,75 @@
+#include "mptcp/wire_data.h"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace mpdash {
+
+WireData wire_from_string(std::string s) {
+  if (s.empty()) return {};
+  auto shared = std::make_shared<const std::string>(std::move(s));
+  SegmentRef ref;
+  ref.real = shared;
+  ref.offset = 0;
+  ref.len = shared->size();
+  return {ref};
+}
+
+WireData wire_virtual(Bytes len) {
+  if (len <= 0) return {};
+  SegmentRef ref;
+  ref.len = static_cast<std::size_t>(len);
+  return {ref};
+}
+
+Bytes wire_length(const WireData& data) {
+  Bytes total = 0;
+  for (const auto& seg : data) total += static_cast<Bytes>(seg.len);
+  return total;
+}
+
+void wire_append(WireData& head, WireData tail) {
+  head.insert(head.end(), std::make_move_iterator(tail.begin()),
+              std::make_move_iterator(tail.end()));
+}
+
+WireData wire_slice(const WireData& data, Bytes offset, Bytes len) {
+  if (offset < 0 || len < 0 || offset + len > wire_length(data)) {
+    throw std::out_of_range("wire_slice out of range");
+  }
+  WireData out;
+  Bytes pos = 0;
+  for (const auto& seg : data) {
+    const Bytes seg_len = static_cast<Bytes>(seg.len);
+    const Bytes lo = std::max<Bytes>(offset, pos);
+    const Bytes hi = std::min<Bytes>(offset + len, pos + seg_len);
+    if (lo < hi) {
+      SegmentRef ref;
+      ref.real = seg.real;
+      ref.offset = seg.offset + static_cast<std::size_t>(lo - pos);
+      ref.len = static_cast<std::size_t>(hi - lo);
+      out.push_back(std::move(ref));
+    }
+    pos += seg_len;
+    if (pos >= offset + len) break;
+  }
+  assert(wire_length(out) == len);
+  return out;
+}
+
+std::string wire_to_string(const WireData& data) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(wire_length(data)));
+  for (const auto& seg : data) {
+    if (seg.real) {
+      out.append(*seg.real, seg.offset, seg.len);
+    } else {
+      out.append(seg.len, '\0');
+    }
+  }
+  return out;
+}
+
+}  // namespace mpdash

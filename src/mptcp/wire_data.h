@@ -1,0 +1,36 @@
+#pragma once
+// Helpers for building and slicing wire payloads.
+//
+// Payloads are sequences of SegmentRefs: HTTP headers travel as real bytes
+// (so receivers parse them), media bodies as virtual byte counts (so a
+// 50 MB chunk costs a few words of memory).
+
+#include <string>
+#include <vector>
+
+#include "link/packet.h"
+
+namespace mpdash {
+
+using WireData = std::vector<SegmentRef>;
+
+// Wraps a string as real wire bytes.
+WireData wire_from_string(std::string s);
+
+// `len` virtual (content-free) bytes.
+WireData wire_virtual(Bytes len);
+
+Bytes wire_length(const WireData& data);
+
+// Appends `tail` to `head`.
+void wire_append(WireData& head, WireData tail);
+
+// Returns the sub-range [offset, offset + len) of `data`. Requires the
+// range to be within bounds.
+WireData wire_slice(const WireData& data, Bytes offset, Bytes len);
+
+// Materializes the real bytes of `data`; virtual bytes render as '\0'.
+// Intended for tests and for header parsing (headers are always real).
+std::string wire_to_string(const WireData& data);
+
+}  // namespace mpdash

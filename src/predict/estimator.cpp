@@ -1,0 +1,54 @@
+#include "predict/estimator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mpdash {
+
+RateSampler::RateSampler(std::shared_ptr<ThroughputEstimator> estimator,
+                         Duration interval)
+    : estimator_(std::move(estimator)), interval_(interval) {
+  assert(estimator_ != nullptr);
+  assert(interval_ > kDurationZero);
+}
+
+void RateSampler::on_bytes(TimePoint now, Bytes bytes) {
+  if (!started_) {
+    started_ = true;
+    interval_start_ = now;
+  }
+  // Traffic resuming after an idle gap: restart interval accounting
+  // instead of back-filling the gap with zero-throughput samples. The
+  // path was idle by *decision* (nothing to send), which says nothing
+  // about its capacity. Genuine outages are caught by the periodic
+  // flush (advance_to) that runs while a tracked transfer is active.
+  if (now - interval_start_ > kIdleResetAfter * interval_) {
+    resync(now);
+  }
+  close_intervals(now);
+  pending_ += bytes;
+}
+
+void RateSampler::advance_to(TimePoint now) {
+  if (!started_) return;
+  close_intervals(now);
+}
+
+void RateSampler::resync(TimePoint now) {
+  started_ = true;
+  interval_start_ = now;
+  pending_ = 0;
+}
+
+void RateSampler::close_intervals(TimePoint now) {
+  while (now - interval_start_ >= interval_) {
+    const DataRate sample = rate_of(pending_, interval_);
+    if (can_lower_ || sample >= estimator_->predict()) {
+      estimator_->add_sample(sample);
+    }
+    pending_ = 0;
+    interval_start_ += interval_;
+  }
+}
+
+}  // namespace mpdash

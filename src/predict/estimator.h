@@ -1,0 +1,80 @@
+#pragma once
+// Throughput estimation interfaces.
+//
+// The MP-DASH scheduler's enable/disable decisions (Algorithm 1, line 15)
+// key off a continuously updated estimate of the preferred path's
+// throughput. The paper uses a non-seasonal Holt-Winters predictor (He et
+// al., SIGCOMM'05); EWMA and harmonic-mean estimators are provided as the
+// baselines the paper compares that choice against.
+
+#include <memory>
+
+#include "util/units.h"
+
+namespace mpdash {
+
+class ThroughputEstimator {
+ public:
+  virtual ~ThroughputEstimator() = default;
+
+  // Feeds one throughput sample (rate observed over one sampling interval).
+  virtual void add_sample(DataRate sample) = 0;
+
+  // Current one-step-ahead prediction; zero-rate before any sample.
+  virtual DataRate predict() const = 0;
+
+  // Number of samples consumed.
+  virtual std::size_t sample_count() const = 0;
+
+  virtual void reset() = 0;
+};
+
+// Turns per-event byte deliveries into fixed-interval rate samples and
+// forwards them to an estimator. Intervals with zero bytes still produce a
+// (zero) sample so the estimator tracks outages.
+class RateSampler {
+ public:
+  RateSampler(std::shared_ptr<ThroughputEstimator> estimator,
+              Duration interval);
+
+  // Records `bytes` delivered at time `now`; closes out any elapsed
+  // sampling intervals.
+  // Idle gaps longer than this many intervals are skipped (resync) rather
+  // than back-filled with zero samples.
+  static constexpr int kIdleResetAfter = 3;
+
+  void on_bytes(TimePoint now, Bytes bytes);
+
+  // Flushes intervals up to `now` without new bytes (periodic flushes
+  // while a transfer is active turn outages into zero samples).
+  void advance_to(TimePoint now);
+
+  // Restarts interval accounting at `now` without emitting samples — used
+  // when sampling resumes after a deliberate idle period (between chunks)
+  // so the gap is not misread as zero throughput.
+  void resync(TimePoint now);
+
+  DataRate estimate() const { return estimator_->predict(); }
+  Duration interval() const { return interval_; }
+  ThroughputEstimator& estimator() { return *estimator_; }
+
+  // App-limited rule (mirrors TCP delivery-rate estimation): while the
+  // path is not known to be saturated, interval samples may only *raise*
+  // the estimate — an underdriven path says nothing about its capacity.
+  // Enable lowering only when the sampled path is deliberately driven to
+  // its full rate (a tracked MP-DASH transfer on an enabled path).
+  void set_can_lower(bool can_lower) { can_lower_ = can_lower; }
+  bool can_lower() const { return can_lower_; }
+
+ private:
+  void close_intervals(TimePoint now);
+
+  std::shared_ptr<ThroughputEstimator> estimator_;
+  Duration interval_;
+  TimePoint interval_start_ = kTimeZero;
+  Bytes pending_ = 0;
+  bool started_ = false;
+  bool can_lower_ = true;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,32 @@
+#include "predict/ewma.h"
+
+#include <stdexcept>
+
+namespace mpdash {
+
+Ewma::Ewma(double weight) : weight_(weight) {
+  if (weight_ <= 0.0 || weight_ > 1.0) {
+    throw std::invalid_argument("EWMA weight out of (0,1]");
+  }
+}
+
+void Ewma::add_sample(DataRate sample) {
+  if (n_ == 0) {
+    value_ = sample.bps();
+  } else {
+    value_ = weight_ * sample.bps() + (1.0 - weight_) * value_;
+  }
+  ++n_;
+}
+
+DataRate Ewma::predict() const {
+  return n_ == 0 ? DataRate::bits_per_second(0)
+                 : DataRate::bits_per_second(value_);
+}
+
+void Ewma::reset() {
+  n_ = 0;
+  value_ = 0.0;
+}
+
+}  // namespace mpdash

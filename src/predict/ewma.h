@@ -1,0 +1,24 @@
+#pragma once
+// Exponentially weighted moving average predictor — the baseline the paper
+// contrasts with Holt-Winters (EWMA lags on non-stationary series).
+
+#include "predict/estimator.h"
+
+namespace mpdash {
+
+class Ewma final : public ThroughputEstimator {
+ public:
+  explicit Ewma(double weight = 0.25);
+
+  void add_sample(DataRate sample) override;
+  DataRate predict() const override;
+  std::size_t sample_count() const override { return n_; }
+  void reset() override;
+
+ private:
+  double weight_;
+  std::size_t n_ = 0;
+  double value_ = 0.0;
+};
+
+}  // namespace mpdash

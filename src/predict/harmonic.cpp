@@ -1,0 +1,33 @@
+#include "predict/harmonic.h"
+
+#include <stdexcept>
+
+namespace mpdash {
+
+HarmonicMean::HarmonicMean(std::size_t window) : window_(window) {
+  if (window_ == 0) throw std::invalid_argument("window must be positive");
+}
+
+void HarmonicMean::add_sample(DataRate sample) {
+  samples_.push_back(sample.bps());
+  if (samples_.size() > window_) samples_.pop_front();
+  ++n_;
+}
+
+DataRate HarmonicMean::predict() const {
+  if (samples_.empty()) return DataRate::bits_per_second(0);
+  double inv = 0.0;
+  for (double s : samples_) {
+    if (s <= 0.0) return DataRate::bits_per_second(0);
+    inv += 1.0 / s;
+  }
+  return DataRate::bits_per_second(static_cast<double>(samples_.size()) /
+                                   inv);
+}
+
+void HarmonicMean::reset() {
+  n_ = 0;
+  samples_.clear();
+}
+
+}  // namespace mpdash

@@ -1,0 +1,26 @@
+#pragma once
+// Harmonic mean of the last k samples — the estimator FESTIVE uses for
+// chunk-level throughput (robust to one-off throughput spikes).
+
+#include <deque>
+
+#include "predict/estimator.h"
+
+namespace mpdash {
+
+class HarmonicMean final : public ThroughputEstimator {
+ public:
+  explicit HarmonicMean(std::size_t window = 20);
+
+  void add_sample(DataRate sample) override;
+  DataRate predict() const override;
+  std::size_t sample_count() const override { return n_; }
+  void reset() override;
+
+ private:
+  std::size_t window_;
+  std::size_t n_ = 0;
+  std::deque<double> samples_;
+};
+
+}  // namespace mpdash

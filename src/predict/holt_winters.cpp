@@ -1,0 +1,47 @@
+#include "predict/holt_winters.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpdash {
+
+HoltWinters::HoltWinters(HoltWintersParams params) : params_(params) {
+  if (params_.alpha <= 0.0 || params_.alpha > 1.0 || params_.beta < 0.0 ||
+      params_.beta > 1.0) {
+    throw std::invalid_argument("Holt-Winters parameters out of range");
+  }
+}
+
+void HoltWinters::add_sample(DataRate sample) {
+  const double x = sample.bps();
+  switch (n_) {
+    case 0:
+      level_ = x;
+      trend_ = 0.0;
+      break;
+    case 1:
+      trend_ = x - prev_sample_;
+      level_ = x;
+      break;
+    default: {
+      const double prev_level = level_;
+      level_ = params_.alpha * x + (1.0 - params_.alpha) * (level_ + trend_);
+      trend_ =
+          params_.beta * (level_ - prev_level) + (1.0 - params_.beta) * trend_;
+    }
+  }
+  prev_sample_ = x;
+  ++n_;
+}
+
+DataRate HoltWinters::predict() const {
+  if (n_ == 0) return DataRate::bits_per_second(0);
+  return DataRate::bits_per_second(std::max(0.0, level_ + trend_));
+}
+
+void HoltWinters::reset() {
+  n_ = 0;
+  level_ = trend_ = prev_sample_ = 0.0;
+}
+
+}  // namespace mpdash

@@ -1,0 +1,33 @@
+#include "predict/moving_average.h"
+
+#include <stdexcept>
+
+namespace mpdash {
+
+MovingAverage::MovingAverage(std::size_t window) : window_(window) {
+  if (window_ == 0) throw std::invalid_argument("window must be positive");
+}
+
+void MovingAverage::add_sample(DataRate sample) {
+  samples_.push_back(sample.bps());
+  sum_ += sample.bps();
+  if (samples_.size() > window_) {
+    sum_ -= samples_.front();
+    samples_.pop_front();
+  }
+  ++n_;
+}
+
+DataRate MovingAverage::predict() const {
+  if (samples_.empty()) return DataRate::bits_per_second(0);
+  return DataRate::bits_per_second(sum_ /
+                                   static_cast<double>(samples_.size()));
+}
+
+void MovingAverage::reset() {
+  n_ = 0;
+  samples_.clear();
+  sum_ = 0.0;
+}
+
+}  // namespace mpdash

@@ -1,0 +1,27 @@
+#pragma once
+// Plain windowed arithmetic moving average — completes the estimator
+// family (Holt-Winters / EWMA / harmonic / SMA) used in comparisons.
+
+#include <deque>
+
+#include "predict/estimator.h"
+
+namespace mpdash {
+
+class MovingAverage final : public ThroughputEstimator {
+ public:
+  explicit MovingAverage(std::size_t window = 10);
+
+  void add_sample(DataRate sample) override;
+  DataRate predict() const override;
+  std::size_t sample_count() const override { return n_; }
+  void reset() override;
+
+ private:
+  std::size_t window_;
+  std::size_t n_ = 0;
+  std::deque<double> samples_;
+  double sum_ = 0.0;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,68 @@
+#include "sim/event_loop.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mpdash {
+
+EventId EventLoop::schedule_at(TimePoint at, Callback cb) {
+  if (at < now_) at = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return EventId{id};
+}
+
+EventId EventLoop::schedule_in(Duration delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventLoop::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return callbacks_.erase(id.value) > 0;
+}
+
+bool EventLoop::step() {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    queue_.pop();
+    assert(top.at >= now_);
+    now_ = top.at;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+void EventLoop::run_until(TimePoint deadline) {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    if (callbacks_.find(top.id) == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+bool EventLoop::has_pending() const {
+  // Stale (cancelled) heap entries don't count.
+  return !callbacks_.empty();
+}
+
+}  // namespace mpdash

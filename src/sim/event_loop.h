@@ -1,0 +1,76 @@
+#pragma once
+// Discrete-event simulation core.
+//
+// Every subsystem (links, TCP subflows, the DASH player's playback clock,
+// the MP-DASH decision timer) schedules callbacks on one EventLoop. Events
+// at equal timestamps fire in scheduling order, which keeps runs bitwise
+// deterministic for a given seed.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.h"
+
+namespace mpdash {
+
+// Handle for cancelling a scheduled event. Default-constructed ids are
+// invalid and safe to cancel (no-op).
+struct EventId {
+  std::uint64_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  TimePoint now() const { return now_; }
+
+  // Schedules `cb` to run at absolute time `at` (clamped to now()).
+  EventId schedule_at(TimePoint at, Callback cb);
+  // Schedules `cb` to run `delay` from now.
+  EventId schedule_in(Duration delay, Callback cb);
+
+  // Cancels a pending event. Cancelling an already-fired or invalid id is a
+  // no-op. Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  // Runs events until the queue is empty.
+  void run();
+  // Runs events with timestamp <= deadline, then advances now() to deadline.
+  void run_until(TimePoint deadline);
+
+  // True if any event is pending.
+  bool has_pending() const;
+  std::size_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Ordering for min-heap via std::greater.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the next event; returns false if queue empty after
+  // discarding cancelled entries.
+  bool step();
+
+  TimePoint now_ = kTimeZero;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::size_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Callbacks keyed by id; erased on cancel so stale heap entries are
+  // skipped cheaply.
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,167 @@
+#include "tcp/subflow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace mpdash {
+
+std::uint64_t SubflowSender::global_packet_id_ = 1;
+
+SubflowSender::SubflowSender(EventLoop& loop, SubflowConfig config,
+                             std::function<void(Packet)> transmit,
+                             std::function<void()> on_capacity)
+    : loop_(loop),
+      config_(config),
+      transmit_(std::move(transmit)),
+      on_capacity_(std::move(on_capacity)),
+      cwnd_(config.initial_cwnd),
+      srtt_(config.initial_rtt),
+      rttvar_(config.initial_rtt / 2) {}
+
+bool SubflowSender::can_send() const {
+  return static_cast<double>(inflight_.size()) < cwnd_;
+}
+
+Duration SubflowSender::rto() const {
+  Duration base = srtt_ + 4 * rttvar_;
+  base = std::clamp(base, config_.min_rto, config_.max_rto);
+  return base * (1 << std::min(rto_backoff_, 6));
+}
+
+void SubflowSender::send_data(std::uint64_t data_seq, Bytes len,
+                              std::vector<SegmentRef> segments) {
+  assert(len > 0 && len <= kMaxSegmentSize);
+  // Congestion window validation (RFC 7661 spirit): after an idle period
+  // the ack clock is gone, so restart from the initial window instead of
+  // blasting a stale, arbitrarily large cwnd into the bottleneck queue.
+  if (inflight_.empty() && last_send_ != kTimeZero &&
+      loop_.now() - last_send_ > rto()) {
+    cwnd_ = std::min(cwnd_, config_.initial_cwnd);
+  }
+  last_send_ = loop_.now();
+  const std::uint64_t seq = next_seq_++;
+  auto [it, inserted] = inflight_.emplace(
+      seq, SentPacket{data_seq, len, std::move(segments), loop_.now()});
+  assert(inserted);
+  transmit_packet(seq, it->second, /*retransmit=*/false);
+  bytes_sent_ += len;
+  arm_rto();
+}
+
+void SubflowSender::transmit_packet(std::uint64_t subflow_seq,
+                                    const SentPacket& sp, bool retransmit) {
+  Packet p;
+  p.id = global_packet_id_++;
+  p.kind = PacketKind::kData;
+  p.path_id = config_.path_id;
+  p.subflow_seq = subflow_seq;
+  p.data_seq = sp.data_seq;
+  p.payload_len = sp.payload_len;
+  p.segments = sp.segments;
+  p.is_retransmit = retransmit;
+  p.wire_size = sp.payload_len + kPacketHeaderBytes;
+  p.sent_at = loop_.now();
+  transmit_(std::move(p));
+}
+
+void SubflowSender::update_rtt(Duration sample) {
+  if (!have_rtt_sample_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    have_rtt_sample_ = true;
+    return;
+  }
+  const auto diff = srtt_ > sample ? srtt_ - sample : sample - srtt_;
+  rttvar_ = (3 * rttvar_ + diff) / 4;
+  srtt_ = (7 * srtt_ + sample) / 8;
+}
+
+void SubflowSender::on_ack(const Packet& ack) {
+  const std::uint64_t seq = ack.ack_subflow_seq;
+  if (seq == 0) return;  // bare control ack (path-mask update only)
+
+  auto it = inflight_.find(seq);
+  if (it == inflight_.end()) return;  // duplicate/stale ack
+
+  if (!ack.echo_is_retransmit) {
+    update_rtt(loop_.now() - ack.echo_sent_at);  // Karn's rule
+  }
+  rto_backoff_ = 0;
+
+  bytes_acked_ += it->second.payload_len;
+  // Congestion avoidance / slow start.
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += 1.0;
+  } else {
+    cwnd_ += 1.0 / cwnd_;
+  }
+  const TimePoint acked_sent_at = it->second.sent_at;
+  inflight_.erase(it);
+
+  // Time-based (RACK-style) loss accounting: any packet transmitted
+  // before the one just acknowledged has been "overtaken". This covers
+  // retransmissions naturally — their clock restarts at retransmit time.
+  for (auto& [s, sp] : inflight_) {
+    if (sp.sent_at < acked_sent_at) ++sp.sacked_above;
+  }
+  detect_losses();
+  arm_rto();
+  if (can_send() && on_capacity_) on_capacity_();
+}
+
+void SubflowSender::enter_recovery(std::uint64_t trigger_seq) {
+  if (trigger_seq < recovery_until_) return;  // already reacted this window
+  recovery_until_ = next_seq_;
+  ssthresh_ = std::max(cwnd_ / 2.0, config_.min_cwnd);
+  cwnd_ = ssthresh_;
+}
+
+void SubflowSender::detect_losses() {
+  // At most one retransmission per incoming ack: keeps recovery
+  // self-clocked at the bottleneck rate instead of re-flooding the queue
+  // that just overflowed (RFC 6675's pipe rule, radically simplified).
+  for (auto& [seq, sp] : inflight_) {
+    if (sp.sacked_above >= 3 && !sp.retransmitted) {
+      enter_recovery(seq);
+      sp.retransmitted = true;
+      sp.sent_at = loop_.now();
+      ++retransmissions_;
+      transmit_packet(seq, sp, /*retransmit=*/true);
+      break;
+    }
+  }
+}
+
+void SubflowSender::arm_rto() {
+  loop_.cancel(rto_timer_);
+  rto_timer_ = EventId{};
+  if (inflight_.empty()) return;
+  rto_timer_ = loop_.schedule_in(rto(), [this] { on_rto(); });
+}
+
+void SubflowSender::on_rto() {
+  rto_timer_ = EventId{};
+  if (inflight_.empty()) return;
+  ++timeouts_;
+  ++rto_backoff_;
+  ssthresh_ = std::max(cwnd_ / 2.0, config_.min_cwnd);
+  cwnd_ = 1.0;
+  recovery_until_ = next_seq_;
+  // An RTO voids the retransmitted flags (a retransmission may itself
+  // have been lost) but keeps the overtake counters — fast retransmit
+  // must stay armed for the rest of the window.
+  for (auto& [s, p] : inflight_) p.retransmitted = false;
+  // Retransmit the oldest outstanding packet; later ones follow as acks
+  // (or further timeouts) arrive.
+  auto& [seq, sp] = *inflight_.begin();
+  sp.retransmitted = true;
+  sp.sent_at = loop_.now();
+  sp.sacked_above = 0;
+  ++retransmissions_;
+  transmit_packet(seq, sp, /*retransmit=*/true);
+  arm_rto();
+  if (can_send() && on_capacity_) on_capacity_();
+}
+
+}  // namespace mpdash

@@ -1,0 +1,103 @@
+#pragma once
+// Per-path TCP sender: NewReno-style congestion control with selective
+// acknowledgments, fast retransmit, and RTO recovery.
+//
+// Each MPTCP subflow runs one of these independently ("decoupled"
+// congestion control, the configuration the paper uses for mobile
+// multipath). The receiver side acks every data packet individually; loss
+// shows up as acks arriving for later sequence numbers (3-dup rule) or as
+// a retransmission timeout.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "link/packet.h"
+#include "sim/event_loop.h"
+
+namespace mpdash {
+
+struct SubflowConfig {
+  int path_id = 0;
+  double initial_cwnd = 10.0;   // packets (RFC 6928 IW10)
+  double min_cwnd = 2.0;
+  Duration initial_rtt = milliseconds(100);
+  Duration min_rto = milliseconds(200);
+  Duration max_rto = seconds(60.0);
+};
+
+class SubflowSender {
+ public:
+  // `transmit` puts a packet on this subflow's wire (the path's link).
+  // `on_capacity` is invoked whenever cwnd space (re)appears so the
+  // connection can pump more data.
+  SubflowSender(EventLoop& loop, SubflowConfig config,
+                std::function<void(Packet)> transmit,
+                std::function<void()> on_capacity);
+
+  // True when a new data packet fits in the congestion window.
+  bool can_send() const;
+
+  // Sends payload [data_seq, data_seq + len) over this subflow.
+  void send_data(std::uint64_t data_seq, Bytes len,
+                 std::vector<SegmentRef> segments);
+
+  // Processes an acknowledgment for this subflow.
+  void on_ack(const Packet& ack);
+
+  int path_id() const { return config_.path_id; }
+  double cwnd() const { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+  Duration srtt() const { return srtt_; }
+  Duration rto() const;
+  std::size_t inflight_packets() const { return inflight_.size(); }
+  Bytes bytes_sent() const { return bytes_sent_; }
+  Bytes bytes_acked() const { return bytes_acked_; }
+  std::size_t retransmissions() const { return retransmissions_; }
+  std::size_t timeouts() const { return timeouts_; }
+
+ private:
+  struct SentPacket {
+    std::uint64_t data_seq;
+    Bytes payload_len;
+    std::vector<SegmentRef> segments;
+    TimePoint sent_at;
+    int sacked_above = 0;   // acks seen for higher sequence numbers
+    bool retransmitted = false;
+  };
+
+  void transmit_packet(std::uint64_t subflow_seq, const SentPacket& sp,
+                       bool retransmit);
+  void update_rtt(Duration sample);
+  void enter_recovery(std::uint64_t trigger_seq);
+  void detect_losses();
+  void arm_rto();
+  void on_rto();
+
+  EventLoop& loop_;
+  SubflowConfig config_;
+  std::function<void(Packet)> transmit_;
+  std::function<void()> on_capacity_;
+
+  double cwnd_;
+  double ssthresh_ = 1e9;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t recovery_until_ = 0;  // seqs below this don't re-halve cwnd
+  std::map<std::uint64_t, SentPacket> inflight_;
+
+  TimePoint last_send_ = kTimeZero;
+  Duration srtt_;
+  Duration rttvar_;
+  bool have_rtt_sample_ = false;
+  int rto_backoff_ = 0;
+  EventId rto_timer_;
+
+  Bytes bytes_sent_ = 0;
+  Bytes bytes_acked_ = 0;
+  std::size_t retransmissions_ = 0;
+  std::size_t timeouts_ = 0;
+  static std::uint64_t global_packet_id_;
+};
+
+}  // namespace mpdash

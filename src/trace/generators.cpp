@@ -1,0 +1,104 @@
+#include "trace/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace mpdash {
+namespace {
+
+void check_slot(Duration slot, Duration horizon) {
+  if (slot <= kDurationZero || horizon < slot) {
+    throw std::invalid_argument("bad slot/horizon");
+  }
+}
+
+}  // namespace
+
+BandwidthTrace gen_jitter(const JitterParams& p, Rng& rng) {
+  check_slot(p.slot, p.horizon);
+  std::vector<RatePoint> pts;
+  const double floor_bps = 0.05 * p.mean.bps();
+  for (TimePoint t = kTimeZero; t < TimePoint(p.horizon); t += p.slot) {
+    const double bps =
+        rng.normal(p.mean.bps(), p.sigma_fraction * p.mean.bps());
+    pts.push_back(
+        {t, DataRate::bits_per_second(std::max(bps, floor_bps))});
+  }
+  return BandwidthTrace(std::move(pts));
+}
+
+BandwidthTrace gen_field(const FieldParams& p, Rng& rng) {
+  check_slot(p.slot, p.horizon);
+  std::vector<RatePoint> pts;
+  // Log-domain AR(1): log(x_{k+1}) = log(x_k) + theta*(log(mean)-log(x_k)) + eps.
+  const double log_mean = std::log(p.mean.bps());
+  // Choose innovation sigma so the stationary marginal roughly matches
+  // sigma_fraction: stationary sd of AR(1) = eps_sd / sqrt(1-(1-theta)^2).
+  const double target_log_sd = std::sqrt(std::log1p(
+      p.sigma_fraction * p.sigma_fraction));
+  const double phi = 1.0 - p.reversion;
+  const double eps_sd = target_log_sd * std::sqrt(1.0 - phi * phi);
+
+  double log_x = log_mean;
+  TimePoint fade_until = kTimeZero;
+  for (TimePoint t = kTimeZero; t < TimePoint(p.horizon); t += p.slot) {
+    log_x = log_x + p.reversion * (log_mean - log_x) + rng.normal(0, eps_sd);
+    double bps = std::exp(log_x);
+    if (t < fade_until) {
+      bps *= p.fade_depth;
+    } else if (rng.uniform() < p.fade_probability_per_slot) {
+      fade_until = t + p.fade_duration;
+      bps *= p.fade_depth;
+    }
+    bps = std::max(bps, 0.02 * p.mean.bps());
+    pts.push_back({t, DataRate::bits_per_second(bps)});
+  }
+  return BandwidthTrace(std::move(pts));
+}
+
+BandwidthTrace gen_mobility_walk(const MobilityParams& p, Rng& rng) {
+  check_slot(p.slot, p.horizon);
+  std::vector<RatePoint> pts;
+  const double period_s = to_seconds(p.period);
+  for (TimePoint t = kTimeZero; t < TimePoint(p.horizon); t += p.slot) {
+    const double phase = std::fmod(to_seconds(t), period_s) / period_s;
+    // Raised cosine: 1 at the AP (phase 0 and 1), 0 at the far point (0.5).
+    const double envelope =
+        0.5 * (1.0 + std::cos(2.0 * std::numbers::pi * phase));
+    double bps = p.floor.bps() + (p.peak.bps() - p.floor.bps()) * envelope;
+    bps *= std::max(0.2, 1.0 + rng.normal(0, p.noise_sigma_fraction));
+    pts.push_back({t, DataRate::bits_per_second(std::max(bps, 1e4))});
+  }
+  return BandwidthTrace(std::move(pts));
+}
+
+BandwidthTrace gen_step(DataRate high, DataRate low, Duration half_period,
+                        Duration horizon) {
+  check_slot(half_period, horizon);
+  std::vector<RatePoint> pts;
+  bool is_high = true;
+  for (TimePoint t = kTimeZero; t < TimePoint(horizon); t += half_period) {
+    pts.push_back({t, is_high ? high : low});
+    is_high = !is_high;
+  }
+  return BandwidthTrace(std::move(pts));
+}
+
+BandwidthTrace gen_ramp(DataRate start, DataRate end, int steps,
+                        Duration horizon) {
+  if (steps < 1) throw std::invalid_argument("steps must be >= 1");
+  std::vector<RatePoint> pts;
+  for (int i = 0; i < steps; ++i) {
+    const double f = steps == 1 ? 0.0
+                                : static_cast<double>(i) /
+                                      static_cast<double>(steps - 1);
+    const TimePoint t(horizon * i / steps);
+    pts.push_back({t, start + (end - start) * f});
+  }
+  return BandwidthTrace(std::move(pts));
+}
+
+}  // namespace mpdash

@@ -1,0 +1,71 @@
+#pragma once
+// Synthetic bandwidth-trace generators.
+//
+// These produce the network conditions the paper evaluates on:
+//  * constant + Gaussian jitter profiles (Table 1's SYNTH sigma=10%/30%),
+//  * mean-reverting lognormal processes that mimic public-WiFi burstiness
+//    (Figure 5's FastFood/Coffee/Office field traces),
+//  * a mobility walk where WiFi degrades with distance from the AP
+//    (Figure 11),
+//  * step patterns for unit tests and ablations.
+
+#include <cstdint>
+
+#include "trace/bandwidth_trace.h"
+#include "util/rng.h"
+
+namespace mpdash {
+
+struct JitterParams {
+  DataRate mean;
+  double sigma_fraction = 0.1;  // stddev as fraction of mean
+  Duration slot = milliseconds(200);
+  Duration horizon = seconds(600.0);
+};
+
+// Per-slot i.i.d. Gaussian jitter around a constant mean, floored at 5% of
+// the mean (a real link never hits exactly zero for a whole slot).
+BandwidthTrace gen_jitter(const JitterParams& p, Rng& rng);
+
+struct FieldParams {
+  DataRate mean;
+  double sigma_fraction = 0.35;   // marginal variability
+  double reversion = 0.15;        // pull toward the mean per slot (0..1]
+  Duration slot = milliseconds(500);
+  Duration horizon = seconds(600.0);
+  // Occasional deep fades (captive-portal hiccups, contention bursts).
+  double fade_probability_per_slot = 0.002;
+  Duration fade_duration = seconds(2.0);
+  double fade_depth = 0.15;       // rate multiplier during a fade
+};
+
+// Mean-reverting multiplicative random walk with sporadic deep fades;
+// matches the fluctuating-but-not-collapsing shape of the paper's public
+// WiFi measurements (Figure 5).
+BandwidthTrace gen_field(const FieldParams& p, Rng& rng);
+
+struct MobilityParams {
+  DataRate peak;                  // rate next to the AP
+  DataRate floor = DataRate::mbps(0.2);
+  Duration period = seconds(60.0);  // one out-and-back walk
+  Duration slot = milliseconds(500);
+  Duration horizon = seconds(600.0);
+  double noise_sigma_fraction = 0.15;
+};
+
+// WiFi throughput for a walk away from and back toward the AP: smooth
+// raised-cosine envelope between peak and floor, plus multiplicative noise.
+BandwidthTrace gen_mobility_walk(const MobilityParams& p, Rng& rng);
+
+// Alternating high/low square wave, used by tests and the scheduler's
+// worst-case (steep continuous drop) experiments.
+BandwidthTrace gen_step(DataRate high, DataRate low, Duration half_period,
+                        Duration horizon);
+
+// Single downward ramp from `start` to `end` over `horizon` in `steps`
+// segments - the "WiFi drops steeply and continuously" pattern that causes
+// deadline misses in Table 2.
+BandwidthTrace gen_ramp(DataRate start, DataRate end, int steps,
+                        Duration horizon);
+
+}  // namespace mpdash

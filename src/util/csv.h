@@ -1,0 +1,31 @@
+#pragma once
+// Small CSV reader/writer used by trace I/O and bench result dumps.
+
+#include <string>
+#include <vector>
+
+namespace mpdash {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& cells);
+  std::string str() const;
+  // Writes to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::string data_;
+  std::size_t columns_;
+};
+
+// Parses CSV text (RFC-4180 quoting, \n or \r\n line ends) into rows of
+// cells. The header row, if any, is returned as the first row.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+// Reads a whole file; returns empty optional-like flag via `ok`.
+std::string read_file(const std::string& path, bool& ok);
+
+}  // namespace mpdash

@@ -1,0 +1,45 @@
+#pragma once
+// Deterministic random number generation for reproducible simulations.
+//
+// xoshiro256++ keeps every experiment replayable from a single seed; the
+// distributions below are the ones the trace generators need.
+
+#include <array>
+#include <cstdint>
+
+namespace mpdash {
+
+// xoshiro256++ 1.0 (Blackman & Vigna, public domain reference
+// implementation), seeded via splitmix64 so that any 64-bit seed yields a
+// well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Standard normal via Box-Muller (cached second variate).
+  double normal();
+  double normal(double mean, double stddev);
+
+  // Lognormal such that the *mean* of the distribution is `mean` and the
+  // standard deviation is `stddev` (moment-matched parameters).
+  double lognormal_mean_sd(double mean, double stddev);
+
+  // Derives an independent stream (e.g. one per location / per link).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace mpdash

@@ -1,0 +1,71 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpdash {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 100.0) return values.back();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double harmonic_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double inv = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    inv += 1.0 / v;
+  }
+  return static_cast<double>(values.size()) / inv;
+}
+
+std::vector<std::pair<double, double>> empirical_cdf(
+    std::vector<double> values) {
+  std::vector<std::pair<double, double>> cdf;
+  if (values.empty()) return cdf;
+  std::sort(values.begin(), values.end());
+  cdf.reserve(values.size());
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cdf.emplace_back(values[i], static_cast<double>(i + 1) / n);
+  }
+  return cdf;
+}
+
+}  // namespace mpdash

@@ -1,0 +1,44 @@
+#pragma once
+// Descriptive statistics used by the experiment harness and benches.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mpdash {
+
+// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Percentile with linear interpolation between closest ranks.
+// `p` in [0, 100]. Copies and sorts; fine for evaluation-sized data.
+double percentile(std::vector<double> values, double p);
+
+double mean(const std::vector<double>& values);
+double harmonic_mean(const std::vector<double>& values);
+
+// Empirical CDF: sorted (value, fraction<=value) points, one per sample.
+std::vector<std::pair<double, double>> empirical_cdf(
+    std::vector<double> values);
+
+}  // namespace mpdash

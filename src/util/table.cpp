@@ -1,0 +1,131 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace mpdash {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      out << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  auto emit_rule = [&] {
+    out << '+';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      out << std::string(widths[c] + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+std::string ascii_plot(
+    const std::vector<std::pair<std::string,
+                                std::vector<std::pair<double, double>>>>& series,
+    int width, int height, const std::string& x_label,
+    const std::string& y_label) {
+  if (series.empty()) return "(no data)\n";
+
+  double xmin = 1e300, xmax = -1e300, ymin = 0.0, ymax = -1e300;
+  bool any = false;
+  for (const auto& [name, pts] : series) {
+    for (const auto& [x, y] : pts) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymax = std::max(ymax, y);
+      ymin = std::min(ymin, y);
+      any = true;
+    }
+  }
+  if (!any) return "(no data)\n";
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  static const char kMarks[] = "*o+x#@%&";
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char mark = kMarks[s % (sizeof(kMarks) - 1)];
+    for (const auto& [x, y] : series[s].second) {
+      int cx = static_cast<int>((x - xmin) / (xmax - xmin) * (width - 1));
+      int cy = static_cast<int>((y - ymin) / (ymax - ymin) * (height - 1));
+      cx = std::clamp(cx, 0, width - 1);
+      cy = std::clamp(cy, 0, height - 1);
+      grid[static_cast<std::size_t>(height - 1 - cy)]
+          [static_cast<std::size_t>(cx)] = mark;
+    }
+  }
+
+  std::ostringstream out;
+  if (!y_label.empty()) out << y_label << '\n';
+  char buf[32];
+  for (int r = 0; r < height; ++r) {
+    const double yv = ymax - (ymax - ymin) * r / (height - 1);
+    std::snprintf(buf, sizeof(buf), "%9.2f |", yv);
+    out << buf << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(10, ' ') << '+' << std::string(static_cast<std::size_t>(width), '-')
+      << '\n';
+  std::snprintf(buf, sizeof(buf), "%-12.2f", xmin);
+  out << std::string(10, ' ') << buf
+      << std::string(static_cast<std::size_t>(std::max(0, width - 24)), ' ');
+  std::snprintf(buf, sizeof(buf), "%12.2f", xmax);
+  out << buf << '\n';
+  if (!x_label.empty()) {
+    out << std::string(10 + static_cast<std::size_t>(width) / 2 - x_label.size() / 2, ' ')
+        << x_label << '\n';
+  }
+  out << "legend:";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    out << "  [" << kMarks[s % (sizeof(kMarks) - 1)] << "] " << series[s].first;
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace mpdash

@@ -1,0 +1,34 @@
+#pragma once
+// Plain-text table rendering for bench output (paper tables / figure series).
+
+#include <string>
+#include <vector>
+
+namespace mpdash {
+
+// Accumulates rows of strings and renders an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 2);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders an ASCII line plot of one or more named series sharing an x axis.
+// Used by benches that regenerate the paper's figures.
+std::string ascii_plot(
+    const std::vector<std::pair<std::string, std::vector<std::pair<double, double>>>>& series,
+    int width = 72, int height = 16, const std::string& x_label = "",
+    const std::string& y_label = "");
+
+}  // namespace mpdash

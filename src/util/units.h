@@ -1,0 +1,107 @@
+#pragma once
+// Fundamental units used across the MP-DASH simulator.
+//
+// Simulated time is an integer nanosecond count (TimePoint / Duration) so
+// that event ordering is exact; data rates are double bits-per-second.
+
+#include <chrono>
+#include <cstdint>
+#include <ratio>
+
+namespace mpdash {
+
+// Simulation time. TimePoint is nanoseconds since simulation start.
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::nanoseconds;
+
+constexpr Duration kDurationZero = Duration::zero();
+constexpr TimePoint kTimeZero = TimePoint::zero();
+
+constexpr Duration nanoseconds(std::int64_t n) { return Duration(n); }
+constexpr Duration microseconds(std::int64_t u) { return Duration(u * 1000); }
+constexpr Duration milliseconds(std::int64_t m) {
+  return Duration(m * 1'000'000);
+}
+
+// Converts a (possibly fractional) number of seconds to a Duration.
+constexpr Duration seconds(double s) {
+  return Duration(static_cast<std::int64_t>(s * 1e9));
+}
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) * 1e-9;
+}
+constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d.count()) * 1e-6;
+}
+
+// Byte counts. Signed so that differences are safe to form.
+using Bytes = std::int64_t;
+
+constexpr Bytes kilobytes(std::int64_t k) { return k * 1000; }
+constexpr Bytes megabytes(std::int64_t m) { return m * 1'000'000; }
+
+// A data rate in bits per second.
+//
+// Rates come from bandwidth traces and throughput estimators; they interact
+// with Bytes and Duration through the helpers below.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  static constexpr DataRate bits_per_second(double bps) {
+    return DataRate(bps);
+  }
+  static constexpr DataRate kbps(double k) { return DataRate(k * 1e3); }
+  static constexpr DataRate mbps(double m) { return DataRate(m * 1e6); }
+
+  constexpr double bps() const { return bps_; }
+  constexpr double as_kbps() const { return bps_ / 1e3; }
+  constexpr double as_mbps() const { return bps_ / 1e6; }
+
+  constexpr bool is_zero() const { return bps_ <= 0.0; }
+
+  // Bytes deliverable in `d` at this rate.
+  constexpr Bytes bytes_in(Duration d) const {
+    return static_cast<Bytes>(bps_ / 8.0 * to_seconds(d));
+  }
+
+  // Time to serialize `b` bytes at this rate. Returns Duration::max() for a
+  // zero rate (the transfer never completes).
+  Duration time_to_send(Bytes b) const {
+    if (bps_ <= 0.0) return Duration::max();
+    return seconds(static_cast<double>(b) * 8.0 / bps_);
+  }
+
+  friend constexpr bool operator==(DataRate a, DataRate b) {
+    return a.bps_ == b.bps_;
+  }
+  friend constexpr auto operator<=>(DataRate a, DataRate b) {
+    return a.bps_ <=> b.bps_;
+  }
+  friend constexpr DataRate operator+(DataRate a, DataRate b) {
+    return DataRate(a.bps_ + b.bps_);
+  }
+  friend constexpr DataRate operator-(DataRate a, DataRate b) {
+    return DataRate(a.bps_ - b.bps_);
+  }
+  friend constexpr DataRate operator*(DataRate a, double f) {
+    return DataRate(a.bps_ * f);
+  }
+  friend constexpr DataRate operator*(double f, DataRate a) { return a * f; }
+  friend constexpr DataRate operator/(DataRate a, double f) {
+    return DataRate(a.bps_ / f);
+  }
+
+ private:
+  explicit constexpr DataRate(double bps) : bps_(bps) {}
+  double bps_ = 0.0;
+};
+
+// Average rate of `b` bytes over `d`.
+inline DataRate rate_of(Bytes b, Duration d) {
+  if (d <= kDurationZero) return DataRate::bits_per_second(0);
+  return DataRate::bits_per_second(static_cast<double>(b) * 8.0 /
+                                   to_seconds(d));
+}
+
+}  // namespace mpdash

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "adapt/adaptation.h"
+#include "adapt/bba.h"
+#include "adapt/festive.h"
+#include "adapt/gpac.h"
+#include "adapt/mpc.h"
+#include "exp/session.h"
+
+namespace mpdash {
+namespace {
+
+AdaptationView view_with(double buffer_s, int last_level,
+                         double throughput_mbps) {
+  AdaptationView v;
+  v.buffer_level_s = buffer_s;
+  v.buffer_capacity_s = 40.0;
+  v.chunk_duration_s = 4.0;
+  v.last_level = last_level;
+  v.next_chunk = 10;
+  v.total_chunks = 150;
+  v.in_startup = false;
+  v.bitrates = {DataRate::mbps(0.58), DataRate::mbps(1.01),
+                DataRate::mbps(1.47), DataRate::mbps(2.41),
+                DataRate::mbps(3.94)};
+  for (const auto& r : v.bitrates) {
+    v.next_chunk_sizes.push_back(r.bytes_in(seconds(4.0)));
+  }
+  v.last_chunk_throughput = DataRate::mbps(throughput_mbps);
+  return v;
+}
+
+// Feed an algorithm n chunk downloads at a constant throughput.
+void feed(RateAdaptation& a, double mbps, int n, int level = 2) {
+  const Bytes bytes = DataRate::mbps(mbps).bytes_in(seconds(1.0));
+  for (int i = 0; i < n; ++i) a.on_chunk_downloaded(level, bytes, seconds(1.0));
+}
+
+TEST(Gpac, PicksHighestBelowLastThroughput) {
+  GpacAdaptation gpac;
+  EXPECT_EQ(gpac.select_level(view_with(20, 2, 3.0)), 3);  // 2.41 <= 3.0
+  EXPECT_EQ(gpac.select_level(view_with(20, 2, 0.9)), 0);
+  EXPECT_EQ(gpac.select_level(view_with(20, 2, 100.0)), 4);
+}
+
+TEST(Gpac, OverrideThroughputWins) {
+  GpacAdaptation gpac;
+  AdaptationView v = view_with(20, 2, 0.9);
+  v.override_throughput = DataRate::mbps(5.0);
+  EXPECT_EQ(gpac.select_level(v), 4);
+}
+
+TEST(Gpac, FirstChunkConservative) {
+  GpacAdaptation gpac;
+  EXPECT_EQ(gpac.select_level(view_with(0, -1, 0.0)), 0);
+}
+
+TEST(Festive, GradualUpgradeAfterStability) {
+  FestiveAdaptation f;
+  feed(f, 5.0, 20);  // harmonic mean ~5 Mbps, target level 4
+  AdaptationView v = view_with(20, 1, 5.0);
+  // Needs (min_stable + current) consecutive stable targets; selections
+  // before that hold the level, then step exactly one.
+  int level = 1;
+  int steps = 0;
+  for (int i = 0; i < 20 && level < 4; ++i) {
+    v.last_level = level;
+    const int next = f.select_level(v);
+    EXPECT_LE(next, level + 1);  // never jumps
+    if (next > level) ++steps;
+    level = next;
+  }
+  EXPECT_EQ(level, 4);
+  EXPECT_EQ(steps, 3);  // 1 -> 2 -> 3 -> 4
+}
+
+TEST(Festive, ImmediateSingleStepDown) {
+  FestiveAdaptation f;
+  feed(f, 1.0, 20);  // collapsed throughput
+  const int next = f.select_level(view_with(20, 4, 1.0));
+  EXPECT_EQ(next, 3);  // one step at a time, immediately
+}
+
+TEST(Festive, HarmonicMeanRobustToSpike) {
+  FestiveAdaptation f;
+  feed(f, 2.0, 19);
+  feed(f, 100.0, 1);  // one spike
+  // Harmonic mean barely moves: target stays ~level 2 territory.
+  EXPECT_LT(f.estimate().as_mbps(), 2.5);
+}
+
+TEST(Bba, RateMapMonotoneInBuffer) {
+  BbaAdaptation bba;
+  const AdaptationView v = view_with(0, 2, 3.0);
+  double prev = 0.0;
+  for (double b = 0.0; b <= 40.0; b += 2.0) {
+    const double r = bba.rate_map_bps(v, b);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_EQ(bba.rate_map_bps(v, 0.0), v.bitrates.front().bps());
+  EXPECT_EQ(bba.rate_map_bps(v, 40.0), v.bitrates.back().bps());
+}
+
+TEST(Bba, LowThresholdInvertsRateMap) {
+  BbaAdaptation bba;
+  const AdaptationView v = view_with(0, 2, 3.0);
+  for (int level = 1; level < 5; ++level) {
+    const double el = bba.buffer_low_threshold_s(v, level);
+    EXPECT_NEAR(bba.rate_map_bps(v, el),
+                v.bitrates[static_cast<std::size_t>(level)].bps(),
+                1.0);
+  }
+  EXPECT_EQ(bba.buffer_low_threshold_s(v, 0), 0.0);
+}
+
+// The Figure 3 phenomenon: with capacity strictly between two encoding
+// rates, steady-state BBA oscillates between the two adjacent levels.
+TEST(Bba, OscillatesWhenCapacityBetweenLevels) {
+  BbaAdaptation bba;
+  const double R = 3.4;  // between 2.41 and 3.94
+  // Simulate the closed loop: buffer grows when selected rate < R.
+  double buffer_s = 12.0;
+  int level = 3;
+  std::vector<int> history;
+  feed(bba, R, 5, level);
+  for (int i = 0; i < 120; ++i) {
+    AdaptationView v = view_with(buffer_s, level, R);
+    level = bba.select_level(v);
+    history.push_back(level);
+    const double rate =
+        v.bitrates[static_cast<std::size_t>(level)].as_mbps();
+    // Buffer drift over one 4 s chunk: +4 supplied, -4*rate/R consumed
+    // while downloading.
+    buffer_s = std::clamp(buffer_s + 4.0 - 4.0 * rate / R, 0.0, 40.0);
+    bba.on_chunk_downloaded(level, DataRate::mbps(R).bytes_in(seconds(1.0)),
+                            seconds(1.0));
+  }
+  // Oscillation: both level 3 and level 4 occur repeatedly in steady
+  // state, with multiple transitions.
+  int transitions = 0, at3 = 0, at4 = 0;
+  for (std::size_t i = 60; i < history.size(); ++i) {
+    at3 += history[i] == 3;
+    at4 += history[i] == 4;
+    if (history[i] != history[i - 1]) ++transitions;
+  }
+  EXPECT_GT(at3, 5);
+  EXPECT_GT(at4, 5);
+  EXPECT_GE(transitions, 4);
+}
+
+// BBA-C caps the level at the measured capacity and kills the oscillation.
+TEST(BbaC, CapsAtMeasuredThroughput) {
+  BbaConfig cfg;
+  cfg.cellular_friendly = true;
+  BbaAdaptation bbac(cfg);
+  const double R = 3.4;
+  feed(bbac, R, 5, 3);
+  double buffer_s = 12.0;
+  int level = 3;
+  std::vector<int> history;
+  for (int i = 0; i < 120; ++i) {
+    AdaptationView v = view_with(buffer_s, level, R);
+    level = bbac.select_level(v);
+    history.push_back(level);
+    const double rate =
+        v.bitrates[static_cast<std::size_t>(level)].as_mbps();
+    buffer_s = std::clamp(buffer_s + 4.0 - 4.0 * rate / R, 0.0, 40.0);
+    bbac.on_chunk_downloaded(level, DataRate::mbps(R).bytes_in(seconds(1.0)),
+                             seconds(1.0));
+  }
+  for (std::size_t i = 60; i < history.size(); ++i) {
+    EXPECT_EQ(history[i], 3);  // locked to the sustainable level
+  }
+}
+
+TEST(Mpc, AvoidsRebufferingAtLowBuffer) {
+  MpcAdaptation mpc;
+  feed(mpc, 2.0, 5);
+  // Plenty of buffer: goes high; nearly empty buffer: conservative.
+  const int high = mpc.select_level(view_with(30, 3, 2.0));
+  const int low = mpc.select_level(view_with(1.0, 3, 2.0));
+  EXPECT_LE(low, high);
+  EXPECT_LE(low, 1);
+}
+
+TEST(Mpc, TracksThroughputCeiling) {
+  MpcAdaptation mpc;
+  feed(mpc, 3.0, 5);
+  // A modest buffer puts the rebuffer risk inside the lookahead horizon:
+  // at 3 Mbps the optimizer must stay at or below level 3 (2.41 Mbps).
+  const int level = mpc.select_level(view_with(8.0, 2, 3.0));
+  EXPECT_LE(level, 3);
+  EXPECT_GE(level, 1);
+}
+
+TEST(Mpc, MinThroughputForLevel) {
+  MpcAdaptation mpc;
+  const AdaptationView v = view_with(20, 2, 3.0);
+  const DataRate need = mpc.min_throughput_for(v, 4);
+  EXPECT_NEAR(need.as_mbps(), 3.94, 0.1);
+  EXPECT_TRUE(mpc.min_throughput_for(v, 99).is_zero());
+}
+
+// Invariants shared by every algorithm.
+class AllAlgorithms : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllAlgorithms, SelectionsStayInRange) {
+  auto algo = make_adaptation(GetParam());
+  feed(*algo, 3.0, 10);
+  for (double buffer_s : {0.0, 5.0, 15.0, 25.0, 39.0}) {
+    for (int last : {-1, 0, 2, 4}) {
+      for (double mbps : {0.1, 1.0, 3.0, 8.0, 50.0}) {
+        const int level = algo->select_level(view_with(buffer_s, last, mbps));
+        EXPECT_GE(level, 0);
+        EXPECT_LE(level, 4);
+      }
+    }
+  }
+}
+
+TEST_P(AllAlgorithms, ResetClearsHistory) {
+  auto algo = make_adaptation(GetParam());
+  feed(*algo, 50.0, 20);
+  algo->reset();
+  // After reset with no samples: first-chunk behaviour (lowest level) for
+  // throughput-driven algorithms; buffer-based at empty buffer also picks
+  // the floor.
+  EXPECT_EQ(algo->select_level(view_with(0.0, -1, 0.0)), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, AllAlgorithms,
+                         ::testing::Values("gpac", "festive", "bba", "bba-c",
+                                           "mpc"));
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(make_adaptation("unknown"), std::invalid_argument);
+}
+
+TEST(Factory, CategoriesMatchPaperTaxonomy) {
+  EXPECT_EQ(make_adaptation("gpac")->category(),
+            AdaptationCategory::kThroughputBased);
+  EXPECT_EQ(make_adaptation("festive")->category(),
+            AdaptationCategory::kThroughputBased);
+  EXPECT_EQ(make_adaptation("bba")->category(),
+            AdaptationCategory::kBufferBased);
+  EXPECT_EQ(make_adaptation("bba-c")->category(),
+            AdaptationCategory::kBufferBased);
+  EXPECT_EQ(make_adaptation("mpc")->category(), AdaptationCategory::kHybrid);
+}
+
+}  // namespace
+}  // namespace mpdash

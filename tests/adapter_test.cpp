@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "adapt/bba.h"
+#include "adapt/festive.h"
+#include "adapter/mpdash_adapter.h"
+#include "core/mpdash_socket.h"
+#include "exp/scenario.h"
+#include "mptcp/connection.h"
+
+namespace mpdash {
+namespace {
+
+struct AdapterFixture : ::testing::Test {
+  Scenario scenario{constant_scenario(DataRate::mbps(8.0), DataRate::mbps(8.0))};
+  MptcpConnection conn{scenario.loop(), scenario.paths()};
+  MpDashSocket socket{scenario.loop(), conn};
+
+  AdaptationView view_with(double buffer_s, int last_level = 3) {
+    AdaptationView v;
+    v.buffer_level_s = buffer_s;
+    v.buffer_capacity_s = 40.0;
+    v.chunk_duration_s = 4.0;
+    v.last_level = last_level;
+    v.in_startup = false;
+    v.bitrates = {DataRate::mbps(0.58), DataRate::mbps(1.01),
+                  DataRate::mbps(1.47), DataRate::mbps(2.41),
+                  DataRate::mbps(3.94)};
+    for (const auto& r : v.bitrates) {
+      v.next_chunk_sizes.push_back(r.bytes_in(seconds(4.0)));
+    }
+    v.last_chunk_throughput = DataRate::mbps(5.0);
+    return v;
+  }
+};
+
+TEST_F(AdapterFixture, RateBasedDeadlineUsesLevelBitrate) {
+  FestiveAdaptation festive;
+  MpDashAdapter adapter(socket, festive, {.policy = DeadlinePolicy::kRateBased});
+  const AdaptationView v = view_with(20);
+  // 1 MB at level 4 (3.94 Mbps): D = 8e6 bits / 3.94 Mbps ≈ 2.03 s.
+  const Duration d = adapter.base_deadline(v, 4, 1'000'000);
+  EXPECT_NEAR(to_seconds(d), 8.0 / 3.94, 0.01);
+}
+
+TEST_F(AdapterFixture, DurationBasedDeadlineIsChunkDuration) {
+  FestiveAdaptation festive;
+  MpDashAdapter adapter(socket, festive,
+                        {.policy = DeadlinePolicy::kDurationBased});
+  EXPECT_EQ(adapter.base_deadline(view_with(20), 2, 123'456), seconds(4.0));
+}
+
+TEST_F(AdapterFixture, DeadlineExtensionAbovePhi) {
+  FestiveAdaptation festive;
+  MpDashAdapter adapter(socket, festive,
+                        {.policy = DeadlinePolicy::kDurationBased});
+  // Throughput-based: Φ = 0.8 * 40 = 32 s.
+  EXPECT_NEAR(adapter.phi_seconds(view_with(20)), 32.0, 1e-9);
+  // Buffer at 36 s: extension of 4 s on top of the 4 s base.
+  AdaptationView v = view_with(36);
+  const auto d = adapter.on_chunk_request(v, 2, 500'000);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(to_seconds(*d), 8.0, 0.01);
+  socket.disable();
+}
+
+TEST_F(AdapterFixture, BufferBasedPhiIsCapacityMinusChunk) {
+  BbaAdaptation bba;
+  MpDashAdapter adapter(socket, bba, {});
+  EXPECT_NEAR(adapter.phi_seconds(view_with(20)), 36.0, 1e-9);
+}
+
+TEST_F(AdapterFixture, OmegaFloorForThroughputBased) {
+  FestiveAdaptation festive;
+  MpDashAdapter adapter(socket, festive, {});
+  // With a generous estimate, T' >= T so Ω collapses to the 40 % floor.
+  const AdaptationView v = view_with(20);
+  EXPECT_NEAR(adapter.omega_seconds(v), 16.0, 1e-6);
+  EXPECT_TRUE(adapter.should_engage(v));          // 20 >= 16
+  EXPECT_FALSE(adapter.should_engage(view_with(10)));  // 10 < 16
+}
+
+TEST_F(AdapterFixture, OmegaForBufferBasedTracksCurrentLevel) {
+  BbaAdaptation bba;
+  MpDashAdapter adapter(socket, bba, {});
+  const AdaptationView v = view_with(30, /*last_level=*/4);
+  // e_l(4) = 20 s (0.5 * 40); Ω = 20 + 4 = 24 — the paper's worked
+  // example ("enable only when the buffer contains at least 24 seconds").
+  EXPECT_NEAR(adapter.omega_seconds(v), 24.0, 1e-6);
+  EXPECT_TRUE(adapter.should_engage(v));
+  EXPECT_FALSE(adapter.should_engage(view_with(20, 4)));
+  // At level 2 the threshold is lower still.
+  const AdaptationView v2 = view_with(30, 2);
+  EXPECT_LT(adapter.omega_seconds(v2), 24.0);
+  EXPECT_TRUE(adapter.should_engage(v2));
+}
+
+TEST_F(AdapterFixture, StartupNeverEngages) {
+  FestiveAdaptation festive;
+  MpDashAdapter adapter(socket, festive, {});
+  AdaptationView v = view_with(39);
+  v.in_startup = true;
+  EXPECT_FALSE(adapter.should_engage(v));
+  EXPECT_FALSE(adapter.on_chunk_request(v, 2, 500'000).has_value());
+  EXPECT_EQ(adapter.chunks_bypassed(), 1);
+}
+
+TEST_F(AdapterFixture, EngageActivatesSocketAndCompleteReleasesIt) {
+  FestiveAdaptation festive;
+  MpDashAdapter adapter(socket, festive, {});
+  AdaptationView v = view_with(25);
+  const auto d = adapter.on_chunk_request(v, 3, 1'000'000);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(socket.active());
+  EXPECT_EQ(adapter.chunks_engaged(), 1);
+  adapter.on_chunk_complete(v);
+  EXPECT_FALSE(socket.active());
+}
+
+TEST_F(AdapterFixture, LowBufferDisablesActiveSocket) {
+  FestiveAdaptation festive;
+  MpDashAdapter adapter(socket, festive, {});
+  adapter.on_chunk_request(view_with(25), 3, 1'000'000);
+  EXPECT_TRUE(socket.active());
+  // Next chunk arrives with the buffer under Ω: the adapter bypasses and
+  // shuts the scheduler down (vanilla MPTCP for this chunk).
+  const auto d = adapter.on_chunk_request(view_with(5), 3, 1'000'000);
+  EXPECT_FALSE(d.has_value());
+  EXPECT_FALSE(socket.active());
+}
+
+}  // namespace
+}  // namespace mpdash

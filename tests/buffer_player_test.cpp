@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "dash/buffer.h"
+#include "dash/player.h"
+#include "dash/server.h"
+#include "exp/scenario.h"
+#include "exp/session.h"
+#include "http/client.h"
+#include "mptcp/connection.h"
+
+namespace mpdash {
+namespace {
+
+TEST(PlaybackBuffer, AddAndDrain) {
+  PlaybackBuffer buf(seconds(40.0));
+  EXPECT_EQ(buf.level(kTimeZero), kDurationZero);
+  buf.add(kTimeZero, seconds(4.0));
+  buf.add(kTimeZero, seconds(4.0));
+  EXPECT_EQ(buf.level(kTimeZero), seconds(8.0));
+  // Not playing: level holds.
+  EXPECT_EQ(buf.level(TimePoint(seconds(100.0))), seconds(8.0));
+  buf.set_playing(TimePoint(seconds(100.0)), true);
+  EXPECT_EQ(buf.level(TimePoint(seconds(103.0))), seconds(5.0));
+  EXPECT_EQ(buf.level(TimePoint(seconds(200.0))), kDurationZero);
+}
+
+TEST(PlaybackBuffer, ClampsAtCapacity) {
+  PlaybackBuffer buf(seconds(10.0));
+  for (int i = 0; i < 5; ++i) buf.add(kTimeZero, seconds(4.0));
+  EXPECT_EQ(buf.level(kTimeZero), seconds(10.0));
+  EXPECT_EQ(buf.total_added(), seconds(20.0));
+  EXPECT_FALSE(buf.has_room(kTimeZero, seconds(4.0)));
+}
+
+TEST(PlaybackBuffer, DepletionTime) {
+  PlaybackBuffer buf(seconds(40.0));
+  buf.add(kTimeZero, seconds(6.0));
+  EXPECT_EQ(buf.depletion_time(kTimeZero), TimePoint::max());  // paused
+  buf.set_playing(kTimeZero, true);
+  EXPECT_EQ(buf.depletion_time(kTimeZero), TimePoint(seconds(6.0)));
+  EXPECT_EQ(buf.depletion_time(TimePoint(seconds(2.0))),
+            TimePoint(seconds(6.0)));
+}
+
+TEST(PlaybackBuffer, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(PlaybackBuffer{kDurationZero}, std::invalid_argument);
+}
+
+// --- full player sessions ----------------------------------------------
+
+struct PlayerFixture {
+  Scenario scenario;
+  MptcpConnection conn;
+  std::unique_ptr<DashServer> server;
+  HttpClient client;
+
+  explicit PlayerFixture(double wifi_mbps, double lte_mbps,
+                         Video video = big_buck_bunny(seconds(4.0)))
+      : scenario(constant_scenario(DataRate::mbps(wifi_mbps),
+                                   DataRate::mbps(lte_mbps))),
+        conn(scenario.loop(), scenario.paths()),
+        client(scenario.loop(), conn.client()) {
+    server = std::make_unique<DashServer>(conn.server(), std::move(video));
+  }
+};
+
+Video short_video() {
+  return Video("Short", seconds(4.0), 20,
+               {DataRate::mbps(0.58), DataRate::mbps(1.01),
+                DataRate::mbps(1.47), DataRate::mbps(2.41),
+                DataRate::mbps(3.94)},
+               0.12, 7);
+}
+
+TEST(DashPlayer, FastNetworkPlaysTopQualityWithoutStalls) {
+  PlayerFixture f(50.0, 50.0, short_video());
+  auto adaptation = make_adaptation("festive");
+  DashPlayer player(f.scenario.loop(), f.client, *adaptation);
+  player.start();
+  f.scenario.loop().run_until(TimePoint(seconds(300.0)));
+
+  ASSERT_TRUE(player.done());
+  EXPECT_EQ(player.stall_count(), 0);
+  ASSERT_EQ(player.chunks().size(), 20u);
+  // FESTIVE ramps up; the tail should sit at the top level.
+  EXPECT_EQ(player.chunks().back().level, 4);
+  // Event log bookkeeping: one request + one complete per chunk.
+  int requests = 0, completes = 0;
+  for (const auto& ev : player.events()) {
+    requests += ev.type == PlayerEventType::kChunkRequest;
+    completes += ev.type == PlayerEventType::kChunkComplete;
+  }
+  EXPECT_EQ(requests, 20);
+  EXPECT_EQ(completes, 20);
+  EXPECT_EQ(player.events().back().type, PlayerEventType::kPlaybackDone);
+}
+
+TEST(DashPlayer, StarvedNetworkStallsButFinishes) {
+  // 0.4 Mbps cannot sustain even the lowest 0.58 Mbps level.
+  PlayerFixture f(0.4, 0.4, short_video());
+  auto adaptation = make_adaptation("gpac");
+  DashPlayer player(f.scenario.loop(), f.client, *adaptation);
+  player.start();
+  f.scenario.loop().run_until(TimePoint(seconds(900.0)));
+
+  ASSERT_TRUE(player.done());
+  EXPECT_GT(player.stall_count(), 0);
+  EXPECT_GT(to_seconds(player.total_stall_time()), 1.0);
+  // Every chunk was forced to the lowest level.
+  for (const auto& c : player.chunks()) EXPECT_EQ(c.level, 0);
+}
+
+TEST(DashPlayer, DoneCallbackFires) {
+  PlayerFixture f(50.0, 50.0, short_video());
+  auto adaptation = make_adaptation("gpac");
+  DashPlayer player(f.scenario.loop(), f.client, *adaptation);
+  bool done = false;
+  player.set_done_callback([&] { done = true; });
+  player.start();
+  f.scenario.loop().run_until(TimePoint(seconds(300.0)));
+  EXPECT_TRUE(done);
+}
+
+TEST(DashPlayer, BufferNeverExceedsCapacity) {
+  PlayerFixture f(50.0, 50.0, short_video());
+  auto adaptation = make_adaptation("bba");
+  PlayerConfig cfg;
+  cfg.buffer_capacity = seconds(20.0);
+  DashPlayer player(f.scenario.loop(), f.client, *adaptation, cfg);
+  player.start();
+  f.scenario.loop().run_until(TimePoint(seconds(300.0)));
+  ASSERT_TRUE(player.done());
+  for (const auto& ev : player.events()) {
+    if (ev.type == PlayerEventType::kBufferSample) {
+      EXPECT_LE(ev.extra, 20.0 + 1e-6);
+    }
+  }
+}
+
+TEST(DashPlayer, ChunkRecordsCarryTimingAndBuffer) {
+  PlayerFixture f(10.0, 10.0, short_video());
+  auto adaptation = make_adaptation("festive");
+  DashPlayer player(f.scenario.loop(), f.client, *adaptation);
+  player.start();
+  f.scenario.loop().run_until(TimePoint(seconds(300.0)));
+  ASSERT_TRUE(player.done());
+  TimePoint prev = kTimeZero;
+  for (const auto& c : player.chunks()) {
+    EXPECT_GE(c.requested, prev);      // sequential fetches
+    EXPECT_GT(c.completed, c.requested);
+    EXPECT_GT(c.bytes, 0);
+    prev = c.requested;
+  }
+}
+
+TEST(DashPlayer, EventLogCsvRoundTrip) {
+  PlayerFixture f(50.0, 50.0, short_video());
+  auto adaptation = make_adaptation("gpac");
+  DashPlayer player(f.scenario.loop(), f.client, *adaptation);
+  player.start();
+  f.scenario.loop().run_until(TimePoint(seconds(300.0)));
+  const auto& events = player.events();
+  const auto parsed = event_log_from_csv(event_log_to_csv(events));
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); i += 7) {
+    EXPECT_EQ(parsed[i].type, events[i].type);
+    EXPECT_EQ(parsed[i].chunk, events[i].chunk);
+    EXPECT_NEAR(to_seconds(parsed[i].at), to_seconds(events[i].at), 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace mpdash

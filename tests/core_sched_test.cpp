@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/deadline_scheduler.h"
+#include "core/mpdash_socket.h"
+#include "core/policy.h"
+#include "exp/scenario.h"
+#include "exp/session.h"
+
+namespace mpdash {
+namespace {
+
+// Deterministic mock transport for unit-testing Algorithm 1.
+class MockControl final : public MultipathControl {
+ public:
+  explicit MockControl(std::vector<ControlledPath> paths)
+      : paths_(std::move(paths)) {
+    for (const auto& p : paths_) enabled_[p.id] = true;
+  }
+
+  std::vector<ControlledPath> paths() const override { return paths_; }
+  void set_path_enabled(int id, bool e) override { enabled_[id] = e; }
+  bool path_enabled(int id) const override { return enabled_.at(id); }
+  Bytes transferred_bytes() const override { return transferred; }
+  DataRate path_throughput(int id) const override {
+    return throughput.at(id);
+  }
+
+  Bytes transferred = 0;
+  std::map<int, DataRate> throughput;
+
+ private:
+  std::vector<ControlledPath> paths_;
+  std::map<int, bool> enabled_;
+};
+
+MockControl two_path_control() {
+  MockControl c({{0, 0.0}, {1, 1.0}});
+  c.throughput[0] = DataRate::mbps(4.0);
+  c.throughput[1] = DataRate::mbps(3.0);
+  return c;
+}
+
+TEST(DeadlineScheduler, BeginDisablesCostlyPath) {
+  MockControl c = two_path_control();
+  DeadlineScheduler s(c);
+  s.begin(kTimeZero, megabytes(5), seconds(10.0));
+  EXPECT_TRUE(c.path_enabled(0));
+  EXPECT_FALSE(c.path_enabled(1));
+  EXPECT_TRUE(s.active());
+}
+
+TEST(DeadlineScheduler, KeepsCostlyOffWhenPreferredSuffices) {
+  MockControl c = two_path_control();
+  // 4 Mbps * 10 s = 5 MB: exactly enough for 4 MB with room.
+  DeadlineScheduler s(c, {.alpha = 1.0, .hysteresis = 0.0,
+                          .enable_debounce_ticks = 1});
+  s.begin(kTimeZero, megabytes(4), seconds(10.0));
+  s.update(TimePoint(seconds(1.0)));
+  EXPECT_FALSE(c.path_enabled(1));
+}
+
+TEST(DeadlineScheduler, EnablesCostlyWhenPreferredFallsShort) {
+  MockControl c = two_path_control();
+  DeadlineScheduler s(c, {.alpha = 1.0, .hysteresis = 0.0,
+                          .enable_debounce_ticks = 1});
+  s.begin(kTimeZero, megabytes(8), seconds(10.0));  // needs > 4 Mbps
+  s.update(TimePoint(seconds(1.0)));
+  EXPECT_TRUE(c.path_enabled(1));
+  EXPECT_EQ(s.costly_path_activations(), 1);
+}
+
+TEST(DeadlineScheduler, DisablesCostlyAgainAfterCatchUp) {
+  MockControl c = two_path_control();
+  DeadlineScheduler s(c, {.alpha = 1.0, .hysteresis = 0.0,
+                          .enable_debounce_ticks = 1});
+  s.begin(kTimeZero, megabytes(6), seconds(10.0));
+  s.update(TimePoint(seconds(1.0)));
+  EXPECT_TRUE(c.path_enabled(1));  // 6 MB needs 4.8 Mbps
+  // Both paths ran: most bytes already moved.
+  c.transferred = megabytes(5);
+  s.update(TimePoint(seconds(5.0)));
+  // Remaining 1 MB in 5 s needs 1.6 Mbps < 4 Mbps WiFi.
+  EXPECT_FALSE(c.path_enabled(1));
+}
+
+TEST(DeadlineScheduler, DebounceDelaysEnable) {
+  MockControl c = two_path_control();
+  DeadlineScheduler s(c, {.alpha = 1.0, .hysteresis = 0.0,
+                          .enable_debounce_ticks = 3});
+  s.begin(kTimeZero, megabytes(8), seconds(10.0));
+  s.update(TimePoint(milliseconds(50)));
+  EXPECT_FALSE(c.path_enabled(1));
+  s.update(TimePoint(milliseconds(100)));
+  EXPECT_FALSE(c.path_enabled(1));
+  s.update(TimePoint(milliseconds(150)));
+  EXPECT_TRUE(c.path_enabled(1));  // third consecutive shortfall
+}
+
+TEST(DeadlineScheduler, CompletionReenablesEverything) {
+  MockControl c = two_path_control();
+  DeadlineScheduler s(c);
+  s.begin(kTimeZero, megabytes(1), seconds(10.0));
+  c.transferred = megabytes(1);
+  s.update(TimePoint(seconds(1.0)));
+  EXPECT_FALSE(s.active());
+  EXPECT_FALSE(s.deadline_missed());
+  EXPECT_TRUE(c.path_enabled(1));  // vanilla MPTCP resumes
+}
+
+TEST(DeadlineScheduler, DeadlinePassDeactivatesAndFlags) {
+  MockControl c = two_path_control();
+  DeadlineScheduler s(c);
+  s.begin(kTimeZero, megabytes(100), seconds(2.0));
+  s.update(TimePoint(seconds(3.0)));
+  EXPECT_FALSE(s.active());
+  EXPECT_TRUE(s.deadline_missed());
+  EXPECT_TRUE(c.path_enabled(1));
+}
+
+TEST(DeadlineScheduler, AlphaShrinksEffectiveBudget) {
+  // With alpha=0.5 the scheduler behaves as if the deadline were halved:
+  // a load WiFi could carry in the full window now demands the costly
+  // path.
+  MockControl c = two_path_control();
+  DeadlineScheduler s(c, {.alpha = 0.5, .hysteresis = 0.0,
+                          .enable_debounce_ticks = 1});
+  s.begin(kTimeZero, megabytes(4), seconds(10.0));  // 4 MB, WiFi 5 MB/10 s
+  s.update(TimePoint(seconds(1.0)));
+  EXPECT_TRUE(c.path_enabled(1));  // 4 MB in alpha*10-1=4 s needs 8 Mbps
+}
+
+TEST(DeadlineScheduler, ThreePathCostOrderWaterfall) {
+  MockControl c({{0, 0.0}, {1, 1.0}, {2, 2.0}});
+  c.throughput[0] = DataRate::mbps(2.0);
+  c.throughput[1] = DataRate::mbps(2.0);
+  c.throughput[2] = DataRate::mbps(2.0);
+  DeadlineScheduler s(c, {.alpha = 1.0, .hysteresis = 0.0,
+                          .enable_debounce_ticks = 1});
+  // 10 s window: path0 carries 2.5 MB. 4 MB needs path1 too, not path2.
+  s.begin(kTimeZero, megabytes(4), seconds(10.0));
+  s.update(TimePoint(seconds(0.1)));
+  EXPECT_TRUE(c.path_enabled(0));
+  EXPECT_TRUE(c.path_enabled(1));
+  EXPECT_FALSE(c.path_enabled(2));
+  // 8 MB needs all three.
+  s.begin(kTimeZero, megabytes(8), seconds(10.0));
+  s.update(TimePoint(seconds(0.1)));
+  EXPECT_TRUE(c.path_enabled(2));
+}
+
+TEST(DeadlineScheduler, ValidatesInputs) {
+  MockControl c = two_path_control();
+  EXPECT_THROW(DeadlineScheduler(c, {.alpha = 0.0}), std::invalid_argument);
+  EXPECT_THROW(DeadlineScheduler(c, {.alpha = 1.2}), std::invalid_argument);
+  DeadlineScheduler s(c);
+  EXPECT_THROW(s.begin(kTimeZero, 0, seconds(1.0)), std::invalid_argument);
+  EXPECT_THROW(s.begin(kTimeZero, 100, kDurationZero), std::invalid_argument);
+}
+
+TEST(Policy, CostAssignment) {
+  const PathPolicy wifi_first = prefer_wifi_policy();
+  EXPECT_LT(wifi_first.cost_for(InterfaceKind::kWifi),
+            wifi_first.cost_for(InterfaceKind::kCellular));
+  const PathPolicy cell_first = prefer_cellular_policy();
+  EXPECT_GT(cell_first.cost_for(InterfaceKind::kWifi),
+            cell_first.cost_for(InterfaceKind::kCellular));
+}
+
+// --- MpDashSocket against the real transport ----------------------------
+
+TEST(MpDashSocket, DownloadMeetsDeadlineWithMinimalCellular) {
+  // WiFi alone needs ~10.5 s for 5 MB; deadline 10 s forces a little LTE.
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(3.8), DataRate::mbps(3.0)));
+  DownloadConfig cfg;
+  cfg.size = megabytes(5);
+  cfg.deadline = seconds(10.0);
+  const DownloadResult res = run_download_session(scenario, cfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_FALSE(res.deadline_missed);
+  EXPECT_GT(res.cell_bytes, 0);
+  // Vanilla MPTCP would put ~44 % on LTE; MP-DASH needs far less.
+  EXPECT_LT(res.cell_bytes, megabytes(2));
+}
+
+TEST(MpDashSocket, NoCellularWhenWifiComfortablyFast) {
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(20.0), DataRate::mbps(10.0)));
+  DownloadConfig cfg;
+  cfg.size = megabytes(5);
+  cfg.deadline = seconds(10.0);
+  const DownloadResult res = run_download_session(scenario, cfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_FALSE(res.deadline_missed);
+  // A cold connection has no throughput history, so Algorithm 1 leans on
+  // cellular for the first ~100 ms; after that WiFi carries everything.
+  // The LTE share must stay a sliver (<2 % of the file).
+  EXPECT_LT(res.cell_bytes, megabytes(5) / 50);
+}
+
+TEST(MpDashSocket, BaselineUsesBothPathsHeavily) {
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(3.8), DataRate::mbps(3.0)));
+  DownloadConfig cfg;
+  cfg.size = megabytes(5);
+  cfg.deadline = seconds(10.0);
+  cfg.use_mpdash = false;
+  const DownloadResult res = run_download_session(scenario, cfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_GT(res.cell_bytes, megabytes(1));
+}
+
+}  // namespace
+}  // namespace mpdash

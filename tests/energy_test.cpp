@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "energy/accounting.h"
+#include "energy/radio_model.h"
+
+namespace mpdash {
+namespace {
+
+RadioPowerParams simple_params() {
+  RadioPowerParams p;
+  p.promotion_mw = 1000.0;
+  p.promotion_time = milliseconds(100);  // 0.1 J per promotion
+  p.active_base_mw = 1000.0;
+  p.per_mbps_down_mw = 100.0;
+  p.per_mbps_up_mw = 200.0;
+  p.tail_mw = 500.0;
+  p.tail_time = seconds(2.0);
+  p.idle_mw = 10.0;
+  return p;
+}
+
+std::vector<TransferSample> burst_at(Duration at, int windows, Bytes down,
+                                     Duration window = milliseconds(100)) {
+  std::vector<TransferSample> v;
+  for (int i = 0; i < windows; ++i) {
+    v.push_back({TimePoint(at) + window * i, down, 0});
+  }
+  return v;
+}
+
+TEST(RadioModel, IdleOnlyWhenNoTraffic) {
+  RadioEnergyModel model(simple_params());
+  const auto out = model.compute({}, milliseconds(100), seconds(10.0));
+  EXPECT_EQ(out.promotions, 0);
+  EXPECT_DOUBLE_EQ(out.active_j, 0.0);
+  EXPECT_DOUBLE_EQ(out.tail_j, 0.0);
+  EXPECT_NEAR(out.idle_j, 0.01 * 10.0, 1e-9);  // 10 mW * 10 s
+}
+
+TEST(RadioModel, SingleBurstPromotionActiveTailIdle) {
+  RadioEnergyModel model(simple_params());
+  // One 100 ms window moving 125000 B down = 10 Mbps.
+  const auto out =
+      model.compute(burst_at(seconds(1.0), 1, 125'000), milliseconds(100),
+                    seconds(10.0));
+  EXPECT_EQ(out.promotions, 1);
+  EXPECT_NEAR(out.promotion_j, 0.1, 1e-9);
+  // Active: (1000 + 100*10) mW * 0.1 s = 0.2 J.
+  EXPECT_NEAR(out.active_j, 0.2, 1e-9);
+  // Tail: 2 s at 500 mW = 1 J.
+  EXPECT_NEAR(out.tail_j, 1.0, 0.05);
+  EXPECT_GT(out.idle_j, 0.0);
+}
+
+TEST(RadioModel, UplinkCostsMoreThanDownlink) {
+  RadioEnergyModel model(simple_params());
+  const auto down = model.compute({{kTimeZero, 125'000, 0}},
+                                  milliseconds(100), seconds(5.0));
+  const auto up = model.compute({{kTimeZero, 0, 125'000}},
+                                milliseconds(100), seconds(5.0));
+  EXPECT_GT(up.active_j, down.active_j);
+}
+
+TEST(RadioModel, BackToBackTransfersPromoteOnce) {
+  RadioEnergyModel model(simple_params());
+  const auto out = model.compute(burst_at(seconds(1.0), 20, 10'000),
+                                 milliseconds(100), seconds(10.0));
+  EXPECT_EQ(out.promotions, 1);
+}
+
+TEST(RadioModel, GapLongerThanTailRepromotes) {
+  RadioEnergyModel model(simple_params());
+  auto samples = burst_at(seconds(1.0), 1, 10'000);
+  const auto later = burst_at(seconds(6.0), 1, 10'000);  // 5 s > 2 s tail
+  samples.insert(samples.end(), later.begin(), later.end());
+  const auto out = model.compute(samples, milliseconds(100), seconds(10.0));
+  EXPECT_EQ(out.promotions, 2);
+}
+
+TEST(RadioModel, GapWithinTailStaysConnected) {
+  RadioEnergyModel model(simple_params());
+  auto samples = burst_at(seconds(1.0), 1, 10'000);
+  const auto later = burst_at(seconds(2.0), 1, 10'000);  // 1 s < 2 s tail
+  samples.insert(samples.end(), later.begin(), later.end());
+  const auto out = model.compute(samples, milliseconds(100), seconds(10.0));
+  EXPECT_EQ(out.promotions, 1);
+}
+
+// The Table 4 phenomenon: dribbling the same bytes slowly costs far more
+// energy than a fast burst, because the radio never reaches idle.
+TEST(RadioModel, DribbleCostsMoreThanBurst) {
+  RadioEnergyModel model(simple_params());
+  const Duration horizon = seconds(60.0);
+  // Burst: 6 MB in 1 s (60 windows x 100 KB).
+  const auto burst =
+      model.compute(burst_at(seconds(0.0), 10, 600'000), milliseconds(100),
+                    horizon);
+  // Dribble: 6 MB spread over 60 s (one 10 KB window every 100 ms).
+  const auto dribble = model.compute(burst_at(seconds(0.0), 600, 10'000),
+                                     milliseconds(100), horizon);
+  EXPECT_GT(dribble.total_j(), 3.0 * burst.total_j());
+}
+
+TEST(RadioModel, RejectsBadWindow) {
+  RadioEnergyModel model(simple_params());
+  EXPECT_THROW(model.compute({}, kDurationZero, seconds(1.0)),
+               std::invalid_argument);
+}
+
+TEST(Devices, GalaxyNoteLteMatchesHuangParameters) {
+  const auto dev = galaxy_note();
+  EXPECT_NEAR(dev.lte.promotion_mw, 1210.7, 0.1);
+  EXPECT_NEAR(to_seconds(dev.lte.tail_time), 11.576, 0.001);
+  EXPECT_NEAR(dev.lte.per_mbps_up_mw, 438.39, 0.01);
+  // LTE is the power hog relative to WiFi.
+  EXPECT_GT(dev.lte.active_base_mw, dev.wifi.active_base_mw);
+  EXPECT_GT(dev.lte.tail_mw * to_seconds(dev.lte.tail_time),
+            dev.wifi.tail_mw * to_seconds(dev.wifi.tail_time));
+}
+
+TEST(Devices, GalaxyS3SlightlyLower) {
+  const auto note = galaxy_note();
+  const auto s3 = galaxy_s3();
+  EXPECT_LT(s3.lte.active_base_mw, note.lte.active_base_mw);
+  EXPECT_EQ(s3.lte.promotion_time, note.lte.promotion_time);
+}
+
+TEST(Accounting, BucketsAlignAndMerge) {
+  std::vector<ByteEvent> events{
+      {TimePoint(milliseconds(10)), 100, true},
+      {TimePoint(milliseconds(90)), 50, false},
+      {TimePoint(milliseconds(150)), 30, true},
+  };
+  const auto samples = bucket_events(events, milliseconds(100));
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].at, kTimeZero);
+  EXPECT_EQ(samples[0].down, 100);
+  EXPECT_EQ(samples[0].up, 50);
+  EXPECT_EQ(samples[1].at, TimePoint(milliseconds(100)));
+  EXPECT_EQ(samples[1].down, 30);
+}
+
+TEST(Accounting, PriceSessionSplitsInterfaces) {
+  const auto dev = galaxy_note();
+  std::vector<ByteEvent> wifi{{kTimeZero, 1'000'000, true}};
+  std::vector<ByteEvent> lte{{kTimeZero, 1'000'000, true}};
+  const auto energy = price_session(dev, wifi, lte, seconds(30.0));
+  EXPECT_GT(energy.lte.total_j(), energy.wifi.total_j());
+  EXPECT_NEAR(energy.total_j(),
+              energy.wifi.total_j() + energy.lte.total_j(), 1e-9);
+}
+
+}  // namespace
+}  // namespace mpdash

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.h"
+
+namespace mpdash {
+namespace {
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(seconds(3.0), [&] { order.push_back(3); });
+  loop.schedule_at(seconds(1.0), [&] { order.push_back(1); });
+  loop.schedule_at(seconds(2.0), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), TimePoint(seconds(3.0)));
+}
+
+TEST(EventLoop, EqualTimesFifoBySchedulingOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const EventId id = loop.schedule_in(seconds(1.0), [&] { ran = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // second cancel is a no-op
+  loop.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, CancelInvalidIdIsNoop) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.cancel(EventId{}));
+}
+
+TEST(EventLoop, RunUntilAdvancesClockToDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(seconds(1.0), [&] { ++fired; });
+  loop.schedule_at(seconds(5.0), [&] { ++fired; });
+  loop.run_until(TimePoint(seconds(2.0)));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), TimePoint(seconds(2.0)));
+  EXPECT_TRUE(loop.has_pending());
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, EventsScheduleMoreEvents) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) loop.schedule_in(seconds(1.0), tick);
+  };
+  loop.schedule_in(seconds(1.0), tick);
+  loop.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(loop.now(), TimePoint(seconds(10.0)));
+}
+
+TEST(EventLoop, PastDeadlinesClampToNow) {
+  EventLoop loop;
+  loop.schedule_at(seconds(2.0), [] {});
+  loop.run();
+  TimePoint fired_at = kTimeZero;
+  loop.schedule_at(seconds(1.0), [&] { fired_at = loop.now(); });
+  loop.run();
+  EXPECT_EQ(fired_at, TimePoint(seconds(2.0)));  // not in the past
+}
+
+TEST(EventLoop, CancelSelfWhileRunningOtherEvent) {
+  EventLoop loop;
+  bool second_ran = false;
+  EventId second;
+  loop.schedule_at(seconds(1.0), [&] { loop.cancel(second); });
+  second = loop.schedule_at(seconds(1.0), [&] { second_ran = true; });
+  loop.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(EventLoop, CountsExecutedEvents) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) loop.schedule_in(seconds(1.0), [] {});
+  loop.run();
+  EXPECT_EQ(loop.executed_events(), 7u);
+}
+
+}  // namespace
+}  // namespace mpdash

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+#include "http/client.h"
+#include "http/message.h"
+#include "http/parser.h"
+#include "http/server.h"
+#include "mptcp/connection.h"
+
+namespace mpdash {
+namespace {
+
+TEST(HttpMessage, RequestSerialization) {
+  HttpRequest req;
+  req.target = "/video/chunk-1-2.m4s";
+  req.headers.push_back({"Host", "example.com"});
+  const std::string s = req.serialize();
+  EXPECT_EQ(s.substr(0, 4), "GET ");
+  EXPECT_NE(s.find("Host: example.com\r\n"), std::string::npos);
+  EXPECT_EQ(s.substr(s.size() - 4), "\r\n\r\n");
+}
+
+TEST(HttpMessage, ResponseContentLengthAutomatic) {
+  HttpResponse resp;
+  resp.body_len = 12345;
+  EXPECT_NE(resp.serialize_head().find("Content-Length: 12345"),
+            std::string::npos);
+  HttpResponse with_body;
+  with_body.body = "hello";
+  EXPECT_EQ(with_body.content_length(), 5);
+}
+
+TEST(HttpMessage, HeaderLookupCaseInsensitive) {
+  HttpResponse resp;
+  resp.headers.push_back({"Content-Type", "video/iso.segment"});
+  EXPECT_EQ(resp.header("content-type").value(), "video/iso.segment");
+  EXPECT_FALSE(resp.header("X-Missing").has_value());
+}
+
+HttpStreamParser::Callbacks counting(int& heads, Bytes& body, int& done,
+                                     std::string* real = nullptr) {
+  return {
+      .on_request = nullptr,
+      .on_response_head = [&heads](const HttpResponse&) { ++heads; },
+      .on_body =
+          [&body, real](Bytes n, const std::string& r) {
+            body += n;
+            if (real) *real += r;
+          },
+      .on_message_complete = [&done] { ++done; },
+  };
+}
+
+TEST(HttpParser, SingleResponseWithVirtualBody) {
+  int heads = 0, done = 0;
+  Bytes body = 0;
+  HttpStreamParser p(HttpStreamParser::Mode::kResponses,
+                     counting(heads, body, done));
+  HttpResponse resp;
+  resp.body_len = 5000;
+  p.consume(resp.to_wire());
+  EXPECT_EQ(heads, 1);
+  EXPECT_EQ(body, 5000);
+  EXPECT_EQ(done, 1);
+  EXPECT_FALSE(p.mid_message());
+}
+
+TEST(HttpParser, RealBodyBytesSurface) {
+  int heads = 0, done = 0;
+  Bytes body = 0;
+  std::string real;
+  HttpStreamParser p(HttpStreamParser::Mode::kResponses,
+                     counting(heads, body, done, &real));
+  HttpResponse resp;
+  resp.body = "<MPD>manifest</MPD>";
+  p.consume(resp.to_wire());
+  EXPECT_EQ(real, "<MPD>manifest</MPD>");
+  EXPECT_EQ(done, 1);
+}
+
+// Split the stream at every possible byte boundary: the parser must be
+// fully incremental.
+TEST(HttpParser, SplitAtEveryBoundary) {
+  HttpResponse resp;
+  resp.headers.push_back({"Content-Type", "video/iso.segment"});
+  resp.body = "0123456789";
+  const std::string wire = resp.serialize_head() + resp.body;
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    int heads = 0, done = 0;
+    Bytes body = 0;
+    std::string real;
+    HttpStreamParser p(HttpStreamParser::Mode::kResponses,
+                       counting(heads, body, done, &real));
+    p.consume(wire_from_string(wire.substr(0, cut)));
+    p.consume(wire_from_string(wire.substr(cut)));
+    ASSERT_EQ(heads, 1) << "cut at " << cut;
+    ASSERT_EQ(real, "0123456789") << "cut at " << cut;
+    ASSERT_EQ(done, 1) << "cut at " << cut;
+  }
+}
+
+TEST(HttpParser, BackToBackMessagesInOnePacket) {
+  int heads = 0, done = 0;
+  Bytes body = 0;
+  HttpStreamParser p(HttpStreamParser::Mode::kResponses,
+                     counting(heads, body, done));
+  HttpResponse a, b;
+  a.body_len = 100;
+  b.body_len = 200;
+  WireData both = a.to_wire();
+  wire_append(both, b.to_wire());
+  p.consume(both);
+  EXPECT_EQ(heads, 2);
+  EXPECT_EQ(body, 300);
+  EXPECT_EQ(done, 2);
+}
+
+TEST(HttpParser, RequestMode) {
+  std::vector<std::string> targets;
+  HttpStreamParser p(
+      HttpStreamParser::Mode::kRequests,
+      {.on_request =
+           [&](const HttpRequest& r) { targets.push_back(r.target); },
+       .on_response_head = nullptr,
+       .on_body = nullptr,
+       .on_message_complete = nullptr});
+  HttpRequest r1, r2;
+  r1.target = "/a";
+  r2.target = "/b";
+  WireData w = r1.to_wire();
+  wire_append(w, r2.to_wire());
+  p.consume(w);
+  EXPECT_EQ(targets, (std::vector<std::string>{"/a", "/b"}));
+}
+
+TEST(HttpParser, RejectsVirtualBytesInHead) {
+  int heads = 0, done = 0;
+  Bytes body = 0;
+  HttpStreamParser p(HttpStreamParser::Mode::kResponses,
+                     counting(heads, body, done));
+  EXPECT_THROW(p.consume(wire_virtual(10)), std::runtime_error);
+}
+
+TEST(HttpParser, RejectsMalformedStartLine) {
+  int heads = 0, done = 0;
+  Bytes body = 0;
+  HttpStreamParser p(HttpStreamParser::Mode::kResponses,
+                     counting(heads, body, done));
+  EXPECT_THROW(p.consume(wire_from_string("NONSENSE\r\n\r\n")),
+               std::runtime_error);
+}
+
+// --- client + server over the simulated network ------------------------
+
+TEST(HttpEndToEnd, RequestResponseCycle) {
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(10.0), DataRate::mbps(10.0)));
+  MptcpConnection conn(scenario.loop(), scenario.paths());
+  HttpServer server(conn.server(), [](const HttpRequest& req) {
+    if (req.target == "/hello") {
+      HttpResponse resp;
+      resp.body = "world";
+      return resp;
+    }
+    return not_found();
+  });
+  HttpClient client(scenario.loop(), conn.client());
+
+  std::string got;
+  int status404 = 0;
+  client.get("/hello", [&](const HttpTransfer& t) {
+    got = t.body;
+    EXPECT_EQ(t.response.status, 200);
+    EXPECT_GT(t.completed, t.request_sent);
+  });
+  client.get("/missing",
+             [&](const HttpTransfer& t) { status404 = t.response.status; });
+  scenario.loop().run();
+  EXPECT_EQ(got, "world");
+  EXPECT_EQ(status404, 404);
+  EXPECT_EQ(server.requests_served(), 2u);
+}
+
+TEST(HttpEndToEnd, LargeVirtualBodyTimingMatchesBandwidth) {
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(8.0), DataRate::mbps(8.0)));
+  MptcpConnection conn(scenario.loop(), scenario.paths());
+  HttpServer server(conn.server(), [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body_len = megabytes(4);
+    return resp;
+  });
+  HttpClient client(scenario.loop(), conn.client());
+
+  Duration dl = kDurationZero;
+  Bytes progress_max = 0;
+  client.get(
+      "/file", [&](const HttpTransfer& t) { dl = t.download_time(); },
+      [&](Bytes got, Bytes total) {
+        progress_max = std::max(progress_max, got);
+        EXPECT_EQ(total, megabytes(4));
+      });
+  scenario.loop().run();
+  // 4 MB over ~2x8 Mbps aggregate: ideal ~2.1 s; allow congestion slack.
+  EXPECT_GT(to_seconds(dl), 1.8);
+  EXPECT_LT(to_seconds(dl), 5.0);
+  EXPECT_EQ(progress_max, megabytes(4));
+}
+
+TEST(HttpEndToEnd, SequentialQueueing) {
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(10.0), DataRate::mbps(10.0)));
+  MptcpConnection conn(scenario.loop(), scenario.paths());
+  HttpServer server(conn.server(), [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body_len = 100'000;
+    return resp;
+  });
+  HttpClient client(scenario.loop(), conn.client());
+  std::vector<int> completion_order;
+  for (int i = 0; i < 5; ++i) {
+    client.get("/f" + std::to_string(i), [&completion_order, i](
+                                             const HttpTransfer&) {
+      completion_order.push_back(i);
+    });
+  }
+  EXPECT_EQ(client.outstanding(), 5u);
+  scenario.loop().run();
+  EXPECT_EQ(completion_order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace mpdash

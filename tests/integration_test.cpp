@@ -1,0 +1,201 @@
+// End-to-end invariants across the whole stack: every scheme x algorithm
+// combination must stream successfully, and MP-DASH must never *cost*
+// cellular data or QoE relative to vanilla MPTCP.
+
+#include <gtest/gtest.h>
+
+#include "dash/video.h"
+#include "exp/scenario.h"
+#include "exp/session.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+
+namespace mpdash {
+namespace {
+
+Video test_video(int chunks = 30) {
+  return Video("IntegrationClip", seconds(4.0), chunks,
+               {DataRate::mbps(0.58), DataRate::mbps(1.01),
+                DataRate::mbps(1.47), DataRate::mbps(2.41),
+                DataRate::mbps(3.94)},
+               0.12, 11);
+}
+
+SessionResult run(Scheme scheme, const std::string& algo,
+                  double wifi_mbps = 3.8, double lte_mbps = 3.0,
+                  const std::string& sched = "minrtt") {
+  Scenario scenario(constant_scenario(DataRate::mbps(wifi_mbps),
+                                      DataRate::mbps(lte_mbps)));
+  SessionConfig cfg;
+  cfg.scheme = scheme;
+  cfg.adaptation = algo;
+  cfg.mptcp_scheduler = sched;
+  return run_streaming_session(scenario, test_video(), cfg);
+}
+
+struct Combo {
+  Scheme scheme;
+  const char* algo;
+};
+
+class AllCombos : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(AllCombos, SessionCompletesCleanly) {
+  const Combo combo = GetParam();
+  const SessionResult res = run(combo.scheme, combo.algo);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.chunks, 30);
+  EXPECT_EQ(res.stalls, 0);
+  EXPECT_GT(res.avg_bitrate_mbps, 0.3);
+  // The occasional narrow deadline miss is expected behaviour (the paper's
+  // Table 2 records ~10 ms misses); the buffer absorbs it — what matters
+  // is that misses stay rare and never become stalls.
+  EXPECT_LE(res.deadline_misses, 1);
+  if (combo.scheme == Scheme::kWifiOnly) {
+    EXPECT_EQ(res.cell_bytes, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllCombos,
+    ::testing::Values(Combo{Scheme::kBaseline, "festive"},
+                      Combo{Scheme::kBaseline, "gpac"},
+                      Combo{Scheme::kBaseline, "bba"},
+                      Combo{Scheme::kBaseline, "bba-c"},
+                      Combo{Scheme::kBaseline, "mpc"},
+                      Combo{Scheme::kMpDashRate, "festive"},
+                      Combo{Scheme::kMpDashRate, "gpac"},
+                      Combo{Scheme::kMpDashRate, "bba"},
+                      Combo{Scheme::kMpDashRate, "bba-c"},
+                      Combo{Scheme::kMpDashRate, "mpc"},
+                      Combo{Scheme::kMpDashDuration, "festive"},
+                      Combo{Scheme::kMpDashDuration, "bba"},
+                      Combo{Scheme::kWifiOnly, "festive"}),
+    [](const auto& info) {
+      std::string name = std::string(to_string(info.param.scheme)) + "_" +
+                         info.param.algo;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+class MpDashSavesCellular : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MpDashSavesCellular, VsBaselineWithEqualQoe) {
+  const std::string algo = GetParam();
+  const SessionResult base = run(Scheme::kBaseline, algo);
+  const SessionResult mpd = run(Scheme::kMpDashRate, algo);
+  ASSERT_TRUE(base.completed);
+  ASSERT_TRUE(mpd.completed);
+  // The headline property: large cellular reduction. GPAC and BBA-C pin
+  // the top level (both are aggressive with the aggregate estimate),
+  // leaving WiFi permanently short of the encoding rate, so their ceiling
+  // is the per-chunk deficit (the paper's Figure 7b/c likewise shows BBA
+  // saving less than FESTIVE); FESTIVE leaves far more room.
+  const double factor = algo == "festive" ? 0.5 : 0.7;
+  EXPECT_LT(static_cast<double>(mpd.cell_bytes),
+            static_cast<double>(base.cell_bytes) * factor);
+  // ...with no extra stalls and near-equal playback bitrate.
+  EXPECT_EQ(mpd.stalls, 0);
+  EXPECT_GT(mpd.steady_avg_bitrate_mbps,
+            base.steady_avg_bitrate_mbps - 0.45);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, MpDashSavesCellular,
+                         ::testing::Values("festive", "gpac", "bba-c"));
+
+TEST(Integration, RoundRobinSchedulerAlsoWorks) {
+  const SessionResult base =
+      run(Scheme::kBaseline, "festive", 3.8, 3.0, "roundrobin");
+  const SessionResult mpd =
+      run(Scheme::kMpDashRate, "festive", 3.8, 3.0, "roundrobin");
+  ASSERT_TRUE(base.completed);
+  ASSERT_TRUE(mpd.completed);
+  EXPECT_LT(mpd.cell_bytes, base.cell_bytes / 2);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  const SessionResult a = run(Scheme::kMpDashRate, "festive");
+  const SessionResult b = run(Scheme::kMpDashRate, "festive");
+  EXPECT_EQ(a.cell_bytes, b.cell_bytes);
+  EXPECT_EQ(a.wifi_bytes, b.wifi_bytes);
+  EXPECT_EQ(a.chunks, b.chunks);
+  EXPECT_DOUBLE_EQ(a.avg_bitrate_mbps, b.avg_bitrate_mbps);
+}
+
+TEST(Integration, CellularAssistsWhenWifiCannotCarryAlone) {
+  // WiFi 2.2 / LTE 1.2: even the aggregate cannot hold the top level.
+  const SessionResult res = run(Scheme::kMpDashRate, "festive", 2.2, 1.2);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.stalls, 0);
+  // Cellular must be contributing — WiFi alone tops out below what the
+  // player consumes.
+  EXPECT_GT(res.cell_bytes, megabytes(1));
+  // And the player cannot be at the top level throughout.
+  EXPECT_LT(res.steady_avg_bitrate_mbps, 3.5);
+}
+
+TEST(Integration, FluctuatingWifiStillNoStalls) {
+  Rng rng(31);
+  FieldParams wp;
+  wp.mean = DataRate::mbps(5.0);
+  wp.sigma_fraction = 0.4;
+  wp.horizon = seconds(200.0);
+  ScenarioConfig cfg;
+  cfg.wifi_down = gen_field(wp, rng);
+  cfg.lte_down = BandwidthTrace::constant(DataRate::mbps(6.0));
+  Scenario scenario(std::move(cfg));
+
+  SessionConfig scfg;
+  scfg.scheme = Scheme::kMpDashRate;
+  scfg.adaptation = "festive";
+  const SessionResult res =
+      run_streaming_session(scenario, test_video(), scfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.stalls, 0);
+  EXPECT_GT(res.cell_bytes, 0);  // the fades forced some assists
+}
+
+TEST(Integration, PreferCellularPolicyInverts) {
+  // Under the prefer-cellular policy (mobility case), WiFi becomes the
+  // costly path and should carry almost nothing when LTE suffices.
+  ScenarioConfig cfg =
+      constant_scenario(DataRate::mbps(6.0), DataRate::mbps(6.0));
+  cfg.policy = prefer_cellular_policy();
+  Scenario scenario(std::move(cfg));
+  SessionConfig scfg;
+  scfg.scheme = Scheme::kMpDashRate;
+  scfg.adaptation = "festive";
+  const SessionResult res =
+      run_streaming_session(scenario, test_video(), scfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_LT(res.wifi_bytes, res.cell_bytes / 4);
+}
+
+TEST(Integration, ChunkDurationSweep) {
+  // The paper: 4, 6, 10 s chunks yield qualitatively similar results.
+  for (double dur : {4.0, 6.0, 10.0}) {
+    Scenario base_sc(
+        constant_scenario(DataRate::mbps(3.8), DataRate::mbps(3.0)));
+    Scenario mpd_sc(
+        constant_scenario(DataRate::mbps(3.8), DataRate::mbps(3.0)));
+    const Video v("Clip", seconds(dur), static_cast<int>(120.0 / dur),
+                  {DataRate::mbps(0.58), DataRate::mbps(1.01),
+                   DataRate::mbps(1.47), DataRate::mbps(2.41),
+                   DataRate::mbps(3.94)},
+                  0.12, 13);
+    SessionConfig cfg;
+    cfg.adaptation = "festive";
+    cfg.scheme = Scheme::kBaseline;
+    const auto base = run_streaming_session(base_sc, v, cfg);
+    cfg.scheme = Scheme::kMpDashRate;
+    const auto mpd = run_streaming_session(mpd_sc, v, cfg);
+    ASSERT_TRUE(base.completed && mpd.completed) << "chunk dur " << dur;
+    EXPECT_LT(mpd.cell_bytes, base.cell_bytes / 2) << "chunk dur " << dur;
+    EXPECT_EQ(mpd.stalls, 0) << "chunk dur " << dur;
+  }
+}
+
+}  // namespace
+}  // namespace mpdash

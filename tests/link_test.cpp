@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "link/link.h"
+#include "link/path.h"
+#include "link/shaper.h"
+#include "sim/event_loop.h"
+
+namespace mpdash {
+namespace {
+
+Packet data_packet(Bytes wire, std::uint64_t id = 1) {
+  Packet p;
+  p.id = id;
+  p.kind = PacketKind::kData;
+  p.wire_size = wire;
+  p.payload_len = wire - kPacketHeaderBytes;
+  return p;
+}
+
+TEST(Link, SerializationPlusPropagation) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.rate = BandwidthTrace::constant(DataRate::mbps(8.0));  // 1 MB/s
+  cfg.propagation_delay = milliseconds(25);
+  Link link(loop, cfg);
+
+  TimePoint delivered_at = kTimeZero;
+  link.set_deliver_handler([&](Packet) { delivered_at = loop.now(); });
+  link.send(data_packet(1000));
+  loop.run();
+  // 1000 B at 1 MB/s = 1 ms serialize + 25 ms propagation.
+  EXPECT_NEAR(to_milliseconds(delivered_at), 26.0, 0.01);
+  EXPECT_EQ(link.delivered_packets(), 1u);
+  EXPECT_EQ(link.delivered_bytes(), 1000);
+}
+
+TEST(Link, BackToBackPacketsQueueBehindEachOther) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.rate = BandwidthTrace::constant(DataRate::mbps(8.0));
+  cfg.propagation_delay = kDurationZero;
+  Link link(loop, cfg);
+
+  std::vector<double> times;
+  link.set_deliver_handler([&](Packet) {
+    times.push_back(to_milliseconds(loop.now()));
+  });
+  link.send(data_packet(1000, 1));
+  link.send(data_packet(1000, 2));
+  loop.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_NEAR(times[0], 1.0, 0.01);
+  EXPECT_NEAR(times[1], 2.0, 0.01);  // serialized after the first
+}
+
+TEST(Link, DropTailOnQueueOverflow) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.rate = BandwidthTrace::constant(DataRate::mbps(1.0));
+  cfg.queue_capacity = 2500;
+  Link link(loop, cfg);
+
+  int delivered = 0;
+  link.set_deliver_handler([&](Packet) { ++delivered; });
+  for (int i = 0; i < 5; ++i) link.send(data_packet(1000, i + 1));
+  loop.run();
+  // 2 fit in the 2500 B queue; the rest drop.
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(link.dropped_packets(), 3u);
+  EXPECT_EQ(link.dropped_bytes(), 3000);
+}
+
+TEST(Link, RespectsTimeVaryingRate) {
+  EventLoop loop;
+  LinkConfig cfg;
+  // 8 Mbps for 1 s, then 0.8 Mbps.
+  cfg.rate = BandwidthTrace({{kTimeZero, DataRate::mbps(8.0)},
+                             {TimePoint(seconds(1.0)), DataRate::mbps(0.8)}});
+  cfg.propagation_delay = kDurationZero;
+  cfg.queue_capacity = 10'000'000;
+  Link link(loop, cfg);
+
+  TimePoint last = kTimeZero;
+  link.set_deliver_handler([&](Packet) { last = loop.now(); });
+  // 1.5 MB: 1 MB in the first second, 0.5 MB at 0.1 MB/s = 5 s more.
+  for (int i = 0; i < 1500; ++i) link.send(data_packet(1000, i + 1));
+  loop.run();
+  EXPECT_NEAR(to_seconds(last), 6.0, 0.05);
+}
+
+TEST(Link, TapSeesSendDeliverDrop) {
+  struct Tap final : PacketTap {
+    int sends = 0, delivers = 0, drops = 0;
+    void on_send(int, TimePoint, const Packet&) override { ++sends; }
+    void on_deliver(int, TimePoint, const Packet&) override { ++delivers; }
+    void on_drop(int, TimePoint, const Packet&) override { ++drops; }
+  } tap;
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.rate = BandwidthTrace::constant(DataRate::mbps(1.0));
+  cfg.queue_capacity = 1500;
+  Link link(loop, cfg);
+  link.set_tap(&tap);
+  link.set_deliver_handler([](Packet) {});
+  link.send(data_packet(1000, 1));
+  link.send(data_packet(1000, 2));
+  loop.run();
+  EXPECT_EQ(tap.sends, 2);
+  EXPECT_EQ(tap.delivers, 1);
+  EXPECT_EQ(tap.drops, 1);
+}
+
+TEST(Link, RandomLossDropsApproximately) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.rate = BandwidthTrace::constant(DataRate::mbps(100.0));
+  cfg.queue_capacity = 100'000'000;
+  cfg.random_loss = 0.3;
+  Link link(loop, cfg);
+  // Deterministic "uniform" stream.
+  double v = 0.05;
+  link.set_loss_rng([&] {
+    v += 0.1;
+    if (v >= 1.0) v -= 1.0;
+    return v;
+  });
+  int delivered = 0;
+  link.set_deliver_handler([&](Packet) { ++delivered; });
+  for (int i = 0; i < 100; ++i) link.send(data_packet(500, i + 1));
+  loop.run();
+  EXPECT_NEAR(static_cast<double>(link.dropped_packets()), 30.0, 5.0);
+}
+
+TEST(Shaper, ConformsToTokenRate) {
+  EventLoop loop;
+  ShaperConfig cfg;
+  cfg.rate = DataRate::kbps(800.0);  // 100 KB/s
+  cfg.burst = 2000;
+  TokenBucketShaper shaper(loop, cfg);
+  TimePoint last = kTimeZero;
+  Bytes forwarded = 0;
+  shaper.set_forward_handler([&](Packet p) {
+    last = loop.now();
+    forwarded += p.wire_size;
+  });
+  // 52 KB at 100 KB/s: initial 2 KB burst free, remaining 50 KB -> ~0.5 s.
+  for (int i = 0; i < 52; ++i) shaper.send(data_packet(1000, i + 1));
+  loop.run();
+  EXPECT_EQ(forwarded, 52'000);
+  EXPECT_NEAR(to_seconds(last), 0.5, 0.05);
+}
+
+TEST(Shaper, DropsWhenQueueFull) {
+  EventLoop loop;
+  ShaperConfig cfg;
+  cfg.rate = DataRate::kbps(8.0);
+  cfg.burst = 1000;
+  cfg.queue_capacity = 3000;
+  TokenBucketShaper shaper(loop, cfg);
+  shaper.set_forward_handler([](Packet) {});
+  for (int i = 0; i < 10; ++i) shaper.send(data_packet(1000, i + 1));
+  EXPECT_GT(shaper.dropped_bytes(), 0);
+}
+
+TEST(NetPath, RoutesDirectionsAndRtt) {
+  EventLoop loop;
+  PathEndpointsConfig cfg;
+  cfg.description.id = 3;
+  cfg.downlink_rate = BandwidthTrace::constant(DataRate::mbps(10.0));
+  cfg.uplink_rate = BandwidthTrace::constant(DataRate::mbps(10.0));
+  cfg.one_way_delay = milliseconds(30);
+  NetPath path(loop, cfg);
+  EXPECT_EQ(path.base_rtt(), milliseconds(60));
+  EXPECT_EQ(path.downlink().id(), 6);  // 2 * path id
+  EXPECT_EQ(path.uplink().id(), 7);
+
+  int down = 0, up = 0;
+  path.set_downlink_deliver([&](Packet p) {
+    ++down;
+    EXPECT_EQ(p.path_id, 3);  // stamped by the path
+  });
+  path.set_uplink_deliver([&](Packet) { ++up; });
+  path.send_downlink(data_packet(500, 1));
+  path.send_uplink(data_packet(500, 2));
+  loop.run();
+  EXPECT_EQ(down, 1);
+  EXPECT_EQ(up, 1);
+}
+
+TEST(NetPath, DownlinkShaperThrottles) {
+  EventLoop loop;
+  PathEndpointsConfig cfg;
+  cfg.description.id = 0;
+  cfg.downlink_rate = BandwidthTrace::constant(DataRate::mbps(50.0));
+  cfg.uplink_rate = BandwidthTrace::constant(DataRate::mbps(10.0));
+  cfg.one_way_delay = kDurationZero;
+  ShaperConfig shaper;
+  shaper.rate = DataRate::kbps(700.0);
+  shaper.burst = 1500;
+  shaper.queue_capacity = 10'000'000;
+  cfg.downlink_shaper = shaper;
+  NetPath path(loop, cfg);
+
+  TimePoint last = kTimeZero;
+  path.set_downlink_deliver([&](Packet) { last = loop.now(); });
+  // 88.5 KB at 87.5 KB/s (700 kbps) minus the burst: ~1 s.
+  for (int i = 0; i < 89; ++i) path.send_downlink(data_packet(1000, i + 1));
+  loop.run();
+  EXPECT_GT(to_seconds(last), 0.9);
+}
+
+}  // namespace
+}  // namespace mpdash

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "core/offline_optimal.h"
+#include "core/online_simulator.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+
+namespace mpdash {
+namespace {
+
+SlottedInstance tiny_instance() {
+  // 2 interfaces x 4 slots of 1 s. WiFi free: 100 B/slot. Cell cost 1:
+  // 80 B/slot.
+  SlottedInstance inst;
+  inst.slot = seconds(1.0);
+  inst.bytes_per_slot = {{100, 100, 100, 100}, {80, 80, 80, 80}};
+  inst.unit_cost = {0.0, 1.0};
+  return inst;
+}
+
+TEST(OptimalDp, UsesOnlyFreeInterfaceWhenEnough) {
+  SlottedInstance inst = tiny_instance();
+  inst.target = 400;
+  const ScheduleResult res = optimal_dp(inst);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.total_cost, 0.0);
+  EXPECT_EQ(res.bytes_on_interface(inst, 0), 400);
+  EXPECT_EQ(res.bytes_on_interface(inst, 1), 0);
+}
+
+TEST(OptimalDp, PaysMinimumForTheDeficit) {
+  SlottedInstance inst = tiny_instance();
+  inst.target = 450;  // 400 free + one 80 B cell slot
+  const ScheduleResult res = optimal_dp(inst);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.bytes_on_interface(inst, 1), 80);
+  EXPECT_DOUBLE_EQ(res.total_cost, 80.0);
+}
+
+TEST(OptimalDp, InfeasibleWhenCapacityShort) {
+  SlottedInstance inst = tiny_instance();
+  inst.target = 1000;  // max 720
+  EXPECT_FALSE(optimal_dp(inst).feasible);
+}
+
+TEST(OptimalDp, PicksCheaperOfTwoCostlyInterfaces) {
+  SlottedInstance inst;
+  inst.slot = seconds(1.0);
+  inst.bytes_per_slot = {{100, 100}, {100, 100}, {100, 100}};
+  inst.unit_cost = {0.0, 5.0, 1.0};
+  inst.target = 300;
+  const ScheduleResult res = optimal_dp(inst);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.bytes_on_interface(inst, 1), 0);  // expensive untouched
+  EXPECT_EQ(res.bytes_on_interface(inst, 2), 100);
+  EXPECT_DOUBLE_EQ(res.total_cost, 100.0);
+}
+
+TEST(GreedyWaterfall, MatchesDpOnTwoPathInstances) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    SlottedInstance inst;
+    inst.slot = seconds(1.0);
+    const int slots = 5;
+    std::vector<Bytes> wifi(slots), cell(slots);
+    for (int j = 0; j < slots; ++j) {
+      wifi[static_cast<std::size_t>(j)] = rng.uniform_int(50, 150);
+      cell[static_cast<std::size_t>(j)] = rng.uniform_int(50, 150);
+    }
+    inst.bytes_per_slot = {wifi, cell};
+    inst.unit_cost = {0.0, 1.0};
+    Bytes cap = 0;
+    for (int j = 0; j < slots; ++j) {
+      cap += wifi[static_cast<std::size_t>(j)] +
+             cell[static_cast<std::size_t>(j)];
+    }
+    inst.target = rng.uniform_int(100, cap);
+
+    const ScheduleResult dp = optimal_dp(inst);
+    const ScheduleResult greedy = greedy_waterfall(inst);
+    ASSERT_TRUE(dp.feasible);
+    ASSERT_TRUE(greedy.feasible);
+    // Uniform cell cost: optimal cost == cost of cheapest byte set. The
+    // greedy may overshoot by at most one slot's worth.
+    EXPECT_GE(greedy.total_cost + 1e-9, dp.total_cost);
+    EXPECT_LE(greedy.total_cost, dp.total_cost + 150.0);
+  }
+}
+
+TEST(FluidOptimal, ZeroCostlyWhenPreferredSuffices) {
+  const auto wifi = BandwidthTrace::constant(DataRate::mbps(8.0));
+  const auto cell = BandwidthTrace::constant(DataRate::mbps(8.0));
+  const auto res =
+      optimal_two_path_fluid(wifi, cell, megabytes(5), seconds(10.0));
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.costly_bytes, 0);
+  EXPECT_DOUBLE_EQ(res.costly_fraction, 0.0);
+}
+
+TEST(FluidOptimal, ExactDeficit) {
+  const auto wifi = BandwidthTrace::constant(DataRate::mbps(3.8));
+  const auto cell = BandwidthTrace::constant(DataRate::mbps(3.0));
+  // 10 s: WiFi carries 4.75 MB of the 5 MB.
+  const auto res =
+      optimal_two_path_fluid(wifi, cell, megabytes(5), seconds(10.0));
+  EXPECT_TRUE(res.feasible);
+  EXPECT_NEAR(static_cast<double>(res.costly_bytes), 250'000, 2000);
+  EXPECT_NEAR(res.costly_fraction, 0.05, 0.001);
+}
+
+TEST(FluidOptimal, InfeasibleReported) {
+  const auto wifi = BandwidthTrace::constant(DataRate::mbps(1.0));
+  const auto cell = BandwidthTrace::constant(DataRate::mbps(1.0));
+  const auto res =
+      optimal_two_path_fluid(wifi, cell, megabytes(10), seconds(10.0));
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(FromTraces, SamplesSlotBytes) {
+  const auto wifi = BandwidthTrace::constant(DataRate::mbps(8.0));
+  const auto cell = BandwidthTrace::constant(DataRate::mbps(4.0));
+  const auto inst = SlottedInstance::from_traces(
+      {&wifi, &cell}, {0.0, 1.0}, megabytes(1), seconds(2.0),
+      milliseconds(500));
+  ASSERT_EQ(inst.interfaces(), 2u);
+  ASSERT_EQ(inst.slots(), 4u);
+  EXPECT_EQ(inst.bytes_per_slot[0][0], 500'000);
+  EXPECT_EQ(inst.bytes_per_slot[1][3], 250'000);
+}
+
+// Property: the online algorithm never beats the perfect-knowledge fluid
+// optimum, and with stable bandwidth it comes close (Table 2's "Diff"
+// column stays under ~10 %).
+class OnlineVsOptimal : public ::testing::TestWithParam<double> {};
+
+TEST_P(OnlineVsOptimal, GapIsSmallAndOneSided) {
+  const double sigma = GetParam();
+  Rng rng(23 + static_cast<std::uint64_t>(sigma * 100));
+  JitterParams wifi_p, cell_p;
+  wifi_p.mean = DataRate::mbps(3.8);
+  wifi_p.sigma_fraction = sigma;
+  cell_p.mean = DataRate::mbps(3.0);
+  cell_p.sigma_fraction = sigma;
+  const auto wifi = gen_jitter(wifi_p, rng);
+  const auto cell = gen_jitter(cell_p, rng);
+
+  const Bytes target = megabytes(5);
+  const Duration deadline = seconds(10.0);
+  const auto opt = optimal_two_path_fluid(wifi, cell, target, deadline);
+  const auto online = simulate_online_two_path(wifi, cell, target, deadline);
+
+  ASSERT_TRUE(opt.feasible);
+  // Online uses at least as much costly data as the oracle...
+  EXPECT_GE(online.costly_fraction, opt.costly_fraction - 0.01);
+  // ...but not wildly more (paper: < 10 % of transfer size).
+  EXPECT_LE(online.costly_fraction, opt.costly_fraction + 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, OnlineVsOptimal,
+                         ::testing::Values(0.1, 0.2, 0.3));
+
+}  // namespace
+}  // namespace mpdash

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "trace/bandwidth_trace.h"
+#include "trace/generators.h"
+#include "trace/locations.h"
+#include "trace/trace_io.h"
+#include "util/rng.h"
+
+namespace mpdash {
+namespace {
+
+BandwidthTrace step_trace() {
+  return BandwidthTrace({{kTimeZero, DataRate::mbps(8.0)},
+                         {TimePoint(seconds(10.0)), DataRate::mbps(4.0)}});
+}
+
+TEST(BandwidthTrace, RateAtSegments) {
+  const auto t = step_trace();
+  EXPECT_EQ(t.rate_at(kTimeZero).as_mbps(), 8.0);
+  EXPECT_EQ(t.rate_at(TimePoint(seconds(9.999))).as_mbps(), 8.0);
+  EXPECT_EQ(t.rate_at(TimePoint(seconds(10.0))).as_mbps(), 4.0);
+  // Final rate holds forever.
+  EXPECT_EQ(t.rate_at(TimePoint(seconds(1000.0))).as_mbps(), 4.0);
+}
+
+TEST(BandwidthTrace, EmptyTraceIsZero) {
+  BandwidthTrace t;
+  EXPECT_TRUE(t.rate_at(kTimeZero).is_zero());
+  EXPECT_EQ(t.bytes_between(kTimeZero, TimePoint(seconds(5.0))), 0);
+  EXPECT_EQ(t.time_to_deliver(kTimeZero, 100), TimePoint::max());
+}
+
+TEST(BandwidthTrace, BytesBetweenCrossesSegments) {
+  const auto t = step_trace();
+  // 5 s at 8 Mbps = 5 MB; 10 s at 8 + 5 s at 4 = 12.5 MB.
+  EXPECT_EQ(t.bytes_between(kTimeZero, TimePoint(seconds(5.0))), 5'000'000);
+  EXPECT_EQ(t.bytes_between(kTimeZero, TimePoint(seconds(15.0))), 12'500'000);
+  // Degenerate ranges.
+  EXPECT_EQ(t.bytes_between(TimePoint(seconds(5.0)), TimePoint(seconds(5.0))),
+            0);
+}
+
+TEST(BandwidthTrace, TimeToDeliverInverse) {
+  const auto t = step_trace();
+  // 11 MB: 10 MB in first 10 s, 1 MB at 4 Mbps = 2 s more.
+  const TimePoint done = t.time_to_deliver(kTimeZero, 11'000'000);
+  EXPECT_NEAR(to_seconds(done), 12.0, 1e-6);
+  // From mid-trace.
+  const TimePoint done2 =
+      t.time_to_deliver(TimePoint(seconds(10.0)), 1'000'000);
+  EXPECT_NEAR(to_seconds(done2), 12.0, 1e-6);
+  EXPECT_EQ(t.time_to_deliver(kTimeZero, 0), kTimeZero);
+}
+
+TEST(BandwidthTrace, LoopWrapsAround) {
+  auto t = step_trace();
+  t.set_loop(seconds(20.0));
+  EXPECT_EQ(t.rate_at(TimePoint(seconds(25.0))).as_mbps(), 8.0);  // 25 % 20 = 5
+  EXPECT_EQ(t.rate_at(TimePoint(seconds(35.0))).as_mbps(), 4.0);
+  // One full loop delivers 15 MB.
+  EXPECT_EQ(t.bytes_between(kTimeZero, TimePoint(seconds(40.0))), 30'000'000);
+}
+
+TEST(BandwidthTrace, ScaledMultipliesRates) {
+  const auto t = step_trace().scaled(0.5);
+  EXPECT_EQ(t.rate_at(kTimeZero).as_mbps(), 4.0);
+  EXPECT_EQ(t.rate_at(TimePoint(seconds(10.0))).as_mbps(), 2.0);
+}
+
+TEST(BandwidthTrace, RejectsBadPoints) {
+  EXPECT_THROW(BandwidthTrace({{TimePoint(seconds(1.0)), DataRate::mbps(1)}}),
+               std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace({{kTimeZero, DataRate::mbps(1)},
+                               {kTimeZero, DataRate::mbps(2)}}),
+               std::invalid_argument);
+}
+
+TEST(BandwidthTrace, MeanRate) {
+  EXPECT_NEAR(step_trace().mean_rate(seconds(20.0)).as_mbps(), 6.0, 0.01);
+}
+
+// --- generators --------------------------------------------------------
+
+class JitterSigma : public ::testing::TestWithParam<double> {};
+
+TEST_P(JitterSigma, PreservesMeanAndFloor) {
+  Rng rng(5);
+  JitterParams p;
+  p.mean = DataRate::mbps(3.8);
+  p.sigma_fraction = GetParam();
+  p.horizon = seconds(600.0);
+  const auto t = gen_jitter(p, rng);
+  EXPECT_NEAR(t.mean_rate(seconds(600.0)).as_mbps(), 3.8, 0.2);
+  for (const auto& pt : t.points()) {
+    EXPECT_GE(pt.rate.as_mbps(), 0.05 * 3.8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, JitterSigma,
+                         ::testing::Values(0.1, 0.3, 0.5));
+
+TEST(Generators, FieldTraceStatistics) {
+  Rng rng(6);
+  FieldParams p;
+  p.mean = DataRate::mbps(6.0);
+  p.horizon = seconds(600.0);
+  const auto t = gen_field(p, rng);
+  EXPECT_NEAR(t.mean_rate(seconds(600.0)).as_mbps(), 6.0, 1.5);
+  // It actually varies.
+  double lo = 1e9, hi = 0;
+  for (const auto& pt : t.points()) {
+    lo = std::min(lo, pt.rate.as_mbps());
+    hi = std::max(hi, pt.rate.as_mbps());
+  }
+  EXPECT_LT(lo, 4.0);
+  EXPECT_GT(hi, 8.0);
+}
+
+TEST(Generators, MobilityWalkOscillates) {
+  Rng rng(7);
+  MobilityParams p;
+  p.peak = DataRate::mbps(5.0);
+  p.period = seconds(60.0);
+  p.horizon = seconds(120.0);
+  const auto t = gen_mobility_walk(p, rng);
+  // Near the AP at t=0, far at t=30, near again at t=60.
+  EXPECT_GT(t.rate_at(TimePoint(seconds(1.0))).as_mbps(), 2.5);
+  EXPECT_LT(t.rate_at(TimePoint(seconds(30.0))).as_mbps(), 1.5);
+  EXPECT_GT(t.rate_at(TimePoint(seconds(59.0))).as_mbps(), 2.0);
+}
+
+TEST(Generators, StepAndRamp) {
+  const auto st =
+      gen_step(DataRate::mbps(8), DataRate::mbps(2), seconds(5.0),
+               seconds(20.0));
+  EXPECT_EQ(st.rate_at(TimePoint(seconds(2.0))).as_mbps(), 8.0);
+  EXPECT_EQ(st.rate_at(TimePoint(seconds(7.0))).as_mbps(), 2.0);
+
+  const auto ramp =
+      gen_ramp(DataRate::mbps(10), DataRate::mbps(0), 10, seconds(10.0));
+  EXPECT_EQ(ramp.rate_at(kTimeZero).as_mbps(), 10.0);
+  EXPECT_LT(ramp.rate_at(TimePoint(seconds(9.5))).as_mbps(), 1.0);
+}
+
+// --- locations ---------------------------------------------------------
+
+TEST(Locations, ThirtyThreeWithPaperScenarioSplit) {
+  const auto& locs = field_study_locations();
+  ASSERT_EQ(locs.size(), 33u);
+  int s1 = 0, s2 = 0, s3 = 0;
+  for (const auto& l : locs) {
+    switch (l.scenario) {
+      case WifiScenario::kNeverSustains: ++s1; break;
+      case WifiScenario::kSometimesSustains: ++s2; break;
+      case WifiScenario::kAlwaysSustains: ++s3; break;
+    }
+  }
+  // Paper: 64% / 15% / 21% of 33.
+  EXPECT_EQ(s1, 21);
+  EXPECT_EQ(s2, 5);
+  EXPECT_EQ(s3, 7);
+}
+
+TEST(Locations, Table5ValuesMatchPaper) {
+  const auto t5 = table5_locations();
+  ASSERT_EQ(t5.size(), 7u);
+  EXPECT_EQ(t5[0].name, "Hotel Hi");
+  EXPECT_NEAR(t5[0].wifi_mean.as_mbps(), 2.92, 1e-9);
+  EXPECT_NEAR(to_milliseconds(t5[0].wifi_rtt), 14.1, 1e-6);
+  EXPECT_EQ(t5.back().name, "Elec. Store");
+  EXPECT_NEAR(t5.back().wifi_mean.as_mbps(), 28.4, 1e-9);
+  EXPECT_NEAR(t5.back().lte_mean.as_mbps(), 18.5, 1e-9);
+}
+
+TEST(Locations, TracesAreDeterministicPerLocation) {
+  const auto& loc = field_study_locations().front();
+  const auto a = loc.wifi_trace(seconds(60.0));
+  const auto b = loc.wifi_trace(seconds(60.0));
+  ASSERT_EQ(a.points().size(), b.points().size());
+  for (std::size_t i = 0; i < a.points().size(); ++i) {
+    EXPECT_EQ(a.points()[i].rate.bps(), b.points()[i].rate.bps());
+  }
+}
+
+TEST(Locations, Table1ProfilesMatchPaper) {
+  const auto& profiles = table1_profiles();
+  ASSERT_EQ(profiles.size(), 5u);
+  EXPECT_EQ(profiles[0].name, "SYNTH sigma=10%");
+  EXPECT_EQ(profiles[0].file_size, megabytes(5));
+  EXPECT_EQ(profiles[2].name, "FastFood");
+  EXPECT_NEAR(profiles[2].wifi_mean.as_mbps(), 5.2, 1e-9);
+  EXPECT_EQ(profiles[4].file_size, megabytes(50));
+  EXPECT_EQ(profiles[4].deadlines.size(), 4u);
+}
+
+// --- trace I/O ---------------------------------------------------------
+
+TEST(TraceIo, CsvRoundTrip) {
+  const auto t = step_trace();
+  const auto back = trace_from_csv(trace_to_csv(t));
+  ASSERT_EQ(back.points().size(), 2u);
+  EXPECT_NEAR(back.points()[1].rate.as_mbps(), 4.0, 1e-6);
+  EXPECT_NEAR(to_seconds(back.points()[1].start), 10.0, 1e-6);
+}
+
+TEST(TraceIo, RejectsMalformed) {
+  EXPECT_THROW(trace_from_csv("time_s,rate_mbps\nnot-a-number,1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace_from_csv("0.0\n"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpdash

@@ -1,0 +1,231 @@
+// mpdash_sim — command-line driver for the MP-DASH simulator.
+//
+// Runs a single streaming session or deadline download with every knob on
+// the command line, printing a human-readable report or machine-readable
+// CSV. Bandwidth can come from constants, built-in location profiles, or
+// trace CSV files (time_s,rate_mbps — see trace/trace_io.h).
+//
+//   mpdash_sim stream --scheme mpdash-rate --algo festive
+//       --wifi 3.8 --lte 3.0 --video bbb --csv out.csv
+//   mpdash_sim stream --location "Hotel Hi" --algo bba
+//   mpdash_sim stream --wifi-trace wifi.csv --lte 8.0
+//   mpdash_sim download --size-mb 5 --deadline 10 --no-mpdash
+//   mpdash_sim locations            # list the field-study profile DB
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "dash/video.h"
+#include "exp/scenario.h"
+#include "exp/session.h"
+#include "trace/locations.h"
+#include "trace/trace_io.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace mpdash;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string scheme = "mpdash-rate";
+  std::string algo = "festive";
+  std::string video = "bbb";
+  std::string location;
+  std::string wifi_trace_path;
+  std::string lte_trace_path;
+  std::string csv_path;
+  double wifi_mbps = 3.8;
+  double lte_mbps = 3.0;
+  double chunk_s = 4.0;
+  double alpha = 1.0;
+  double size_mb = 5.0;
+  double deadline_s = 10.0;
+  bool use_mpdash = true;
+  std::string mptcp_scheduler = "minrtt";
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: mpdash_sim <stream|download|locations> [options]\n"
+               "  --scheme wifi-only|baseline|mpdash-rate|mpdash-duration\n"
+               "  --algo gpac|festive|bba|bba-c|mpc\n"
+               "  --video bbb|redbull|tears|tears-hd   --chunk <seconds>\n"
+               "  --wifi <mbps> | --wifi-trace <csv>   --lte <mbps> | "
+               "--lte-trace <csv>\n"
+               "  --location <name from `locations`>\n"
+               "  --alpha <0..1>  --scheduler minrtt|roundrobin\n"
+               "  --size-mb <mb> --deadline <s> --no-mpdash   (download)\n"
+               "  --csv <path>   write the result row as CSV\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--scheme") a.scheme = value();
+    else if (flag == "--algo") a.algo = value();
+    else if (flag == "--video") a.video = value();
+    else if (flag == "--location") a.location = value();
+    else if (flag == "--wifi") a.wifi_mbps = std::atof(value().c_str());
+    else if (flag == "--lte") a.lte_mbps = std::atof(value().c_str());
+    else if (flag == "--wifi-trace") a.wifi_trace_path = value();
+    else if (flag == "--lte-trace") a.lte_trace_path = value();
+    else if (flag == "--chunk") a.chunk_s = std::atof(value().c_str());
+    else if (flag == "--alpha") a.alpha = std::atof(value().c_str());
+    else if (flag == "--scheduler") a.mptcp_scheduler = value();
+    else if (flag == "--size-mb") a.size_mb = std::atof(value().c_str());
+    else if (flag == "--deadline") a.deadline_s = std::atof(value().c_str());
+    else if (flag == "--no-mpdash") a.use_mpdash = false;
+    else if (flag == "--csv") a.csv_path = value();
+    else usage(("unknown flag " + flag).c_str());
+  }
+  return a;
+}
+
+Scheme parse_scheme(const std::string& s) {
+  if (s == "wifi-only") return Scheme::kWifiOnly;
+  if (s == "baseline") return Scheme::kBaseline;
+  if (s == "mpdash-rate") return Scheme::kMpDashRate;
+  if (s == "mpdash-duration") return Scheme::kMpDashDuration;
+  usage(("unknown scheme " + s).c_str());
+}
+
+Video pick_video(const Args& a) {
+  const Duration chunk = seconds(a.chunk_s);
+  if (a.video == "bbb") return big_buck_bunny(chunk);
+  if (a.video == "redbull") return red_bull_playstreets(chunk);
+  if (a.video == "tears") return tears_of_steel(chunk);
+  if (a.video == "tears-hd") return tears_of_steel_hd(chunk);
+  usage(("unknown video " + a.video).c_str());
+}
+
+ScenarioConfig build_network(const Args& a, Duration horizon) {
+  if (!a.location.empty()) {
+    for (const auto& loc : field_study_locations()) {
+      if (loc.name == a.location) {
+        ScenarioConfig cfg;
+        cfg.wifi_down = loc.wifi_trace(horizon);
+        cfg.lte_down = loc.lte_trace(horizon);
+        cfg.wifi_rtt = loc.wifi_rtt;
+        cfg.lte_rtt = loc.lte_rtt;
+        return cfg;
+      }
+    }
+    usage(("unknown location " + a.location).c_str());
+  }
+  ScenarioConfig cfg = constant_scenario(DataRate::mbps(a.wifi_mbps),
+                                         DataRate::mbps(a.lte_mbps));
+  if (!a.wifi_trace_path.empty()) cfg.wifi_down = load_trace(a.wifi_trace_path);
+  if (!a.lte_trace_path.empty()) cfg.lte_down = load_trace(a.lte_trace_path);
+  return cfg;
+}
+
+int cmd_locations() {
+  TextTable table({"name", "venue", "state", "scenario", "WiFi Mbps",
+                   "WiFi RTT ms", "LTE Mbps", "LTE RTT ms"});
+  for (const auto& loc : field_study_locations()) {
+    table.add_row({loc.name, loc.venue, loc.state,
+                   std::to_string(static_cast<int>(loc.scenario)),
+                   TextTable::num(loc.wifi_mean.as_mbps(), 2),
+                   TextTable::num(to_milliseconds(loc.wifi_rtt), 1),
+                   TextTable::num(loc.lte_mean.as_mbps(), 2),
+                   TextTable::num(to_milliseconds(loc.lte_rtt), 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_stream(const Args& a) {
+  const Video video = pick_video(a);
+  Scenario scenario(build_network(a, video.total_duration() + seconds(180.0)));
+  SessionConfig cfg;
+  cfg.scheme = parse_scheme(a.scheme);
+  cfg.adaptation = a.algo;
+  cfg.alpha = a.alpha;
+  cfg.mptcp_scheduler = a.mptcp_scheduler;
+  const SessionResult res = run_streaming_session(scenario, video, cfg);
+
+  std::printf("session: %s / %s / %s\n", video.name().c_str(),
+              a.algo.c_str(), a.scheme.c_str());
+  TextTable table({"metric", "value"});
+  table.add_row({"completed", res.completed ? "yes" : "NO (time limit)"});
+  table.add_row({"chunks", std::to_string(res.chunks)});
+  table.add_row({"cellular MB",
+                 TextTable::num(static_cast<double>(res.cell_bytes) / 1e6)});
+  table.add_row({"wifi MB",
+                 TextTable::num(static_cast<double>(res.wifi_bytes) / 1e6)});
+  table.add_row({"cellular share", TextTable::pct(res.cell_fraction, 1)});
+  table.add_row({"avg bitrate Mbps", TextTable::num(res.avg_bitrate_mbps)});
+  table.add_row({"steady bitrate Mbps",
+                 TextTable::num(res.steady_avg_bitrate_mbps)});
+  table.add_row({"stalls", std::to_string(res.stalls)});
+  table.add_row({"quality switches", std::to_string(res.switches)});
+  table.add_row({"radio energy J", TextTable::num(res.energy_j(), 1)});
+  table.add_row({"deadline misses", std::to_string(res.deadline_misses)});
+  std::printf("%s", table.render().c_str());
+
+  if (!a.csv_path.empty()) {
+    CsvWriter csv({"video", "algo", "scheme", "completed", "chunks",
+                   "cell_mb", "wifi_mb", "avg_mbps", "steady_mbps", "stalls",
+                   "switches", "energy_j", "misses"});
+    csv.add_row({video.name(), a.algo, a.scheme,
+                 res.completed ? "1" : "0", std::to_string(res.chunks),
+                 TextTable::num(static_cast<double>(res.cell_bytes) / 1e6, 3),
+                 TextTable::num(static_cast<double>(res.wifi_bytes) / 1e6, 3),
+                 TextTable::num(res.avg_bitrate_mbps, 3),
+                 TextTable::num(res.steady_avg_bitrate_mbps, 3),
+                 std::to_string(res.stalls), std::to_string(res.switches),
+                 TextTable::num(res.energy_j(), 1),
+                 std::to_string(res.deadline_misses)});
+    if (!csv.write_file(a.csv_path)) {
+      std::fprintf(stderr, "cannot write %s\n", a.csv_path.c_str());
+      return 1;
+    }
+    std::printf("result written to %s\n", a.csv_path.c_str());
+  }
+  return res.completed ? 0 : 1;
+}
+
+int cmd_download(const Args& a) {
+  Scenario scenario(build_network(a, seconds(600.0)));
+  DownloadConfig cfg;
+  cfg.size = static_cast<Bytes>(a.size_mb * 1e6);
+  cfg.deadline = seconds(a.deadline_s);
+  cfg.use_mpdash = a.use_mpdash;
+  cfg.alpha = a.alpha;
+  cfg.mptcp_scheduler = a.mptcp_scheduler;
+  cfg.warmup = true;
+  const DownloadResult res = run_download_session(scenario, cfg);
+  std::printf("%.1f MB with %.1f s deadline (%s):\n", a.size_mb,
+              a.deadline_s, a.use_mpdash ? "MP-DASH" : "vanilla MPTCP");
+  std::printf("  finish %.2f s (%s), LTE %.2f MB, WiFi %.2f MB, "
+              "energy %.1f J\n",
+              to_seconds(res.finish_time),
+              res.deadline_missed ? "MISSED" : "met",
+              static_cast<double>(res.cell_bytes) / 1e6,
+              static_cast<double>(res.wifi_bytes) / 1e6, res.energy_j());
+  return res.completed && !res.deadline_missed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.command == "locations") return cmd_locations();
+  if (args.command == "stream") return cmd_stream(args);
+  if (args.command == "download") return cmd_download(args);
+  usage(("unknown command " + args.command).c_str());
+}
