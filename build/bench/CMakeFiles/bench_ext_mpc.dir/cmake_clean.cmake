@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mpc.dir/bench_ext_mpc.cpp.o"
+  "CMakeFiles/bench_ext_mpc.dir/bench_ext_mpc.cpp.o.d"
+  "bench_ext_mpc"
+  "bench_ext_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_bba_oscillation.cpp" "bench/CMakeFiles/bench_fig3_bba_oscillation.dir/bench_fig3_bba_oscillation.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_bba_oscillation.dir/bench_fig3_bba_oscillation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/mpdash_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapter/CMakeFiles/mpdash_adapter.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mpdash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mpdash_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dash/CMakeFiles/mpdash_dash.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/mpdash_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/mpdash_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/mpdash_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/mptcp/CMakeFiles/mpdash_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/mpdash_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mpdash_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/mpdash_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mpdash_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpdash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpdash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

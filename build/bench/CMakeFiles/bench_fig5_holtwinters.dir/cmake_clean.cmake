@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_holtwinters.dir/bench_fig5_holtwinters.cpp.o"
+  "CMakeFiles/bench_fig5_holtwinters.dir/bench_fig5_holtwinters.cpp.o.d"
+  "bench_fig5_holtwinters"
+  "bench_fig5_holtwinters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_holtwinters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

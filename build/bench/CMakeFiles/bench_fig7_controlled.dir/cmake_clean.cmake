@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_controlled.dir/bench_fig7_controlled.cpp.o"
+  "CMakeFiles/bench_fig7_controlled.dir/bench_fig7_controlled.cpp.o.d"
+  "bench_fig7_controlled"
+  "bench_fig7_controlled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_controlled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_analysis_tool.dir/bench_fig8_analysis_tool.cpp.o"
+  "CMakeFiles/bench_fig8_analysis_tool.dir/bench_fig8_analysis_tool.cpp.o.d"
+  "bench_fig8_analysis_tool"
+  "bench_fig8_analysis_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_analysis_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

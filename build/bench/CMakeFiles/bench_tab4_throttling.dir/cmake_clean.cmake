@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_throttling.dir/bench_tab4_throttling.cpp.o"
+  "CMakeFiles/bench_tab4_throttling.dir/bench_tab4_throttling.cpp.o.d"
+  "bench_tab4_throttling"
+  "bench_tab4_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_locations.dir/bench_tab5_locations.cpp.o"
+  "CMakeFiles/bench_tab5_locations.dir/bench_tab5_locations.cpp.o.d"
+  "bench_tab5_locations"
+  "bench_tab5_locations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab6_hd.dir/bench_tab6_hd.cpp.o"
+  "CMakeFiles/bench_tab6_hd.dir/bench_tab6_hd.cpp.o.d"
+  "bench_tab6_hd"
+  "bench_tab6_hd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_hd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

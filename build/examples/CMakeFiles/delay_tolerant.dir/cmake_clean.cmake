@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_tolerant.dir/delay_tolerant.cpp.o"
+  "CMakeFiles/delay_tolerant.dir/delay_tolerant.cpp.o.d"
+  "delay_tolerant"
+  "delay_tolerant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_tolerant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

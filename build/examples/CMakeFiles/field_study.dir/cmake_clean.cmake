@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_study.dir/field_study.cpp.o"
+  "CMakeFiles/field_study.dir/field_study.cpp.o.d"
+  "field_study"
+  "field_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

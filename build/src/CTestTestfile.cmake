@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("trace")
+subdirs("predict")
+subdirs("link")
+subdirs("tcp")
+subdirs("mptcp")
+subdirs("http")
+subdirs("core")
+subdirs("dash")
+subdirs("adapt")
+subdirs("adapter")
+subdirs("energy")
+subdirs("analysis")
+subdirs("exp")

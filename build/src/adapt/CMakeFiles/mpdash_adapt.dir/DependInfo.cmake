@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapt/adaptation.cpp" "src/adapt/CMakeFiles/mpdash_adapt.dir/adaptation.cpp.o" "gcc" "src/adapt/CMakeFiles/mpdash_adapt.dir/adaptation.cpp.o.d"
+  "/root/repo/src/adapt/bba.cpp" "src/adapt/CMakeFiles/mpdash_adapt.dir/bba.cpp.o" "gcc" "src/adapt/CMakeFiles/mpdash_adapt.dir/bba.cpp.o.d"
+  "/root/repo/src/adapt/festive.cpp" "src/adapt/CMakeFiles/mpdash_adapt.dir/festive.cpp.o" "gcc" "src/adapt/CMakeFiles/mpdash_adapt.dir/festive.cpp.o.d"
+  "/root/repo/src/adapt/gpac.cpp" "src/adapt/CMakeFiles/mpdash_adapt.dir/gpac.cpp.o" "gcc" "src/adapt/CMakeFiles/mpdash_adapt.dir/gpac.cpp.o.d"
+  "/root/repo/src/adapt/mpc.cpp" "src/adapt/CMakeFiles/mpdash_adapt.dir/mpc.cpp.o" "gcc" "src/adapt/CMakeFiles/mpdash_adapt.dir/mpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpdash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/mpdash_predict.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_adapt.dir/adaptation.cpp.o"
+  "CMakeFiles/mpdash_adapt.dir/adaptation.cpp.o.d"
+  "CMakeFiles/mpdash_adapt.dir/bba.cpp.o"
+  "CMakeFiles/mpdash_adapt.dir/bba.cpp.o.d"
+  "CMakeFiles/mpdash_adapt.dir/festive.cpp.o"
+  "CMakeFiles/mpdash_adapt.dir/festive.cpp.o.d"
+  "CMakeFiles/mpdash_adapt.dir/gpac.cpp.o"
+  "CMakeFiles/mpdash_adapt.dir/gpac.cpp.o.d"
+  "CMakeFiles/mpdash_adapt.dir/mpc.cpp.o"
+  "CMakeFiles/mpdash_adapt.dir/mpc.cpp.o.d"
+  "libmpdash_adapt.a"
+  "libmpdash_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

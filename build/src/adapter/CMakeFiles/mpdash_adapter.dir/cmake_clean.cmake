@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_adapter.dir/mpdash_adapter.cpp.o"
+  "CMakeFiles/mpdash_adapter.dir/mpdash_adapter.cpp.o.d"
+  "libmpdash_adapter.a"
+  "libmpdash_adapter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cpp" "src/analysis/CMakeFiles/mpdash_analysis.dir/analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/mpdash_analysis.dir/analyzer.cpp.o.d"
+  "/root/repo/src/analysis/records.cpp" "src/analysis/CMakeFiles/mpdash_analysis.dir/records.cpp.o" "gcc" "src/analysis/CMakeFiles/mpdash_analysis.dir/records.cpp.o.d"
+  "/root/repo/src/analysis/render.cpp" "src/analysis/CMakeFiles/mpdash_analysis.dir/render.cpp.o" "gcc" "src/analysis/CMakeFiles/mpdash_analysis.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/link/CMakeFiles/mpdash_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/mpdash_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/dash/CMakeFiles/mpdash_dash.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/mpdash_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mptcp/CMakeFiles/mpdash_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mpdash_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mpdash_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpdash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/mpdash_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/mpdash_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpdash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

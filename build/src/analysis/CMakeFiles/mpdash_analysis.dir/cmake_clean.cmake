@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_analysis.dir/analyzer.cpp.o"
+  "CMakeFiles/mpdash_analysis.dir/analyzer.cpp.o.d"
+  "CMakeFiles/mpdash_analysis.dir/records.cpp.o"
+  "CMakeFiles/mpdash_analysis.dir/records.cpp.o.d"
+  "CMakeFiles/mpdash_analysis.dir/render.cpp.o"
+  "CMakeFiles/mpdash_analysis.dir/render.cpp.o.d"
+  "libmpdash_analysis.a"
+  "libmpdash_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

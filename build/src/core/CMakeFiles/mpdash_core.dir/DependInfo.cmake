@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deadline_scheduler.cpp" "src/core/CMakeFiles/mpdash_core.dir/deadline_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/mpdash_core.dir/deadline_scheduler.cpp.o.d"
+  "/root/repo/src/core/mpdash_socket.cpp" "src/core/CMakeFiles/mpdash_core.dir/mpdash_socket.cpp.o" "gcc" "src/core/CMakeFiles/mpdash_core.dir/mpdash_socket.cpp.o.d"
+  "/root/repo/src/core/offline_optimal.cpp" "src/core/CMakeFiles/mpdash_core.dir/offline_optimal.cpp.o" "gcc" "src/core/CMakeFiles/mpdash_core.dir/offline_optimal.cpp.o.d"
+  "/root/repo/src/core/online_simulator.cpp" "src/core/CMakeFiles/mpdash_core.dir/online_simulator.cpp.o" "gcc" "src/core/CMakeFiles/mpdash_core.dir/online_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mptcp/CMakeFiles/mpdash_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/mpdash_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mpdash_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mpdash_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/mpdash_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpdash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpdash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_core.dir/deadline_scheduler.cpp.o"
+  "CMakeFiles/mpdash_core.dir/deadline_scheduler.cpp.o.d"
+  "CMakeFiles/mpdash_core.dir/mpdash_socket.cpp.o"
+  "CMakeFiles/mpdash_core.dir/mpdash_socket.cpp.o.d"
+  "CMakeFiles/mpdash_core.dir/offline_optimal.cpp.o"
+  "CMakeFiles/mpdash_core.dir/offline_optimal.cpp.o.d"
+  "CMakeFiles/mpdash_core.dir/online_simulator.cpp.o"
+  "CMakeFiles/mpdash_core.dir/online_simulator.cpp.o.d"
+  "libmpdash_core.a"
+  "libmpdash_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

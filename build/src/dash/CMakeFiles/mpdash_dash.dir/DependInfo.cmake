@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dash/buffer.cpp" "src/dash/CMakeFiles/mpdash_dash.dir/buffer.cpp.o" "gcc" "src/dash/CMakeFiles/mpdash_dash.dir/buffer.cpp.o.d"
+  "/root/repo/src/dash/events.cpp" "src/dash/CMakeFiles/mpdash_dash.dir/events.cpp.o" "gcc" "src/dash/CMakeFiles/mpdash_dash.dir/events.cpp.o.d"
+  "/root/repo/src/dash/manifest.cpp" "src/dash/CMakeFiles/mpdash_dash.dir/manifest.cpp.o" "gcc" "src/dash/CMakeFiles/mpdash_dash.dir/manifest.cpp.o.d"
+  "/root/repo/src/dash/player.cpp" "src/dash/CMakeFiles/mpdash_dash.dir/player.cpp.o" "gcc" "src/dash/CMakeFiles/mpdash_dash.dir/player.cpp.o.d"
+  "/root/repo/src/dash/server.cpp" "src/dash/CMakeFiles/mpdash_dash.dir/server.cpp.o" "gcc" "src/dash/CMakeFiles/mpdash_dash.dir/server.cpp.o.d"
+  "/root/repo/src/dash/video.cpp" "src/dash/CMakeFiles/mpdash_dash.dir/video.cpp.o" "gcc" "src/dash/CMakeFiles/mpdash_dash.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/mpdash_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/mpdash_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mptcp/CMakeFiles/mpdash_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mpdash_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/mpdash_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpdash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mpdash_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/mpdash_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpdash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_dash.dir/buffer.cpp.o"
+  "CMakeFiles/mpdash_dash.dir/buffer.cpp.o.d"
+  "CMakeFiles/mpdash_dash.dir/events.cpp.o"
+  "CMakeFiles/mpdash_dash.dir/events.cpp.o.d"
+  "CMakeFiles/mpdash_dash.dir/manifest.cpp.o"
+  "CMakeFiles/mpdash_dash.dir/manifest.cpp.o.d"
+  "CMakeFiles/mpdash_dash.dir/player.cpp.o"
+  "CMakeFiles/mpdash_dash.dir/player.cpp.o.d"
+  "CMakeFiles/mpdash_dash.dir/server.cpp.o"
+  "CMakeFiles/mpdash_dash.dir/server.cpp.o.d"
+  "CMakeFiles/mpdash_dash.dir/video.cpp.o"
+  "CMakeFiles/mpdash_dash.dir/video.cpp.o.d"
+  "libmpdash_dash.a"
+  "libmpdash_dash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_dash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

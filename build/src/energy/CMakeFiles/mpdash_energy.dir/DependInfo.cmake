@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/accounting.cpp" "src/energy/CMakeFiles/mpdash_energy.dir/accounting.cpp.o" "gcc" "src/energy/CMakeFiles/mpdash_energy.dir/accounting.cpp.o.d"
+  "/root/repo/src/energy/radio_model.cpp" "src/energy/CMakeFiles/mpdash_energy.dir/radio_model.cpp.o" "gcc" "src/energy/CMakeFiles/mpdash_energy.dir/radio_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpdash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

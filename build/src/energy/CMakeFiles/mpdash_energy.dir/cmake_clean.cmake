@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_energy.dir/accounting.cpp.o"
+  "CMakeFiles/mpdash_energy.dir/accounting.cpp.o.d"
+  "CMakeFiles/mpdash_energy.dir/radio_model.cpp.o"
+  "CMakeFiles/mpdash_energy.dir/radio_model.cpp.o.d"
+  "libmpdash_energy.a"
+  "libmpdash_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

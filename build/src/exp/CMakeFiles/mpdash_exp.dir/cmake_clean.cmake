@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_exp.dir/scenario.cpp.o"
+  "CMakeFiles/mpdash_exp.dir/scenario.cpp.o.d"
+  "CMakeFiles/mpdash_exp.dir/session.cpp.o"
+  "CMakeFiles/mpdash_exp.dir/session.cpp.o.d"
+  "libmpdash_exp.a"
+  "libmpdash_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

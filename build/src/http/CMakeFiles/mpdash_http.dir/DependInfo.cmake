@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/client.cpp" "src/http/CMakeFiles/mpdash_http.dir/client.cpp.o" "gcc" "src/http/CMakeFiles/mpdash_http.dir/client.cpp.o.d"
+  "/root/repo/src/http/message.cpp" "src/http/CMakeFiles/mpdash_http.dir/message.cpp.o" "gcc" "src/http/CMakeFiles/mpdash_http.dir/message.cpp.o.d"
+  "/root/repo/src/http/parser.cpp" "src/http/CMakeFiles/mpdash_http.dir/parser.cpp.o" "gcc" "src/http/CMakeFiles/mpdash_http.dir/parser.cpp.o.d"
+  "/root/repo/src/http/server.cpp" "src/http/CMakeFiles/mpdash_http.dir/server.cpp.o" "gcc" "src/http/CMakeFiles/mpdash_http.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mptcp/CMakeFiles/mpdash_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mpdash_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/mpdash_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpdash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mpdash_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/mpdash_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpdash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

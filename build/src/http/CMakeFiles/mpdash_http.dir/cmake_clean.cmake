@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_http.dir/client.cpp.o"
+  "CMakeFiles/mpdash_http.dir/client.cpp.o.d"
+  "CMakeFiles/mpdash_http.dir/message.cpp.o"
+  "CMakeFiles/mpdash_http.dir/message.cpp.o.d"
+  "CMakeFiles/mpdash_http.dir/parser.cpp.o"
+  "CMakeFiles/mpdash_http.dir/parser.cpp.o.d"
+  "CMakeFiles/mpdash_http.dir/server.cpp.o"
+  "CMakeFiles/mpdash_http.dir/server.cpp.o.d"
+  "libmpdash_http.a"
+  "libmpdash_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

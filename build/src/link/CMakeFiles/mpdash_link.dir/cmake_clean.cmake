@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_link.dir/link.cpp.o"
+  "CMakeFiles/mpdash_link.dir/link.cpp.o.d"
+  "CMakeFiles/mpdash_link.dir/path.cpp.o"
+  "CMakeFiles/mpdash_link.dir/path.cpp.o.d"
+  "CMakeFiles/mpdash_link.dir/shaper.cpp.o"
+  "CMakeFiles/mpdash_link.dir/shaper.cpp.o.d"
+  "libmpdash_link.a"
+  "libmpdash_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_mptcp.dir/connection.cpp.o"
+  "CMakeFiles/mpdash_mptcp.dir/connection.cpp.o.d"
+  "CMakeFiles/mpdash_mptcp.dir/endpoint.cpp.o"
+  "CMakeFiles/mpdash_mptcp.dir/endpoint.cpp.o.d"
+  "CMakeFiles/mpdash_mptcp.dir/scheduler.cpp.o"
+  "CMakeFiles/mpdash_mptcp.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mpdash_mptcp.dir/stream_buffer.cpp.o"
+  "CMakeFiles/mpdash_mptcp.dir/stream_buffer.cpp.o.d"
+  "CMakeFiles/mpdash_mptcp.dir/wire_data.cpp.o"
+  "CMakeFiles/mpdash_mptcp.dir/wire_data.cpp.o.d"
+  "libmpdash_mptcp.a"
+  "libmpdash_mptcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_mptcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

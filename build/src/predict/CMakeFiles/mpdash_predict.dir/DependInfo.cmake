@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/estimator.cpp" "src/predict/CMakeFiles/mpdash_predict.dir/estimator.cpp.o" "gcc" "src/predict/CMakeFiles/mpdash_predict.dir/estimator.cpp.o.d"
+  "/root/repo/src/predict/ewma.cpp" "src/predict/CMakeFiles/mpdash_predict.dir/ewma.cpp.o" "gcc" "src/predict/CMakeFiles/mpdash_predict.dir/ewma.cpp.o.d"
+  "/root/repo/src/predict/harmonic.cpp" "src/predict/CMakeFiles/mpdash_predict.dir/harmonic.cpp.o" "gcc" "src/predict/CMakeFiles/mpdash_predict.dir/harmonic.cpp.o.d"
+  "/root/repo/src/predict/holt_winters.cpp" "src/predict/CMakeFiles/mpdash_predict.dir/holt_winters.cpp.o" "gcc" "src/predict/CMakeFiles/mpdash_predict.dir/holt_winters.cpp.o.d"
+  "/root/repo/src/predict/moving_average.cpp" "src/predict/CMakeFiles/mpdash_predict.dir/moving_average.cpp.o" "gcc" "src/predict/CMakeFiles/mpdash_predict.dir/moving_average.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpdash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_predict.dir/estimator.cpp.o"
+  "CMakeFiles/mpdash_predict.dir/estimator.cpp.o.d"
+  "CMakeFiles/mpdash_predict.dir/ewma.cpp.o"
+  "CMakeFiles/mpdash_predict.dir/ewma.cpp.o.d"
+  "CMakeFiles/mpdash_predict.dir/harmonic.cpp.o"
+  "CMakeFiles/mpdash_predict.dir/harmonic.cpp.o.d"
+  "CMakeFiles/mpdash_predict.dir/holt_winters.cpp.o"
+  "CMakeFiles/mpdash_predict.dir/holt_winters.cpp.o.d"
+  "CMakeFiles/mpdash_predict.dir/moving_average.cpp.o"
+  "CMakeFiles/mpdash_predict.dir/moving_average.cpp.o.d"
+  "libmpdash_predict.a"
+  "libmpdash_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/mpdash_sim.dir/event_loop.cpp.o.d"
+  "libmpdash_sim.a"
+  "libmpdash_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/subflow.cpp" "src/tcp/CMakeFiles/mpdash_tcp.dir/subflow.cpp.o" "gcc" "src/tcp/CMakeFiles/mpdash_tcp.dir/subflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mpdash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/mpdash_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mpdash_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpdash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_tcp.dir/subflow.cpp.o"
+  "CMakeFiles/mpdash_tcp.dir/subflow.cpp.o.d"
+  "libmpdash_tcp.a"
+  "libmpdash_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_trace.dir/bandwidth_trace.cpp.o"
+  "CMakeFiles/mpdash_trace.dir/bandwidth_trace.cpp.o.d"
+  "CMakeFiles/mpdash_trace.dir/generators.cpp.o"
+  "CMakeFiles/mpdash_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/mpdash_trace.dir/locations.cpp.o"
+  "CMakeFiles/mpdash_trace.dir/locations.cpp.o.d"
+  "CMakeFiles/mpdash_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/mpdash_trace.dir/trace_io.cpp.o.d"
+  "libmpdash_trace.a"
+  "libmpdash_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpdash_trace.a"
+)

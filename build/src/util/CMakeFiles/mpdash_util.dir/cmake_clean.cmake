@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_util.dir/csv.cpp.o"
+  "CMakeFiles/mpdash_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mpdash_util.dir/rng.cpp.o"
+  "CMakeFiles/mpdash_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mpdash_util.dir/stats.cpp.o"
+  "CMakeFiles/mpdash_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mpdash_util.dir/table.cpp.o"
+  "CMakeFiles/mpdash_util.dir/table.cpp.o.d"
+  "libmpdash_util.a"
+  "libmpdash_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_player_test.dir/buffer_player_test.cpp.o"
+  "CMakeFiles/buffer_player_test.dir/buffer_player_test.cpp.o.d"
+  "buffer_player_test"
+  "buffer_player_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_player_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sched_test.dir/core_sched_test.cpp.o"
+  "CMakeFiles/core_sched_test.dir/core_sched_test.cpp.o.d"
+  "core_sched_test"
+  "core_sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mptcp_test.dir/mptcp_test.cpp.o"
+  "CMakeFiles/mptcp_test.dir/mptcp_test.cpp.o.d"
+  "mptcp_test"
+  "mptcp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mptcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdash_sim_cli.dir/mpdash_sim.cpp.o"
+  "CMakeFiles/mpdash_sim_cli.dir/mpdash_sim.cpp.o.d"
+  "mpdash_sim"
+  "mpdash_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdash_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
