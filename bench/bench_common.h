@@ -4,6 +4,7 @@
 // utilities build the scenarios and format results the way the paper
 // reports them.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -47,6 +48,35 @@ inline ScenarioConfig location_scenario(const LocationProfile& loc,
   return cfg;
 }
 
+// Bench id registered by print_header(); names the BENCH_<id>.json file.
+inline std::string& current_bench_id() {
+  static std::string id;
+  return id;
+}
+
+// MPDASH_BENCH_JSON=1 appends one metrics snapshot per run_scheme() call
+// to BENCH_<id>.json (JSON lines, one object per run).
+inline bool bench_json_enabled() {
+  const char* env = std::getenv("MPDASH_BENCH_JSON");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void append_bench_snapshot(Telemetry& telemetry, Scheme scheme,
+                                  const std::string& algo, double session_s) {
+  const std::string id =
+      current_bench_id().empty() ? "bench" : current_bench_id();
+  std::FILE* f = std::fopen(("BENCH_" + id + ".json").c_str(), "a");
+  if (!f) return;
+  const MetricsSnapshot snap =
+      telemetry.metrics().snapshot(TimePoint(seconds(session_s)));
+  std::fprintf(f,
+               "{\"bench\":\"%s\",\"scheme\":\"%s\",\"adaptation\":\"%s\","
+               "\"snapshot\":%s}\n",
+               json_escape(id).c_str(), to_string(scheme),
+               json_escape(algo).c_str(), snap.to_json().c_str());
+  std::fclose(f);
+}
+
 inline SessionResult run_scheme(const ScenarioConfig& net, const Video& video,
                                 Scheme scheme, const std::string& algo,
                                 bool record = false) {
@@ -54,8 +84,14 @@ inline SessionResult run_scheme(const ScenarioConfig& net, const Video& video,
   SessionConfig cfg;
   cfg.scheme = scheme;
   cfg.adaptation = algo;
-  cfg.record_packets = record;
-  return run_streaming_session(scenario, video, cfg);
+  cfg.record_trace = record;
+  Telemetry telemetry;
+  if (bench_json_enabled()) cfg.telemetry = &telemetry;
+  SessionResult res = run_streaming_session(scenario, video, cfg);
+  if (bench_json_enabled()) {
+    append_bench_snapshot(telemetry, scheme, algo, res.session_s);
+  }
+  return res;
 }
 
 inline double saving(double baseline, double value) {
@@ -68,6 +104,11 @@ inline std::string mb(Bytes b) {
 }
 
 inline void print_header(const char* id, const char* what) {
+  std::string& bench = current_bench_id();
+  bench = id;
+  for (char& c : bench) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
   std::printf("==========================================================\n");
   std::printf("%s — %s\n", id, what);
   std::printf("==========================================================\n");

@@ -27,7 +27,7 @@ ScenarioConfig mobility_net(Duration horizon) {
 }
 
 void plot(const char* title, const SessionResult& res) {
-  const ThroughputSeries series = throughput_series(res.packets);
+  const ThroughputSeries series = throughput_series(res.trace);
   auto window = [](const std::vector<std::pair<double, double>>& pts) {
     std::vector<std::pair<double, double>> out;
     for (const auto& [t, v] : pts) {

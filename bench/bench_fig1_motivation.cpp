@@ -17,7 +17,7 @@ int main() {
       run_scheme(constant_scenario(DataRate::mbps(3.8), DataRate::mbps(3.0)),
                  bench_video(), Scheme::kBaseline, "gpac", /*record=*/true);
 
-  const ThroughputSeries series = throughput_series(res.packets);
+  const ThroughputSeries series = throughput_series(res.trace);
   auto window = [](const std::vector<std::pair<double, double>>& pts) {
     std::vector<std::pair<double, double>> out;
     for (const auto& [t, v] : pts) {

@@ -12,7 +12,7 @@ using namespace mpdash::bench;
 namespace {
 
 void plot_session(const char* title, const SessionResult& res) {
-  const ThroughputSeries series = throughput_series(res.packets);
+  const ThroughputSeries series = throughput_series(res.trace);
   auto window = [](const std::vector<std::pair<double, double>>& pts) {
     std::vector<std::pair<double, double>> out;
     for (const auto& [t, v] : pts) {
@@ -55,7 +55,7 @@ int main() {
     SessionConfig cfg;
     cfg.scheme = Scheme::kBaseline;
     cfg.adaptation = "gpac";
-    cfg.record_packets = true;
+    cfg.record_trace = true;
     plot_session("throttle 700 kbps (LTE dribbles)",
                  run_streaming_session(scenario, video, cfg));
   }

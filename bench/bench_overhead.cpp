@@ -2,15 +2,30 @@
 // overhead, as both the scheduling algorithm and the Holt-Winters
 // prediction have low complexity." These google-benchmark microbenches
 // put numbers on every hot-path component: one Algorithm 1 decision, one
-// HW sample, HTTP framing, the offline DP, and the event loop itself.
+// HW sample, HTTP framing, the offline DP, and the event loop itself —
+// plus end-to-end sessions with telemetry detached vs. idle-attached.
+//
+// `bench_overhead --check` skips google-benchmark and instead times quick
+// sessions both ways, reporting the attached-but-sinkless telemetry
+// overhead; with MPDASH_OVERHEAD_STRICT=1 it exits nonzero when the
+// median overhead exceeds 2%.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
 #include "core/deadline_scheduler.h"
 #include "core/offline_optimal.h"
+#include "dash/video.h"
+#include "exp/scenario.h"
+#include "exp/session.h"
 #include "http/parser.h"
 #include "predict/holt_winters.h"
 #include "sim/event_loop.h"
+#include "telemetry/telemetry.h"
 #include "trace/generators.h"
 #include "util/rng.h"
 
@@ -123,7 +138,88 @@ void BM_FieldTraceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_FieldTraceGeneration);
 
+// --- end-to-end telemetry overhead -----------------------------------
+
+Video overhead_video() {
+  return Video("Overhead", seconds(4.0), 10,
+               {DataRate::mbps(0.58), DataRate::mbps(1.01),
+                DataRate::mbps(1.47), DataRate::mbps(2.41),
+                DataRate::mbps(3.94)},
+               0.12, 7);
+}
+
+SessionResult overhead_session(Telemetry* telemetry) {
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(6.0), DataRate::mbps(4.0)));
+  SessionConfig cfg;
+  cfg.scheme = Scheme::kMpDashRate;
+  cfg.telemetry = telemetry;
+  SessionResult res = run_streaming_session(scenario, overhead_video(), cfg);
+  if (telemetry) scenario.set_telemetry(nullptr);
+  return res;
+}
+
+void BM_SessionTelemetryDetached(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overhead_session(nullptr));
+  }
+}
+BENCHMARK(BM_SessionTelemetryDetached)->Unit(benchmark::kMillisecond);
+
+void BM_SessionTelemetryIdle(benchmark::State& state) {
+  // Telemetry attached (all metric updates live) but no trace sink: the
+  // configuration a deployment would leave on permanently.
+  for (auto _ : state) {
+    Telemetry telemetry;
+    benchmark::DoNotOptimize(overhead_session(&telemetry));
+  }
+}
+BENCHMARK(BM_SessionTelemetryIdle)->Unit(benchmark::kMillisecond);
+
+// Interleaved A/B timing; medians are robust to scheduler noise on CI.
+int run_overhead_check() {
+  constexpr int kRounds = 7;
+  std::vector<double> off_ms, on_ms;
+  overhead_session(nullptr);  // warm caches/allocator
+  for (int i = 0; i < kRounds; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    overhead_session(nullptr);
+    const auto t1 = std::chrono::steady_clock::now();
+    Telemetry telemetry;
+    overhead_session(&telemetry);
+    const auto t2 = std::chrono::steady_clock::now();
+    off_ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    on_ms.push_back(std::chrono::duration<double, std::milli>(t2 - t1).count());
+  }
+  std::sort(off_ms.begin(), off_ms.end());
+  std::sort(on_ms.begin(), on_ms.end());
+  const double off = off_ms[kRounds / 2];
+  const double on = on_ms[kRounds / 2];
+  const double overhead = off > 0.0 ? (on - off) / off : 0.0;
+  std::printf("telemetry overhead check: detached %.2f ms, idle-attached "
+              "%.2f ms, overhead %.2f%%\n",
+              off, on, overhead * 100.0);
+  const char* strict = std::getenv("MPDASH_OVERHEAD_STRICT");
+  if (strict && strict[0] == '1' && overhead > 0.02) {
+    std::fprintf(stderr, "FAIL: telemetry overhead %.2f%% exceeds 2%%\n",
+                 overhead * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace mpdash
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      return mpdash::run_overhead_check();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

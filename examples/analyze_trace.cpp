@@ -34,15 +34,15 @@ int main(int argc, char** argv) {
   SessionConfig cfg;
   cfg.scheme = scheme;
   cfg.adaptation = "festive";
-  cfg.record_packets = true;
+  cfg.record_trace = true;
   const SessionResult res = run_streaming_session(scenario, video, cfg);
 
   AnalyzerConfig acfg;
   acfg.device = galaxy_note();
-  const AnalysisReport report = analyze(res.packets, res.events, acfg);
+  const AnalysisReport report = analyze(res.trace, res.events, acfg);
 
   std::printf("scheme: %s — %zu packets recorded, %zu chunks reconstructed\n\n",
-              to_string(scheme), res.packets.size(), report.chunks.size());
+              to_string(scheme), res.trace.size(), report.chunks.size());
   std::printf("%s\n", render_chunk_timeline(report).c_str());
   std::printf("%s\n", render_path_summary(report).c_str());
 

@@ -16,14 +16,15 @@ namespace {
 
 constexpr int kMaxPaths = 8;
 
-void accumulate_path_usage(const std::vector<PacketRecord>& trace,
+void accumulate_path_usage(const std::vector<TraceRecord>& trace,
                            AnalysisReport& report) {
   std::map<int, PathUsage> usage;
   for (const auto& r : trace) {
+    if (!r.is_packet()) continue;
     auto& u = usage[r.path_id];
     u.path_id = r.path_id;
-    switch (r.op) {
-      case RecordOp::kDeliver:
+    switch (r.type) {
+      case TraceType::kPacketDeliver:
         ++u.packets;
         if (r.is_downlink()) {
           u.wire_bytes_down += r.wire_size;
@@ -32,10 +33,10 @@ void accumulate_path_usage(const std::vector<PacketRecord>& trace,
           u.wire_bytes_up += r.wire_size;
         }
         break;
-      case RecordOp::kDrop:
+      case TraceType::kPacketDrop:
         ++u.drops;
         break;
-      case RecordOp::kSend:
+      default:  // kPacketSend
         if (r.retransmit && r.is_downlink()) ++u.retransmissions;
         break;
     }
@@ -44,13 +45,13 @@ void accumulate_path_usage(const std::vector<PacketRecord>& trace,
 }
 
 // Reconstructs HTTP responses from the delivered downlink data stream.
-void reconstruct_chunks(const std::vector<PacketRecord>& trace,
+void reconstruct_chunks(const std::vector<TraceRecord>& trace,
                         const std::vector<PlayerEvent>& events,
                         AnalysisReport& report) {
   // Unique delivered downlink data packets in data-sequence order.
-  std::map<std::uint64_t, const PacketRecord*> stream;
+  std::map<std::uint64_t, const TraceRecord*> stream;
   for (const auto& r : trace) {
-    if (r.op != RecordOp::kDeliver || !r.is_downlink() ||
+    if (r.type != TraceType::kPacketDeliver || !r.is_downlink() ||
         r.kind != PacketKind::kData || r.payload_len == 0) {
       continue;
     }
@@ -68,7 +69,7 @@ void reconstruct_chunks(const std::vector<PacketRecord>& trace,
 
   ChunkDelivery current;
   bool is_media = false;
-  const PacketRecord* feeding = nullptr;
+  const TraceRecord* feeding = nullptr;
   bool started = false;
 
   HttpStreamParser parser(
@@ -144,7 +145,7 @@ void collect_player_stats(const std::vector<PlayerEvent>& events,
 
 }  // namespace
 
-AnalysisReport analyze(const std::vector<PacketRecord>& trace,
+AnalysisReport analyze(const std::vector<TraceRecord>& trace,
                        const std::vector<PlayerEvent>& events,
                        const AnalyzerConfig& config) {
   AnalysisReport report;
@@ -159,7 +160,7 @@ AnalysisReport analyze(const std::vector<PacketRecord>& trace,
   // the client's radios).
   std::vector<ByteEvent> wifi_ev, lte_ev;
   for (const auto& r : trace) {
-    if (r.op != RecordOp::kDeliver) continue;
+    if (r.type != TraceType::kPacketDeliver) continue;
     ByteEvent ev{r.at, r.wire_size, r.is_downlink()};
     if (r.path_id == config.wifi_path_id) {
       wifi_ev.push_back(ev);
@@ -172,12 +173,12 @@ AnalysisReport analyze(const std::vector<PacketRecord>& trace,
   return report;
 }
 
-ThroughputSeries throughput_series(const std::vector<PacketRecord>& trace,
+ThroughputSeries throughput_series(const std::vector<TraceRecord>& trace,
                                    Duration interval) {
   ThroughputSeries out;
   std::map<std::int64_t, std::array<Bytes, kMaxPaths + 1>> buckets;
   for (const auto& r : trace) {
-    if (r.op != RecordOp::kDeliver || !r.is_downlink()) continue;
+    if (r.type != TraceType::kPacketDeliver || !r.is_downlink()) continue;
     auto& b = buckets[r.at.count() / interval.count()];
     if (r.path_id >= 0 && r.path_id < kMaxPaths) {
       b[static_cast<std::size_t>(r.path_id)] += r.wire_size;

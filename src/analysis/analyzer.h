@@ -7,10 +7,10 @@
 
 #include <vector>
 
-#include "analysis/records.h"
 #include "dash/events.h"
 #include "energy/accounting.h"
 #include "http/parser.h"
+#include "telemetry/trace_sink.h"
 
 namespace mpdash {
 
@@ -66,8 +66,10 @@ struct AnalyzerConfig {
   DeviceEnergyProfile device;
 };
 
-// Runs the full cross-layer analysis.
-AnalysisReport analyze(const std::vector<PacketRecord>& trace,
+// Runs the full cross-layer analysis on a telemetry trace (packet records
+// drive the network half; non-packet records are ignored, so a full mixed
+// trace from TraceCollector/RingBufferSink can be passed as-is).
+AnalysisReport analyze(const std::vector<TraceRecord>& trace,
                        const std::vector<PlayerEvent>& events,
                        const AnalyzerConfig& config);
 
@@ -77,7 +79,7 @@ struct ThroughputSeries {
   std::vector<std::pair<double, double>> total;
   std::vector<std::pair<double, double>> per_path[8];
 };
-ThroughputSeries throughput_series(const std::vector<PacketRecord>& trace,
+ThroughputSeries throughput_series(const std::vector<TraceRecord>& trace,
                                    Duration interval = milliseconds(500));
 
 }  // namespace mpdash

@@ -16,6 +16,37 @@ DeadlineScheduler::DeadlineScheduler(MultipathControl& control,
   }
 }
 
+void DeadlineScheduler::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (!telemetry_) {
+    activations_counter_ = Counter{};
+    transfers_counter_ = Counter{};
+    misses_counter_ = Counter{};
+    return;
+  }
+  MetricsRegistry& m = telemetry_->metrics();
+  activations_counter_ = m.counter("sched.activations");
+  transfers_counter_ = m.counter("sched.transfers");
+  misses_counter_ = m.counter("sched.deadline_misses");
+}
+
+void DeadlineScheduler::emit_decision(TimePoint now, const char* label,
+                                      int path_id, bool enabled,
+                                      double budget_s, double deliverable,
+                                      double remaining_bytes) {
+  if (!telemetry_ || !telemetry_->tracing()) return;
+  TraceRecord r;
+  r.at = now;
+  r.type = TraceType::kSchedDecision;
+  r.label = label;
+  r.path_id = path_id;
+  r.enabled = enabled;
+  r.budget_s = budget_s;
+  r.deliverable_bytes = deliverable;
+  r.remaining_bytes = remaining_bytes;
+  telemetry_->emit(r);
+}
+
 void DeadlineScheduler::begin(TimePoint now, Bytes size, Duration window) {
   if (size <= 0 || window <= kDurationZero) {
     throw std::invalid_argument("size and window must be positive");
@@ -29,6 +60,10 @@ void DeadlineScheduler::begin(TimePoint now, Bytes size, Duration window) {
   base_transferred_ = control_.transferred_bytes();
   activations_ = 0;
   enable_streak_ = 0;
+  last_update_ = now;
+  if (telemetry_) transfers_counter_.increment();
+  emit_decision(now, "begin", -1, true, config_.alpha * to_seconds(window),
+                0.0, static_cast<double>(size));
 
   // Algorithm 1 initialization: preferred (minimum-cost) paths on, all
   // costlier paths off.
@@ -47,14 +82,19 @@ Bytes DeadlineScheduler::remaining() const {
 
 void DeadlineScheduler::update(TimePoint now) {
   if (!active_) return;
+  last_update_ = now;
 
   const Bytes left = remaining();
   if (left == 0) {  // S bytes transferred: deactivate (paper §3.2 case 1)
+    emit_decision(now, "complete", -1, false, 0.0, 0.0, 0.0);
     end();
     return;
   }
   if (now >= deadline_) {  // deadline passed: deactivate (case 2)
     deadline_missed_ = true;
+    if (telemetry_) misses_counter_.increment();
+    emit_decision(now, "miss", -1, false, 0.0, 0.0,
+                  static_cast<double>(left));
     end();
     return;
   }
@@ -104,7 +144,14 @@ void DeadlineScheduler::update(TimePoint now) {
     } else {
       enable_streak_ = 0;
     }
-    if (want && !enabled) ++activations_;
+    if (want != enabled) {
+      if (want) {
+        ++activations_;
+        if (telemetry_) activations_counter_.increment();
+      }
+      emit_decision(now, want ? "enable" : "disable", p.id, want, budget_s,
+                    deliverable, need);
+    }
     control_.set_path_enabled(p.id, want);
     if (want) {
       deliverable += control_.path_throughput(p.id).bps() / 8.0 *
@@ -116,6 +163,8 @@ void DeadlineScheduler::update(TimePoint now) {
 void DeadlineScheduler::end() {
   if (!active_) return;
   active_ = false;
+  emit_decision(last_update_, "end", -1, true, 0.0, 0.0,
+                static_cast<double>(remaining()));
   // Vanilla MPTCP resumes: every path usable.
   for (const auto& p : control_.paths()) {
     control_.set_path_enabled(p.id, true);

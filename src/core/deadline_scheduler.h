@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "core/multipath_control.h"
+#include "telemetry/telemetry.h"
 
 namespace mpdash {
 
@@ -63,8 +64,16 @@ class DeadlineScheduler {
 
   const DeadlineSchedulerConfig& config() const { return config_; }
 
+  // Registers `sched.*` counters and emits kSchedDecision trace records
+  // carrying each Algorithm-1 evaluation's inputs (time budget, deliverable
+  // bytes of the kept set, remaining bytes). nullptr detaches.
+  void set_telemetry(Telemetry* telemetry);
+
  private:
   Bytes remaining() const;
+  void emit_decision(TimePoint now, const char* label, int path_id,
+                     bool enabled, double budget_s, double deliverable,
+                     double remaining_bytes);
 
   MultipathControl& control_;
   DeadlineSchedulerConfig config_;
@@ -78,6 +87,12 @@ class DeadlineScheduler {
   Bytes base_transferred_ = 0;
   int activations_ = 0;
   int enable_streak_ = 0;
+  TimePoint last_update_ = kTimeZero;
+
+  Telemetry* telemetry_ = nullptr;
+  Counter activations_counter_;
+  Counter transfers_counter_;
+  Counter misses_counter_;
 };
 
 }  // namespace mpdash

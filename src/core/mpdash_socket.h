@@ -63,6 +63,12 @@ class MpDashSocket : public MultipathControl {
 
   DeadlineScheduler& scheduler() { return scheduler_; }
 
+  // Forwards telemetry to the deadline scheduler (the connection is wired
+  // separately by its owner). nullptr detaches.
+  void set_telemetry(Telemetry* telemetry) {
+    scheduler_.set_telemetry(telemetry);
+  }
+
  private:
   void tick();
   void stop_timer();

@@ -208,9 +208,56 @@ void DashPlayer::finish() {
   if (on_done_) on_done_();
 }
 
+void DashPlayer::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (!telemetry_) {
+    buffer_gauge_ = Gauge{};
+    level_gauge_ = Gauge{};
+    stalls_counter_ = Counter{};
+    switches_counter_ = Counter{};
+    chunks_counter_ = Counter{};
+    return;
+  }
+  MetricsRegistry& m = telemetry_->metrics();
+  buffer_gauge_ = m.gauge("player.buffer_s");
+  level_gauge_ = m.gauge("player.level");
+  stalls_counter_ = m.counter("player.stalls");
+  switches_counter_ = m.counter("player.switches");
+  chunks_counter_ = m.counter("player.chunks");
+}
+
 void DashPlayer::log(PlayerEventType type, int level, int chunk, Bytes bytes,
                      double extra) {
   events_.push_back({loop_.now(), type, level, chunk, bytes, extra});
+  if (!telemetry_) return;
+  switch (type) {
+    case PlayerEventType::kBufferSample:
+      buffer_gauge_.set(extra);
+      break;
+    case PlayerEventType::kChunkComplete:
+      chunks_counter_.increment();
+      level_gauge_.set(level);
+      break;
+    case PlayerEventType::kQualitySwitch:
+      switches_counter_.increment();
+      break;
+    case PlayerEventType::kStallStart:
+      stalls_counter_.increment();
+      break;
+    default:
+      break;
+  }
+  if (telemetry_->tracing()) {
+    TraceRecord r;
+    r.at = loop_.now();
+    r.type = TraceType::kPlayer;
+    r.label = to_string(type);  // static string table in dash/events.cpp
+    r.level = level;
+    r.chunk = chunk;
+    r.bytes = bytes;
+    r.value = extra;
+    telemetry_->emit(r);
+  }
 }
 
 }  // namespace mpdash

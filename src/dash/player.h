@@ -90,6 +90,10 @@ class DashPlayer {
   Duration total_stall_time() const { return total_stall_; }
   int quality_switches() const { return switches_; }
 
+  // Registers `player.*` metrics and bridges the event log to kPlayer
+  // trace records. nullptr detaches.
+  void set_telemetry(Telemetry* telemetry);
+
  private:
   void on_manifest(const HttpTransfer& transfer);
   void schedule_fetch();
@@ -136,6 +140,13 @@ class DashPlayer {
   int stall_count_ = 0;
   Duration total_stall_ = kDurationZero;
   int switches_ = 0;
+
+  Telemetry* telemetry_ = nullptr;
+  Gauge buffer_gauge_;
+  Gauge level_gauge_;
+  Counter stalls_counter_;
+  Counter switches_counter_;
+  Counter chunks_counter_;
 };
 
 }  // namespace mpdash

@@ -51,9 +51,10 @@ std::vector<NetPath*> Scenario::paths() {
   return out;
 }
 
-void Scenario::set_tap(PacketTap* tap) {
-  wifi_->set_tap(tap);
-  if (lte_) lte_->set_tap(tap);
+void Scenario::set_telemetry(Telemetry* telemetry) {
+  loop_.set_telemetry(telemetry);
+  wifi_->set_telemetry(telemetry);
+  if (lte_) lte_->set_telemetry(telemetry);
 }
 
 Bytes Scenario::wifi_bytes() const {

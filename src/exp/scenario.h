@@ -45,7 +45,9 @@ class Scenario {
   NetPath* cellular() { return lte_ ? lte_.get() : nullptr; }
   const ScenarioConfig& config() const { return config_; }
 
-  void set_tap(PacketTap* tap);
+  // Wires telemetry into the event loop and every link/shaper. nullptr
+  // detaches.
+  void set_telemetry(Telemetry* telemetry);
 
   // Bytes that crossed each interface (both directions, delivered).
   Bytes wifi_bytes() const;

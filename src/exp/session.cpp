@@ -103,6 +103,37 @@ class EnergyProbe {
   Counters prev_;
 };
 
+// Appends registry snapshots to a timeline on a fixed cadence. Note this
+// schedules events of its own, so metrics-timeline runs are not
+// event-count-identical to bare runs (passive sinks are; see the
+// determinism test).
+class MetricsProbe {
+ public:
+  MetricsProbe(EventLoop& loop, Telemetry& telemetry, MetricsTimeline& out,
+               Duration interval, const bool& done)
+      : loop_(loop),
+        telemetry_(telemetry),
+        out_(out),
+        interval_(interval),
+        done_(done) {
+    arm();
+  }
+
+ private:
+  void arm() {
+    loop_.schedule_in(interval_, [this] {
+      out_.record(telemetry_.metrics().snapshot(loop_.now()));
+      if (!done_) arm();
+    });
+  }
+
+  EventLoop& loop_;
+  Telemetry& telemetry_;
+  MetricsTimeline& out_;
+  Duration interval_;
+  const bool& done_;
+};
+
 }  // namespace
 
 SessionResult run_streaming_session(Scenario& scenario, const Video& video,
@@ -115,8 +146,21 @@ SessionResult run_streaming_session(Scenario& scenario, const Video& video,
   MptcpConnection conn(loop, paths);
   conn.server().set_scheduler(make_scheduler(config.mptcp_scheduler));
 
-  PacketRecorder recorder(/*capture_payload=*/true);
-  if (config.record_packets) scenario.set_tap(&recorder);
+  Telemetry local_telemetry;
+  Telemetry* telemetry = config.telemetry;
+  if (!telemetry && (config.record_trace || config.metrics)) {
+    telemetry = &local_telemetry;
+  }
+  TraceCollector collector;
+  if (telemetry) {
+    if (config.record_trace) {
+      // The analyzer reconstructs HTTP framing from delivered payload.
+      telemetry->set_capture_payload(true);
+      telemetry->add_sink(&collector);
+    }
+    scenario.set_telemetry(telemetry);
+    conn.set_telemetry(telemetry);
+  }
 
   DashServer server(conn.server(), video);
   HttpClient client(loop, conn.client());
@@ -131,6 +175,7 @@ SessionResult run_streaming_session(Scenario& scenario, const Video& video,
     scfg.scheduler.alpha = config.alpha;
     scfg.scheduler.enable_debounce_ticks = config.debounce_ticks;
     socket = std::make_unique<MpDashSocket>(loop, conn, scfg);
+    if (telemetry) socket->set_telemetry(telemetry);
     AdapterConfig acfg;
     acfg.policy = config.scheme == Scheme::kMpDashDuration
                       ? DeadlinePolicy::kDurationBased
@@ -139,10 +184,16 @@ SessionResult run_streaming_session(Scenario& scenario, const Video& video,
   }
 
   DashPlayer player(loop, client, *adaptation, config.player, adapter.get());
+  if (telemetry) player.set_telemetry(telemetry);
 
   bool done = false;
   player.set_done_callback([&done] { done = true; });
   EnergyProbe probe(scenario, done);
+  std::unique_ptr<MetricsProbe> metrics_probe;
+  if (telemetry && config.metrics) {
+    metrics_probe = std::make_unique<MetricsProbe>(
+        loop, *telemetry, *config.metrics, config.metrics_interval, done);
+  }
 
   player.start();
   loop.run_until(TimePoint(config.time_limit));
@@ -169,7 +220,13 @@ SessionResult run_streaming_session(Scenario& scenario, const Video& video,
   res.chunks = static_cast<int>(res.chunk_log.size());
   if (socket) res.deadline_misses = socket->deadline_misses();
   if (adapter) res.chunks_engaged = adapter->chunks_engaged();
-  if (config.record_packets) res.packets = recorder.records();
+  if (config.record_trace && telemetry) {
+    telemetry->remove_sink(&collector);
+    res.trace = collector.take();
+  }
+  // The scenario (and its event loop) outlives this run; never leave it
+  // pointing at the internal context.
+  if (telemetry == &local_telemetry) scenario.set_telemetry(nullptr);
 
   if (!res.chunk_log.empty() && player.video()) {
     const Video& v = *player.video();
@@ -206,6 +263,10 @@ DownloadResult run_download_session(Scenario& scenario,
   EventLoop& loop = scenario.loop();
   MptcpConnection conn(loop, scenario.paths());
   conn.server().set_scheduler(make_scheduler(config.mptcp_scheduler));
+  if (config.telemetry) {
+    scenario.set_telemetry(config.telemetry);
+    conn.set_telemetry(config.telemetry);
+  }
 
   // A bare file server: the target selects the virtual body size.
   HttpServer server(conn.server(), [&config](const HttpRequest& req) {
@@ -221,6 +282,7 @@ DownloadResult run_download_session(Scenario& scenario,
     MpDashSocketConfig scfg;
     scfg.scheduler.alpha = config.alpha;
     socket = std::make_unique<MpDashSocket>(loop, conn, scfg);
+    if (config.telemetry) socket->set_telemetry(config.telemetry);
   }
 
   if (config.warmup) {

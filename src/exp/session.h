@@ -9,10 +9,10 @@
 #include <vector>
 
 #include "adapt/adaptation.h"
-#include "analysis/records.h"
 #include "dash/player.h"
 #include "energy/accounting.h"
 #include "exp/scenario.h"
+#include "telemetry/telemetry.h"
 
 namespace mpdash {
 
@@ -39,7 +39,16 @@ struct SessionConfig {
   int debounce_ticks = 2;
   PlayerConfig player;
   Duration time_limit = seconds(1800.0);
-  bool record_packets = false;
+  // Captures the full telemetry trace (with payload, for the analyzer)
+  // into SessionResult::trace.
+  bool record_trace = false;
+  // Externally-owned telemetry context (extra sinks, shared registry).
+  // When null and record_trace/metrics is requested, an internal context
+  // is used for the duration of the run.
+  Telemetry* telemetry = nullptr;
+  // When set, registry snapshots are appended here every metrics_interval.
+  MetricsTimeline* metrics = nullptr;
+  Duration metrics_interval = seconds(1.0);
   DeviceEnergyProfile device = galaxy_note();
   // The paper reports statistics over the last 80% of chunks (steady
   // state).
@@ -70,7 +79,7 @@ struct SessionResult {
 
   std::vector<ChunkRecord> chunk_log;
   std::vector<PlayerEvent> events;
-  std::vector<PacketRecord> packets;  // when record_packets
+  std::vector<TraceRecord> trace;  // when record_trace
 };
 
 SessionResult run_streaming_session(Scenario& scenario, const Video& video,
@@ -84,6 +93,8 @@ struct DownloadConfig {
   std::string mptcp_scheduler = "minrtt";
   double alpha = 1.0;
   Duration time_limit = seconds(600.0);
+  // Externally-owned telemetry context, wired for the duration of the run.
+  Telemetry* telemetry = nullptr;
   DeviceEnergyProfile device = galaxy_note();
   // Runs a small unmeasured transfer first so congestion windows and
   // throughput estimates are warm — the paper averages 10 consecutive

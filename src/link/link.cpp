@@ -6,19 +6,64 @@
 namespace mpdash {
 
 Link::Link(EventLoop& loop, LinkConfig config)
-    : loop_(loop), config_(std::move(config)) {}
+    : loop_(loop), config_(std::move(config)) {
+  if (config_.name.empty()) {
+    config_.name = "link" + std::to_string(config_.id);
+  }
+}
+
+void Link::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (!telemetry_) {
+    queue_gauge_ = Gauge{};
+    delivered_bytes_counter_ = Counter{};
+    delivered_packets_counter_ = Counter{};
+    dropped_packets_counter_ = Counter{};
+    return;
+  }
+  MetricsRegistry& m = telemetry_->metrics();
+  const std::string prefix = "link." + config_.name;
+  queue_gauge_ = m.gauge(prefix + ".queue_bytes");
+  delivered_bytes_counter_ = m.counter(prefix + ".delivered_bytes");
+  delivered_packets_counter_ = m.counter(prefix + ".delivered_packets");
+  dropped_packets_counter_ = m.counter(prefix + ".dropped_packets");
+}
+
+void Link::emit_packet(TraceType type, const Packet& p) const {
+  TraceRecord r;
+  r.at = loop_.now();
+  r.type = type;
+  r.path_id = p.path_id;
+  r.link_id = config_.id;
+  r.kind = p.kind;
+  r.wire_size = p.wire_size;
+  r.payload_len = p.payload_len;
+  r.data_seq = p.data_seq;
+  r.retransmit = p.is_retransmit;
+  if (type == TraceType::kPacketDeliver && telemetry_->capture_payload() &&
+      p.kind == PacketKind::kData && p.payload_len > 0) {
+    r.segments = p.segments;
+  }
+  telemetry_->emit(r);
+}
 
 void Link::send(Packet p) {
-  if (tap_) tap_->on_send(config_.id, loop_.now(), p);
+  if (telemetry_ && telemetry_->tracing()) {
+    emit_packet(TraceType::kPacketSend, p);
+  }
   const bool random_drop =
       config_.random_loss > 0.0 && loss_rng_ && loss_rng_() < config_.random_loss;
   if (random_drop || queued_bytes_ + p.wire_size > config_.queue_capacity) {
     dropped_bytes_ += p.wire_size;
     ++dropped_packets_;
-    if (tap_) tap_->on_drop(config_.id, loop_.now(), p);
+    if (telemetry_) {
+      dropped_packets_counter_.increment();
+      if (telemetry_->tracing()) emit_packet(TraceType::kPacketDrop, p);
+    }
     return;
   }
   queued_bytes_ += p.wire_size;
+  if (telemetry_) queue_gauge_.set(static_cast<double>(queued_bytes_));
   queue_.push_back(std::move(p));
   if (!busy_) start_serializing();
 }
@@ -45,12 +90,20 @@ void Link::on_serialized() {
   Packet p = std::move(queue_.front());
   queue_.pop_front();
   queued_bytes_ -= p.wire_size;
+  if (telemetry_) queue_gauge_.set(static_cast<double>(queued_bytes_));
 
   loop_.schedule_in(config_.propagation_delay,
                     [this, p = std::move(p)]() mutable {
                       delivered_bytes_ += p.wire_size;
                       ++delivered_packets_;
-                      if (tap_) tap_->on_deliver(config_.id, loop_.now(), p);
+                      if (telemetry_) {
+                        delivered_bytes_counter_.add(
+                            static_cast<double>(p.wire_size));
+                        delivered_packets_counter_.increment();
+                        if (telemetry_->tracing()) {
+                          emit_packet(TraceType::kPacketDeliver, p);
+                        }
+                      }
                       if (deliver_) deliver_(std::move(p));
                     });
 

@@ -5,6 +5,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "link/packet.h"
 #include "sim/event_loop.h"
@@ -12,17 +13,9 @@
 
 namespace mpdash {
 
-// Observes packets crossing a link; used by the analysis recorder.
-class PacketTap {
- public:
-  virtual ~PacketTap() = default;
-  virtual void on_send(int link_id, TimePoint at, const Packet& p) = 0;
-  virtual void on_deliver(int link_id, TimePoint at, const Packet& p) = 0;
-  virtual void on_drop(int link_id, TimePoint at, const Packet& p) = 0;
-};
-
 struct LinkConfig {
   int id = 0;
+  std::string name;                          // metric key; "link{id}" if empty
   BandwidthTrace rate;                       // serialization capacity
   Duration propagation_delay = milliseconds(25);  // one-way
   Bytes queue_capacity = 192 * 1000;         // drop-tail buffer
@@ -41,12 +34,16 @@ class Link {
   void send(Packet p);
 
   void set_deliver_handler(DeliverHandler h) { deliver_ = std::move(h); }
-  void set_tap(PacketTap* tap) { tap_ = tap; }
   void set_loss_rng(std::function<double()> uniform) {
     loss_rng_ = std::move(uniform);
   }
 
+  // Attaches telemetry: packet send/deliver/drop trace records plus
+  // `link.{name}.*` queue/delivery metrics. Pass nullptr to detach.
+  void set_telemetry(Telemetry* telemetry);
+
   int id() const { return config_.id; }
+  const std::string& name() const { return config_.name; }
   const BandwidthTrace& rate_trace() const { return config_.rate; }
   Duration propagation_delay() const { return config_.propagation_delay; }
 
@@ -59,11 +56,11 @@ class Link {
  private:
   void start_serializing();
   void on_serialized();
+  void emit_packet(TraceType type, const Packet& p) const;
 
   EventLoop& loop_;
   LinkConfig config_;
   DeliverHandler deliver_;
-  PacketTap* tap_ = nullptr;
   std::function<double()> loss_rng_;
 
   std::deque<Packet> queue_;
@@ -74,6 +71,12 @@ class Link {
   Bytes dropped_bytes_ = 0;
   std::size_t delivered_packets_ = 0;
   std::size_t dropped_packets_ = 0;
+
+  Telemetry* telemetry_ = nullptr;
+  Gauge queue_gauge_;
+  Counter delivered_bytes_counter_;
+  Counter delivered_packets_counter_;
+  Counter dropped_packets_counter_;
 };
 
 }  // namespace mpdash

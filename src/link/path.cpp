@@ -8,6 +8,7 @@ NetPath::NetPath(EventLoop& loop, PathEndpointsConfig config)
     : desc_(config.description) {
   LinkConfig down;
   down.id = desc_.id * 2;  // even ids: downlink, odd ids: uplink
+  down.name = desc_.name.empty() ? "" : desc_.name + ".down";
   down.rate = std::move(config.downlink_rate);
   down.propagation_delay = config.one_way_delay;
   down.queue_capacity = config.queue_capacity;
@@ -16,6 +17,7 @@ NetPath::NetPath(EventLoop& loop, PathEndpointsConfig config)
 
   LinkConfig up;
   up.id = desc_.id * 2 + 1;
+  up.name = desc_.name.empty() ? "" : desc_.name + ".up";
   up.rate = std::move(config.uplink_rate);
   up.propagation_delay = config.one_way_delay;
   up.queue_capacity = config.queue_capacity;
@@ -23,6 +25,9 @@ NetPath::NetPath(EventLoop& loop, PathEndpointsConfig config)
   up_ = std::make_unique<Link>(loop, std::move(up));
 
   if (config.downlink_shaper) {
+    if (config.downlink_shaper->name == "shaper" && !desc_.name.empty()) {
+      config.downlink_shaper->name = desc_.name;  // metric key per path
+    }
     down_shaper_ =
         std::make_unique<TokenBucketShaper>(loop, *config.downlink_shaper);
     down_shaper_->set_forward_handler(
@@ -52,9 +57,10 @@ void NetPath::set_uplink_deliver(Link::DeliverHandler h) {
   up_->set_deliver_handler(std::move(h));
 }
 
-void NetPath::set_tap(PacketTap* tap) {
-  down_->set_tap(tap);
-  up_->set_tap(tap);
+void NetPath::set_telemetry(Telemetry* telemetry) {
+  down_->set_telemetry(telemetry);
+  up_->set_telemetry(telemetry);
+  if (down_shaper_) down_shaper_->set_telemetry(telemetry);
 }
 
 Duration NetPath::base_rtt() const {

@@ -62,7 +62,8 @@ class NetPath {
 
   void set_downlink_deliver(Link::DeliverHandler h);
   void set_uplink_deliver(Link::DeliverHandler h);
-  void set_tap(PacketTap* tap);
+  // Wires telemetry into both links and the optional shaper.
+  void set_telemetry(Telemetry* telemetry);
 
   Link& downlink() { return *down_; }
   Link& uplink() { return *up_; }

@@ -10,6 +10,21 @@ TokenBucketShaper::TokenBucketShaper(EventLoop& loop, ShaperConfig config)
       config_(config),
       tokens_(static_cast<double>(config.burst)) {}
 
+void TokenBucketShaper::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (!telemetry_) {
+    queue_gauge_ = Gauge{};
+    forwarded_counter_ = Counter{};
+    dropped_counter_ = Counter{};
+    return;
+  }
+  MetricsRegistry& m = telemetry_->metrics();
+  const std::string prefix = "shaper." + config_.name;
+  queue_gauge_ = m.gauge(prefix + ".queue_bytes");
+  forwarded_counter_ = m.counter(prefix + ".forwarded_bytes");
+  dropped_counter_ = m.counter(prefix + ".dropped_bytes");
+}
+
 void TokenBucketShaper::refill() {
   const TimePoint now = loop_.now();
   const double earned =
@@ -21,9 +36,11 @@ void TokenBucketShaper::refill() {
 void TokenBucketShaper::send(Packet p) {
   if (queued_bytes_ + p.wire_size > config_.queue_capacity) {
     dropped_bytes_ += p.wire_size;
+    if (telemetry_) dropped_counter_.add(static_cast<double>(p.wire_size));
     return;
   }
   queued_bytes_ += p.wire_size;
+  if (telemetry_) queue_gauge_.set(static_cast<double>(queued_bytes_));
   queue_.push_back(std::move(p));
   drain();
 }
@@ -37,6 +54,10 @@ void TokenBucketShaper::drain() {
     queued_bytes_ -= p.wire_size;
     tokens_ -= static_cast<double>(p.wire_size);
     forwarded_bytes_ += p.wire_size;
+    if (telemetry_) {
+      forwarded_counter_.add(static_cast<double>(p.wire_size));
+      queue_gauge_.set(static_cast<double>(queued_bytes_));
+    }
     if (forward_) forward_(std::move(p));
   }
   if (!queue_.empty() && !drain_scheduled_) {

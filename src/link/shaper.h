@@ -15,6 +15,7 @@ struct ShaperConfig {
   DataRate rate = DataRate::mbps(1.0);
   Bytes burst = 16 * 1000;  // bucket depth
   Bytes queue_capacity = 256 * 1000;
+  std::string name = "shaper";  // metric key: `shaper.{name}.*`
 };
 
 // Packets pass through at most at `rate` (after an initial burst); excess
@@ -28,6 +29,9 @@ class TokenBucketShaper {
   void send(Packet p);
   void set_forward_handler(ForwardHandler h) { forward_ = std::move(h); }
 
+  // Registers `shaper.{name}.*` queue/drop metrics. nullptr detaches.
+  void set_telemetry(Telemetry* telemetry);
+
   Bytes dropped_bytes() const { return dropped_bytes_; }
   Bytes forwarded_bytes() const { return forwarded_bytes_; }
 
@@ -38,6 +42,11 @@ class TokenBucketShaper {
   EventLoop& loop_;
   ShaperConfig config_;
   ForwardHandler forward_;
+
+  Telemetry* telemetry_ = nullptr;
+  Gauge queue_gauge_;
+  Counter forwarded_counter_;
+  Counter dropped_counter_;
 
   double tokens_;  // bytes
   TimePoint last_refill_ = kTimeZero;

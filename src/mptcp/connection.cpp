@@ -28,6 +28,11 @@ MptcpConnection::MptcpConnection(EventLoop& loop, std::vector<NetPath*> paths)
   }
 }
 
+void MptcpConnection::set_telemetry(Telemetry* telemetry) {
+  client_->set_telemetry(telemetry);
+  server_->set_telemetry(telemetry);
+}
+
 NetPath& MptcpConnection::path(int path_id) {
   for (NetPath* p : paths_) {
     if (p->id() == path_id) return *p;

@@ -29,6 +29,10 @@ class MptcpConnection {
   // acks + headers) — the "cellular usage" metric of the evaluation.
   Bytes wire_bytes(int path_id) const;
 
+  // Wires telemetry into both endpoints (the borrowed paths are wired by
+  // whoever owns them — see Scenario::set_telemetry).
+  void set_telemetry(Telemetry* telemetry);
+
  private:
   std::vector<NetPath*> paths_;
   std::unique_ptr<MptcpEndpoint> client_;

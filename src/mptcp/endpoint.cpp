@@ -24,7 +24,27 @@ void MptcpEndpoint::add_path(SubflowConfig config,
       loop_, config, st.transmit, [this] { try_send(); });
   st.sampler = std::make_unique<RateSampler>(
       std::make_shared<HoltWinters>(), kSamplerInterval);
+  if (telemetry_) wire_sender_telemetry(st);
   paths_.emplace(id, std::move(st));
+}
+
+void MptcpEndpoint::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  for (auto& [id, st] : paths_) wire_sender_telemetry(st);
+  if (telemetry_ && role_ == Role::kClient) {
+    mask_changes_counter_ = telemetry_->metrics().counter("mptcp.mask_changes");
+  } else {
+    mask_changes_counter_ = Counter{};
+  }
+}
+
+void MptcpEndpoint::wire_sender_telemetry(PathState& st) {
+  // Server subflows carry the video data; their window trajectory is the
+  // one worth tracing. Client senders only push requests/acks.
+  const bool server = role_ == Role::kServer;
+  st.sender->set_telemetry(
+      telemetry_, server ? "mptcp.subflow" : "mptcp.client.subflow",
+      /*emit_trace=*/server);
 }
 
 void MptcpEndpoint::set_scheduler(std::unique_ptr<MptcpScheduler> scheduler) {
@@ -136,6 +156,16 @@ void MptcpEndpoint::signal_path_mask(std::uint32_t mask) {
   const std::uint32_t old_mask = signal_mask_;
   signal_mask_ = mask;
   ++signal_version_;
+  if (telemetry_) {
+    mask_changes_counter_.increment();
+    if (telemetry_->tracing()) {
+      TraceRecord r;
+      r.at = loop_.now();
+      r.type = TraceType::kPathMask;
+      r.mask = mask;
+      telemetry_->emit(r);
+    }
+  }
   update_sampler_modes();
   // The decision function lives in the client's own MPTCP stack, so the
   // client's outgoing data (requests) obeys the mask too.

@@ -51,6 +51,13 @@ class MptcpEndpoint {
 
   void set_receive_handler(ReceiveHandler h) { on_receive_ = std::move(h); }
 
+  // Wires telemetry into every subflow sender (and paths added later).
+  // Server subflows publish under `mptcp.subflow.{id}.*` and emit
+  // kSubflowUpdate trace records (they carry the video data the paper's
+  // plots track); client subflows publish under `mptcp.client.subflow.*`
+  // without trace records. nullptr detaches.
+  void set_telemetry(Telemetry* telemetry);
+
   // Appends application data to the outgoing stream.
   void send(WireData data);
 
@@ -110,6 +117,7 @@ class MptcpEndpoint {
   void deliver_in_order();
   void flush_samplers();
   void update_sampler_modes();
+  void wire_sender_telemetry(PathState& st);
   PathState& path_state(int path_id);
   const PathState& path_state(int path_id) const;
 
@@ -117,6 +125,8 @@ class MptcpEndpoint {
   Role role_;
   std::unique_ptr<MptcpScheduler> scheduler_;
   ReceiveHandler on_receive_;
+  Telemetry* telemetry_ = nullptr;
+  Counter mask_changes_counter_;
 
   std::map<int, PathState> paths_;
   std::uint32_t send_mask_ = kAllPathsMask;

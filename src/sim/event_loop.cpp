@@ -19,7 +19,27 @@ EventId EventLoop::schedule_in(Duration delay, Callback cb) {
 
 bool EventLoop::cancel(EventId id) {
   if (!id.valid()) return false;
-  return callbacks_.erase(id.value) > 0;
+  if (callbacks_.erase(id.value) == 0) return false;
+  ++cancelled_pending_;
+  // A schedule/cancel-heavy workload (RTO timers re-armed per ack) would
+  // otherwise accumulate stale heap entries without bound; rebuild once
+  // they outnumber the live ones.
+  if (cancelled_pending_ > 64 && cancelled_pending_ > callbacks_.size()) {
+    compact();
+  }
+  return true;
+}
+
+void EventLoop::compact() {
+  std::vector<Entry> live;
+  live.reserve(callbacks_.size());
+  while (!queue_.empty()) {
+    if (callbacks_.contains(queue_.top().id)) live.push_back(queue_.top());
+    queue_.pop();
+  }
+  queue_ = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>(
+      std::greater<>{}, std::move(live));
+  cancelled_pending_ = 0;
 }
 
 bool EventLoop::step() {
@@ -28,6 +48,7 @@ bool EventLoop::step() {
     auto it = callbacks_.find(top.id);
     if (it == callbacks_.end()) {
       queue_.pop();  // cancelled
+      if (cancelled_pending_ > 0) --cancelled_pending_;
       continue;
     }
     Callback cb = std::move(it->second);
@@ -36,6 +57,7 @@ bool EventLoop::step() {
     assert(top.at >= now_);
     now_ = top.at;
     ++executed_;
+    if (telemetry_) executed_counter_.increment();
     cb();
     return true;
   }
@@ -52,6 +74,7 @@ void EventLoop::run_until(TimePoint deadline) {
     const Entry top = queue_.top();
     if (callbacks_.find(top.id) == callbacks_.end()) {
       queue_.pop();
+      if (cancelled_pending_ > 0) --cancelled_pending_;
       continue;
     }
     if (top.at > deadline) break;
@@ -63,6 +86,15 @@ void EventLoop::run_until(TimePoint deadline) {
 bool EventLoop::has_pending() const {
   // Stale (cancelled) heap entries don't count.
   return !callbacks_.empty();
+}
+
+void EventLoop::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_) {
+    executed_counter_ = telemetry_->metrics().counter("sim.executed_events");
+  } else {
+    executed_counter_ = Counter{};
+  }
 }
 
 }  // namespace mpdash

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "telemetry/telemetry.h"
 #include "util/units.h"
 
 namespace mpdash {
@@ -46,6 +47,15 @@ class EventLoop {
   // True if any event is pending.
   bool has_pending() const;
   std::size_t executed_events() const { return executed_; }
+  // Live (non-cancelled) callbacks awaiting execution.
+  std::size_t pending_callbacks() const { return callbacks_.size(); }
+  // Heap entries including stale ones left behind by cancel(); bounded by
+  // compaction (see cancel()), exposed for the regression tests.
+  std::size_t queued_entries() const { return queue_.size(); }
+
+  // Attaches telemetry (counter `sim.executed_events`). Pass nullptr to
+  // detach. Never changes scheduling behavior.
+  void set_telemetry(Telemetry* telemetry);
 
  private:
   struct Entry {
@@ -62,15 +72,23 @@ class EventLoop {
   // Pops and runs the next event; returns false if queue empty after
   // discarding cancelled entries.
   bool step();
+  // Drops every stale heap entry once cancelled entries dominate the heap
+  // (cancel() leaves them behind; without this a schedule/cancel loop
+  // would grow the heap without bound).
+  void compact();
 
   TimePoint now_ = kTimeZero;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
   std::size_t executed_ = 0;
+  std::size_t cancelled_pending_ = 0;  // stale entries still in the heap
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   // Callbacks keyed by id; erased on cancel so stale heap entries are
   // skipped cheaply.
   std::unordered_map<std::uint64_t, Callback> callbacks_;
+
+  Telemetry* telemetry_ = nullptr;
+  Counter executed_counter_;
 };
 
 }  // namespace mpdash

@@ -23,6 +23,44 @@ bool SubflowSender::can_send() const {
   return static_cast<double>(inflight_.size()) < cwnd_;
 }
 
+void SubflowSender::set_telemetry(Telemetry* telemetry,
+                                  const std::string& scope, bool emit_trace) {
+  telemetry_ = telemetry;
+  emit_trace_ = emit_trace;
+  if (!telemetry_) {
+    cwnd_gauge_ = Gauge{};
+    srtt_gauge_ = Gauge{};
+    rtt_histogram_ = Histogram{};
+    retransmissions_counter_ = Counter{};
+    timeouts_counter_ = Counter{};
+    return;
+  }
+  MetricsRegistry& m = telemetry_->metrics();
+  const std::string prefix = scope + "." + std::to_string(config_.path_id);
+  cwnd_gauge_ = m.gauge(prefix + ".cwnd");
+  srtt_gauge_ = m.gauge(prefix + ".srtt_ms");
+  rtt_histogram_ = m.histogram(prefix + ".rtt_ms",
+                               {10, 20, 50, 100, 200, 500, 1000});
+  retransmissions_counter_ = m.counter(prefix + ".retransmissions");
+  timeouts_counter_ = m.counter(prefix + ".timeouts");
+  publish_window_state();
+}
+
+void SubflowSender::publish_window_state() {
+  cwnd_gauge_.set(cwnd_);
+  srtt_gauge_.set(to_seconds(srtt_) * 1e3);
+  if (emit_trace_ && telemetry_->tracing()) {
+    TraceRecord r;
+    r.at = loop_.now();
+    r.type = TraceType::kSubflowUpdate;
+    r.path_id = config_.path_id;
+    r.cwnd = cwnd_;
+    r.ssthresh = ssthresh_;
+    r.srtt_ms = to_seconds(srtt_) * 1e3;
+    telemetry_->emit(r);
+  }
+}
+
 Duration SubflowSender::rto() const {
   Duration base = srtt_ + 4 * rttvar_;
   base = std::clamp(base, config_.min_rto, config_.max_rto);
@@ -86,6 +124,9 @@ void SubflowSender::on_ack(const Packet& ack) {
 
   if (!ack.echo_is_retransmit) {
     update_rtt(loop_.now() - ack.echo_sent_at);  // Karn's rule
+    if (telemetry_) {
+      rtt_histogram_.record(to_seconds(loop_.now() - ack.echo_sent_at) * 1e3);
+    }
   }
   rto_backoff_ = 0;
 
@@ -107,6 +148,7 @@ void SubflowSender::on_ack(const Packet& ack) {
   }
   detect_losses();
   arm_rto();
+  if (telemetry_) publish_window_state();
   if (can_send() && on_capacity_) on_capacity_();
 }
 
@@ -127,6 +169,7 @@ void SubflowSender::detect_losses() {
       sp.retransmitted = true;
       sp.sent_at = loop_.now();
       ++retransmissions_;
+      if (telemetry_) retransmissions_counter_.increment();
       transmit_packet(seq, sp, /*retransmit=*/true);
       break;
     }
@@ -145,6 +188,7 @@ void SubflowSender::on_rto() {
   if (inflight_.empty()) return;
   ++timeouts_;
   ++rto_backoff_;
+  if (telemetry_) timeouts_counter_.increment();
   ssthresh_ = std::max(cwnd_ / 2.0, config_.min_cwnd);
   cwnd_ = 1.0;
   recovery_until_ = next_seq_;
@@ -159,8 +203,10 @@ void SubflowSender::on_rto() {
   sp.sent_at = loop_.now();
   sp.sacked_above = 0;
   ++retransmissions_;
+  if (telemetry_) retransmissions_counter_.increment();
   transmit_packet(seq, sp, /*retransmit=*/true);
   arm_rto();
+  if (telemetry_) publish_window_state();
   if (can_send() && on_capacity_) on_capacity_();
 }
 

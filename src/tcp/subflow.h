@@ -46,6 +46,14 @@ class SubflowSender {
   // Processes an acknowledgment for this subflow.
   void on_ack(const Packet& ack);
 
+  // Attaches telemetry under `{scope}.{path_id}.*` (cwnd/srtt gauges, RTT
+  // histogram, retransmission counters). `emit_trace` additionally emits a
+  // kSubflowUpdate record per cwnd/RTT change — enabled for the
+  // data-sending (server) direction only, which is what the paper's
+  // cross-layer tool plots. nullptr detaches.
+  void set_telemetry(Telemetry* telemetry, const std::string& scope,
+                     bool emit_trace);
+
   int path_id() const { return config_.path_id; }
   double cwnd() const { return cwnd_; }
   double ssthresh() const { return ssthresh_; }
@@ -70,6 +78,7 @@ class SubflowSender {
   void transmit_packet(std::uint64_t subflow_seq, const SentPacket& sp,
                        bool retransmit);
   void update_rtt(Duration sample);
+  void publish_window_state();
   void enter_recovery(std::uint64_t trigger_seq);
   void detect_losses();
   void arm_rto();
@@ -97,6 +106,15 @@ class SubflowSender {
   Bytes bytes_acked_ = 0;
   std::size_t retransmissions_ = 0;
   std::size_t timeouts_ = 0;
+
+  Telemetry* telemetry_ = nullptr;
+  bool emit_trace_ = false;
+  Gauge cwnd_gauge_;
+  Gauge srtt_gauge_;
+  Histogram rtt_histogram_;
+  Counter retransmissions_counter_;
+  Counter timeouts_counter_;
+
   static std::uint64_t global_packet_id_;
 };
 

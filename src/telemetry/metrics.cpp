@@ -1,0 +1,178 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mpdash {
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+void Histogram::record(double v) {
+  if (!slot_) return;
+  auto& s = *slot_;
+  // Inclusive upper edges (Prometheus `le` convention): first bound >= v.
+  const auto it = std::lower_bound(s.bounds.begin(), s.bounds.end(), v);
+  ++s.bucket_counts[static_cast<std::size_t>(it - s.bounds.begin())];
+  if (s.count == 0) {
+    s.min = v;
+    s.max = v;
+  } else {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  ++s.count;
+  s.sum += v;
+}
+
+detail::MetricSlot& MetricsRegistry::slot(std::string_view name,
+                                          MetricKind kind,
+                                          std::vector<double>* bounds) {
+  if (auto it = index_.find(name); it != index_.end()) {
+    detail::MetricSlot& existing = *it->second;
+    if (existing.kind != kind) {
+      throw std::invalid_argument("metric '" + std::string(name) +
+                                  "' already registered as " +
+                                  to_string(existing.kind));
+    }
+    if (bounds && existing.bounds != *bounds) {
+      throw std::invalid_argument("histogram '" + std::string(name) +
+                                  "' already registered with other bounds");
+    }
+    return existing;
+  }
+  detail::MetricSlot s;
+  s.name = std::string(name);
+  s.kind = kind;
+  if (bounds) {
+    if (!std::is_sorted(bounds->begin(), bounds->end())) {
+      throw std::invalid_argument("histogram bounds must be sorted");
+    }
+    s.bounds = *bounds;
+    s.bucket_counts.assign(bounds->size() + 1, 0);
+  }
+  slots_.push_back(std::move(s));
+  index_.emplace(slots_.back().name, &slots_.back());
+  return slots_.back();
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  return Counter(&slot(name, MetricKind::kCounter, nullptr));
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  return Gauge(&slot(name, MetricKind::kGauge, nullptr));
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::vector<double> bounds) {
+  return Histogram(&slot(name, MetricKind::kHistogram, &bounds));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(TimePoint at) const {
+  MetricsSnapshot snap;
+  snap.at = at;
+  snap.values.reserve(slots_.size());
+  // index_ is name-ordered, making snapshots stable across runs.
+  for (const auto& [name, s] : index_) {
+    MetricValue v;
+    v.name = s->name;
+    v.kind = s->kind;
+    v.value = s->value;
+    v.bounds = s->bounds;
+    v.bucket_counts = s->bucket_counts;
+    v.count = s->count;
+    v.sum = s->sum;
+    v.min = s->min;
+    v.max = s->max;
+    snap.values.push_back(std::move(v));
+  }
+  return snap;
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"time_s\":" + fmt_double(to_seconds(at)) +
+                    ",\"metrics\":{";
+  bool first = true;
+  for (const auto& v : values) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += v.name;  // metric names are plain identifiers, no escaping needed
+    out += "\":";
+    if (v.kind == MetricKind::kHistogram) {
+      out += "{\"count\":" + std::to_string(v.count) +
+             ",\"sum\":" + fmt_double(v.sum) + ",\"min\":" + fmt_double(v.min) +
+             ",\"max\":" + fmt_double(v.max) + ",\"buckets\":[";
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < v.bucket_counts.size(); ++i) {
+        if (i > 0) out += ',';
+        cumulative += v.bucket_counts[i];
+        out += "{\"le\":";
+        out += i < v.bounds.size() ? fmt_double(v.bounds[i]) : "\"inf\"";
+        out += ",\"count\":" + std::to_string(cumulative) + "}";
+      }
+      out += "]}";
+    } else {
+      out += fmt_double(v.value);
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsTimeline::to_csv() const {
+  std::string out = "time_s,metric,value\n";
+  auto row = [&out](double t, const std::string& name, double value) {
+    out += fmt_double(t);
+    out += ',';
+    out += name;
+    out += ',';
+    out += fmt_double(value);
+    out += '\n';
+  };
+  for (const auto& snap : snapshots_) {
+    const double t = to_seconds(snap.at);
+    for (const auto& v : snap.values) {
+      if (v.kind == MetricKind::kHistogram) {
+        row(t, v.name + ".count", static_cast<double>(v.count));
+        row(t, v.name + ".sum", v.sum);
+        if (v.count > 0) {
+          row(t, v.name + ".mean", v.sum / static_cast<double>(v.count));
+          row(t, v.name + ".min", v.min);
+          row(t, v.name + ".max", v.max);
+        }
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < v.bucket_counts.size(); ++i) {
+          cumulative += v.bucket_counts[i];
+          const std::string suffix =
+              i < v.bounds.size() ? ".le_" + fmt_double(v.bounds[i])
+                                  : std::string(".le_inf");
+          row(t, v.name + suffix, static_cast<double>(cumulative));
+        }
+      } else {
+        row(t, v.name, v.value);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mpdash

@@ -1,0 +1,17 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+
+namespace mpdash {
+
+void Telemetry::add_sink(TraceSink* sink) {
+  if (!sink) return;
+  if (std::find(sinks_.begin(), sinks_.end(), sink) != sinks_.end()) return;
+  sinks_.push_back(sink);
+}
+
+void Telemetry::remove_sink(TraceSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+}  // namespace mpdash

@@ -1,0 +1,43 @@
+#pragma once
+// The telemetry context: one MetricsRegistry plus a fan-out list of trace
+// sinks, shared by every instrumented subsystem of a run.
+//
+// Components hold a `Telemetry*` that defaults to nullptr; every
+// instrumentation site guards on it (and on `tracing()` for record
+// emission), so the disabled fast path costs a single predictable branch
+// and simulation results are bitwise identical either way.
+
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace_sink.h"
+
+namespace mpdash {
+
+class Telemetry {
+ public:
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // Sinks are borrowed and must outlive the context (or be removed).
+  void add_sink(TraceSink* sink);
+  void remove_sink(TraceSink* sink);
+
+  bool tracing() const { return !sinks_.empty(); }
+
+  // Whether packet-delivery records should carry payload segments (needed
+  // for HTTP reconstruction in analysis; off for plain JSONL traces).
+  void set_capture_payload(bool on) { capture_payload_ = on; }
+  bool capture_payload() const { return capture_payload_; }
+
+  void emit(const TraceRecord& r) {
+    for (TraceSink* s : sinks_) s->on_record(r);
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  std::vector<TraceSink*> sinks_;
+  bool capture_payload_ = false;
+};
+
+}  // namespace mpdash

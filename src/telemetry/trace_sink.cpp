@@ -1,0 +1,166 @@
+#include "telemetry/trace_sink.h"
+
+#include <cstdio>
+
+namespace mpdash {
+
+const char* to_string(TraceType t) {
+  switch (t) {
+    case TraceType::kPacketSend: return "packet_send";
+    case TraceType::kPacketDeliver: return "packet_deliver";
+    case TraceType::kPacketDrop: return "packet_drop";
+    case TraceType::kSubflowUpdate: return "subflow_update";
+    case TraceType::kSchedDecision: return "sched_decision";
+    case TraceType::kPathMask: return "path_mask";
+    case TraceType::kPlayer: return "player";
+  }
+  return "unknown";
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : buffer_(capacity == 0 ? 1 : capacity) {}
+
+void RingBufferSink::on_record(const TraceRecord& r) {
+  buffer_[head_] = r;
+  head_ = (head_ + 1) % buffer_.size();
+  if (size_ < buffer_.size()) ++size_;
+  ++total_;
+}
+
+std::vector<TraceRecord> RingBufferSink::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size_);
+  // Oldest record sits at head_ once the buffer has wrapped.
+  const std::size_t start =
+      size_ == buffer_.size() ? head_ : (head_ + buffer_.size() - size_) %
+                                            buffer_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+void RingBufferSink::clear() {
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string trace_record_to_json(const TraceRecord& r) {
+  std::string out = "{\"t\":" + fmt_double(to_seconds(r.at)) + ",\"type\":\"";
+  out += to_string(r.type);
+  out += '"';
+  auto num = [&out](const char* key, double v) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += fmt_double(v);
+  };
+  auto integer = [&out](const char* key, std::int64_t v) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += std::to_string(v);
+  };
+  if (r.path_id >= 0) integer("path", r.path_id);
+  switch (r.type) {
+    case TraceType::kPacketSend:
+    case TraceType::kPacketDeliver:
+    case TraceType::kPacketDrop:
+      integer("link", r.link_id);
+      out += ",\"dir\":\"";
+      out += r.is_downlink() ? "down" : "up";
+      out += "\",\"kind\":\"";
+      out += r.kind == PacketKind::kData ? "data" : "ack";
+      out += '"';
+      integer("wire", r.wire_size);
+      if (r.kind == PacketKind::kData) {
+        integer("payload", r.payload_len);
+        integer("seq", static_cast<std::int64_t>(r.data_seq));
+        if (r.retransmit) out += ",\"retx\":true";
+      }
+      break;
+    case TraceType::kSubflowUpdate:
+      num("cwnd", r.cwnd);
+      num("ssthresh", r.ssthresh);
+      num("srtt_ms", r.srtt_ms);
+      break;
+    case TraceType::kSchedDecision:
+      if (r.label) {
+        out += ",\"decision\":\"" + json_escape(r.label) + '"';
+      }
+      out += ",\"enabled\":";
+      out += r.enabled ? "true" : "false";
+      num("budget_s", r.budget_s);
+      num("deliverable", r.deliverable_bytes);
+      num("remaining", r.remaining_bytes);
+      break;
+    case TraceType::kPathMask:
+      integer("mask", r.mask);
+      break;
+    case TraceType::kPlayer:
+      if (r.label) {
+        out += ",\"event\":\"" + json_escape(r.label) + '"';
+      }
+      if (r.level >= 0) integer("level", r.level);
+      if (r.chunk >= 0) integer("chunk", r.chunk);
+      if (r.bytes > 0) integer("bytes", r.bytes);
+      num("value", r.value);
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+JsonlSink::~JsonlSink() {
+  if (file_) std::fclose(file_);
+}
+
+void JsonlSink::on_record(const TraceRecord& r) {
+  if (!file_) return;
+  const std::string line = trace_record_to_json(r);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  ++written_;
+}
+
+}  // namespace mpdash

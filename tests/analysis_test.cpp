@@ -23,7 +23,7 @@ SessionResult recorded_session(Scheme scheme) {
   SessionConfig cfg;
   cfg.scheme = scheme;
   cfg.adaptation = "festive";
-  cfg.record_packets = true;
+  cfg.record_trace = true;
   return run_streaming_session(scenario, tiny_video(), cfg);
 }
 
@@ -32,7 +32,7 @@ TEST(Analyzer, ReconstructsEveryChunkFromTheWire) {
   ASSERT_TRUE(res.completed);
   AnalyzerConfig cfg;
   cfg.device = galaxy_note();
-  const AnalysisReport report = analyze(res.packets, res.events, cfg);
+  const AnalysisReport report = analyze(res.trace, res.events, cfg);
 
   // One ChunkDelivery per fetched chunk, sizes matching the player's log.
   ASSERT_EQ(report.chunks.size(), res.chunk_log.size());
@@ -54,13 +54,13 @@ TEST(Analyzer, PathUsageMatchesLinkCounters) {
   SessionConfig cfg;
   cfg.scheme = Scheme::kBaseline;
   cfg.adaptation = "gpac";
-  cfg.record_packets = true;
+  cfg.record_trace = true;
   const SessionResult res = run_streaming_session(scenario, tiny_video(), cfg);
   ASSERT_TRUE(res.completed);
 
   AnalyzerConfig acfg;
   acfg.device = galaxy_note();
-  const AnalysisReport report = analyze(res.packets, res.events, acfg);
+  const AnalysisReport report = analyze(res.trace, res.events, acfg);
   const PathUsage* wifi = report.path(kWifiPathId);
   const PathUsage* lte = report.path(kCellularPathId);
   ASSERT_NE(wifi, nullptr);
@@ -75,8 +75,8 @@ TEST(Analyzer, MpDashShiftsChunkBytesOffCellular) {
   const SessionResult mpd = recorded_session(Scheme::kMpDashRate);
   AnalyzerConfig cfg;
   cfg.device = galaxy_note();
-  const auto base_report = analyze(base.packets, base.events, cfg);
-  const auto mpd_report = analyze(mpd.packets, mpd.events, cfg);
+  const auto base_report = analyze(base.trace, base.events, cfg);
+  const auto mpd_report = analyze(mpd.trace, mpd.events, cfg);
 
   double base_cell = 0.0, mpd_cell = 0.0;
   for (const auto& c : base_report.chunks) {
@@ -92,7 +92,7 @@ TEST(Analyzer, EnergyAndSessionLengthPopulated) {
   const SessionResult res = recorded_session(Scheme::kBaseline);
   AnalyzerConfig cfg;
   cfg.device = galaxy_note();
-  const AnalysisReport report = analyze(res.packets, res.events, cfg);
+  const AnalysisReport report = analyze(res.trace, res.events, cfg);
   EXPECT_GT(to_seconds(report.session_length), 10.0);
   EXPECT_GT(report.energy.total_j(), 0.0);
   EXPECT_GT(report.energy.lte.total_j(), 0.0);
@@ -100,7 +100,7 @@ TEST(Analyzer, EnergyAndSessionLengthPopulated) {
 
 TEST(Analyzer, ThroughputSeriesCoversSession) {
   const SessionResult res = recorded_session(Scheme::kBaseline);
-  const ThroughputSeries series = throughput_series(res.packets);
+  const ThroughputSeries series = throughput_series(res.trace);
   ASSERT_FALSE(series.total.empty());
   // Peak aggregate should be near the 10 Mbps of combined capacity.
   double peak = 0.0;
@@ -114,7 +114,7 @@ TEST(Render, TimelineShowsLevelsAndCellularShare) {
   const SessionResult res = recorded_session(Scheme::kBaseline);
   AnalyzerConfig cfg;
   cfg.device = galaxy_note();
-  const AnalysisReport report = analyze(res.packets, res.events, cfg);
+  const AnalysisReport report = analyze(res.trace, res.events, cfg);
   const std::string out = render_chunk_timeline(report);
   EXPECT_NE(out.find("chunk level"), std::string::npos);
   EXPECT_NE(out.find("cellular share"), std::string::npos);

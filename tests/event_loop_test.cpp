@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/event_loop.h"
@@ -93,6 +94,58 @@ TEST(EventLoop, CountsExecutedEvents) {
   for (int i = 0; i < 7; ++i) loop.schedule_in(seconds(1.0), [] {});
   loop.run();
   EXPECT_EQ(loop.executed_events(), 7u);
+}
+
+// Regression: schedule 10k events, cancel half, run, then re-run a second
+// batch on the same loop. Cancelled events must neither fire nor leak
+// callbacks, and executed_events() must count exactly the survivors.
+TEST(EventLoop, ScheduleCancelRerunTenThousandEvents) {
+  constexpr int kEvents = 10'000;
+  EventLoop loop;
+  int fired = 0;
+  std::vector<EventId> ids;
+  ids.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    ids.push_back(
+        loop.schedule_in(milliseconds(i % 97), [&fired] { ++fired; }));
+  }
+  for (int i = 0; i < kEvents; i += 2) EXPECT_TRUE(loop.cancel(ids[i]));
+  EXPECT_EQ(loop.pending_callbacks(), static_cast<std::size_t>(kEvents / 2));
+  loop.run();
+  EXPECT_EQ(fired, kEvents / 2);
+  EXPECT_EQ(loop.executed_events(), static_cast<std::size_t>(kEvents / 2));
+  EXPECT_EQ(loop.pending_callbacks(), 0u);  // nothing leaked
+  EXPECT_EQ(loop.queued_entries(), 0u);     // heap fully drained
+
+  // Second batch on the same loop: counters keep accumulating, cancelled
+  // ids from the first batch stay dead.
+  for (int i = 0; i < kEvents; i += 2) EXPECT_FALSE(loop.cancel(ids[i]));
+  for (int i = 0; i < kEvents; ++i) {
+    loop.schedule_in(milliseconds(i % 31), [&fired] { ++fired; });
+  }
+  loop.run();
+  EXPECT_EQ(fired, kEvents / 2 + kEvents);
+  EXPECT_EQ(loop.executed_events(),
+            static_cast<std::size_t>(kEvents / 2 + kEvents));
+  EXPECT_EQ(loop.pending_callbacks(), 0u);
+}
+
+// Regression: an RTO-style schedule/cancel churn loop must not grow the
+// heap without bound — compact() rebuilds it once stale entries dominate.
+TEST(EventLoop, CancelChurnKeepsHeapBounded) {
+  EventLoop loop;
+  std::size_t peak = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const EventId id = loop.schedule_in(seconds(1.0), [] {});
+    EXPECT_TRUE(loop.cancel(id));
+    peak = std::max(peak, loop.queued_entries());
+  }
+  // Compaction triggers once cancelled entries outnumber live ones (with a
+  // small hysteresis floor), so the heap never holds more than ~the floor.
+  EXPECT_LT(peak, 200u);
+  EXPECT_EQ(loop.pending_callbacks(), 0u);
+  loop.run();
+  EXPECT_EQ(loop.executed_events(), 0u);
 }
 
 }  // namespace

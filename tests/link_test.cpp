@@ -90,26 +90,31 @@ TEST(Link, RespectsTimeVaryingRate) {
   EXPECT_NEAR(to_seconds(last), 6.0, 0.05);
 }
 
-TEST(Link, TapSeesSendDeliverDrop) {
-  struct Tap final : PacketTap {
-    int sends = 0, delivers = 0, drops = 0;
-    void on_send(int, TimePoint, const Packet&) override { ++sends; }
-    void on_deliver(int, TimePoint, const Packet&) override { ++delivers; }
-    void on_drop(int, TimePoint, const Packet&) override { ++drops; }
-  } tap;
+TEST(Link, TraceSinkSeesSendDeliverDrop) {
   EventLoop loop;
   LinkConfig cfg;
   cfg.rate = BandwidthTrace::constant(DataRate::mbps(1.0));
   cfg.queue_capacity = 1500;
   Link link(loop, cfg);
-  link.set_tap(&tap);
+  Telemetry telemetry;
+  TraceCollector sink;
+  telemetry.add_sink(&sink);
+  link.set_telemetry(&telemetry);
   link.set_deliver_handler([](Packet) {});
   link.send(data_packet(1000, 1));
   link.send(data_packet(1000, 2));
   loop.run();
-  EXPECT_EQ(tap.sends, 2);
-  EXPECT_EQ(tap.delivers, 1);
-  EXPECT_EQ(tap.drops, 1);
+  int sends = 0, delivers = 0, drops = 0;
+  for (const auto& r : sink.records()) {
+    if (r.type == TraceType::kPacketSend) ++sends;
+    if (r.type == TraceType::kPacketDeliver) ++delivers;
+    if (r.type == TraceType::kPacketDrop) ++drops;
+  }
+  EXPECT_EQ(sends, 2);
+  EXPECT_EQ(delivers, 1);
+  EXPECT_EQ(drops, 1);
+  EXPECT_EQ(telemetry.metrics().counter("link.link0.dropped_packets").value(),
+            1.0);
 }
 
 TEST(Link, RandomLossDropsApproximately) {

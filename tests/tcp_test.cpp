@@ -23,10 +23,15 @@ struct Harness {
 
   explicit Harness(DataRate rate, Bytes queue = 192'000,
                    Duration delay = milliseconds(25))
-      : fwd(loop, LinkConfig{0, BandwidthTrace::constant(rate), delay, queue}),
+      : fwd(loop, LinkConfig{.id = 0,
+                             .rate = BandwidthTrace::constant(rate),
+                             .propagation_delay = delay,
+                             .queue_capacity = queue}),
         rev(loop,
-            LinkConfig{1, BandwidthTrace::constant(DataRate::mbps(50)), delay,
-                       10'000'000}),
+            LinkConfig{.id = 1,
+                       .rate = BandwidthTrace::constant(DataRate::mbps(50)),
+                       .propagation_delay = delay,
+                       .queue_capacity = 10'000'000}),
         sender(
             loop, SubflowConfig{},
             [this](Packet p) { fwd.send(std::move(p)); },

@@ -15,12 +15,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "dash/video.h"
 #include "exp/scenario.h"
 #include "exp/session.h"
+#include "telemetry/telemetry.h"
 #include "trace/locations.h"
 #include "trace/trace_io.h"
 #include "util/csv.h"
@@ -39,6 +41,8 @@ struct Args {
   std::string wifi_trace_path;
   std::string lte_trace_path;
   std::string csv_path;
+  std::string metrics_path;  // per-second metrics timeline CSV
+  std::string trace_path;    // structured event trace JSONL
   double wifi_mbps = 3.8;
   double lte_mbps = 3.0;
   double chunk_s = 4.0;
@@ -61,7 +65,11 @@ struct Args {
                "  --location <name from `locations`>\n"
                "  --alpha <0..1>  --scheduler minrtt|roundrobin\n"
                "  --size-mb <mb> --deadline <s> --no-mpdash   (download)\n"
-               "  --csv <path>   write the result row as CSV\n");
+               "  --csv <path>   write the result row as CSV\n"
+               "  --metrics <path>   per-second metrics timeline "
+               "(CSV: time_s,metric,value)\n"
+               "  --trace <path>     structured event trace "
+               "(JSONL, one record per line)\n");
   std::exit(2);
 }
 
@@ -90,6 +98,8 @@ Args parse(int argc, char** argv) {
     else if (flag == "--deadline") a.deadline_s = std::atof(value().c_str());
     else if (flag == "--no-mpdash") a.use_mpdash = false;
     else if (flag == "--csv") a.csv_path = value();
+    else if (flag == "--metrics") a.metrics_path = value();
+    else if (flag == "--trace") a.trace_path = value();
     else usage(("unknown flag " + flag).c_str());
   }
   return a;
@@ -148,6 +158,14 @@ int cmd_locations() {
   return 0;
 }
 
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
 int cmd_stream(const Args& a) {
   const Video video = pick_video(a);
   Scenario scenario(build_network(a, video.total_duration() + seconds(180.0)));
@@ -156,7 +174,39 @@ int cmd_stream(const Args& a) {
   cfg.adaptation = a.algo;
   cfg.alpha = a.alpha;
   cfg.mptcp_scheduler = a.mptcp_scheduler;
+
+  Telemetry telemetry;
+  MetricsTimeline timeline;
+  std::unique_ptr<JsonlSink> jsonl;
+  if (!a.metrics_path.empty() || !a.trace_path.empty()) {
+    cfg.telemetry = &telemetry;
+    if (!a.metrics_path.empty()) cfg.metrics = &timeline;
+    if (!a.trace_path.empty()) {
+      jsonl = std::make_unique<JsonlSink>(a.trace_path);
+      if (!jsonl->ok()) {
+        std::fprintf(stderr, "cannot write %s\n", a.trace_path.c_str());
+        return 1;
+      }
+      telemetry.add_sink(jsonl.get());
+    }
+  }
+
   const SessionResult res = run_streaming_session(scenario, video, cfg);
+
+  if (!a.metrics_path.empty()) {
+    if (!write_text_file(a.metrics_path, timeline.to_csv())) {
+      std::fprintf(stderr, "cannot write %s\n", a.metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics timeline (%zu snapshots) written to %s\n",
+                timeline.snapshots().size(), a.metrics_path.c_str());
+  }
+  if (jsonl) {
+    std::printf("trace (%llu records) written to %s\n",
+                static_cast<unsigned long long>(jsonl->records_written()),
+                a.trace_path.c_str());
+    telemetry.remove_sink(jsonl.get());
+  }
 
   std::printf("session: %s / %s / %s\n", video.name().c_str(),
               a.algo.c_str(), a.scheme.c_str());
@@ -208,7 +258,40 @@ int cmd_download(const Args& a) {
   cfg.alpha = a.alpha;
   cfg.mptcp_scheduler = a.mptcp_scheduler;
   cfg.warmup = true;
+
+  Telemetry telemetry;
+  std::unique_ptr<JsonlSink> jsonl;
+  if (!a.metrics_path.empty() || !a.trace_path.empty()) {
+    cfg.telemetry = &telemetry;
+    if (!a.trace_path.empty()) {
+      jsonl = std::make_unique<JsonlSink>(a.trace_path);
+      if (!jsonl->ok()) {
+        std::fprintf(stderr, "cannot write %s\n", a.trace_path.c_str());
+        return 1;
+      }
+      telemetry.add_sink(jsonl.get());
+    }
+  }
+
   const DownloadResult res = run_download_session(scenario, cfg);
+
+  if (!a.metrics_path.empty()) {
+    // Downloads are short; export a single end-of-run snapshot, stamped
+    // at the transfer finish (the loop itself drains to the trace horizon).
+    MetricsTimeline timeline;
+    timeline.record(telemetry.metrics().snapshot(res.finish_time));
+    if (!write_text_file(a.metrics_path, timeline.to_csv())) {
+      std::fprintf(stderr, "cannot write %s\n", a.metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", a.metrics_path.c_str());
+  }
+  if (jsonl) {
+    std::printf("trace (%llu records) written to %s\n",
+                static_cast<unsigned long long>(jsonl->records_written()),
+                a.trace_path.c_str());
+    telemetry.remove_sink(jsonl.get());
+  }
   std::printf("%.1f MB with %.1f s deadline (%s):\n", a.size_mb,
               a.deadline_s, a.use_mpdash ? "MP-DASH" : "vanilla MPTCP");
   std::printf("  finish %.2f s (%s), LTE %.2f MB, WiFi %.2f MB, "
