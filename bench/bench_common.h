@@ -13,11 +13,30 @@
 #include "dash/video.h"
 #include "exp/scenario.h"
 #include "exp/session.h"
+#include "runner/campaign.h"
 #include "trace/locations.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 namespace mpdash::bench {
+
+// Shared `--jobs N` flag for the campaign-based benches (0 = auto:
+// MPDASH_JOBS env, then hardware concurrency — see resolve_jobs()).
+inline int parse_jobs(int argc, char** argv) {
+  int jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (flag.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(flag.c_str() + 7);
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return jobs;
+}
 
 // MPDASH_QUICK=1 trims session lengths for fast smoke runs; default is
 // the paper's full 10-minute videos.
@@ -61,25 +80,57 @@ inline bool bench_json_enabled() {
   return env != nullptr && env[0] == '1';
 }
 
-inline void append_bench_snapshot(Telemetry& telemetry, Scheme scheme,
-                                  const std::string& algo, double session_s) {
+inline std::string bench_snapshot_line(Telemetry& telemetry, Scheme scheme,
+                                       const std::string& algo,
+                                       double session_s) {
+  const std::string id =
+      current_bench_id().empty() ? "bench" : current_bench_id();
+  const MetricsSnapshot snap =
+      telemetry.metrics().snapshot(TimePoint(seconds(session_s)));
+  return "{\"bench\":\"" + json_escape(id) + "\",\"scheme\":\"" +
+         to_string(scheme) + "\",\"adaptation\":\"" + json_escape(algo) +
+         "\",\"snapshot\":" + snap.to_json() + "}\n";
+}
+
+// Appends pre-rendered JSON lines to BENCH_<id>.json. Campaign benches
+// buffer one line per run and flush here in add-order after the pool
+// drains, so the file contents do not depend on the job count.
+inline void append_bench_lines(const std::string& lines) {
+  if (lines.empty()) return;
   const std::string id =
       current_bench_id().empty() ? "bench" : current_bench_id();
   std::FILE* f = std::fopen(("BENCH_" + id + ".json").c_str(), "a");
   if (!f) return;
-  const MetricsSnapshot snap =
-      telemetry.metrics().snapshot(TimePoint(seconds(session_s)));
-  std::fprintf(f,
-               "{\"bench\":\"%s\",\"scheme\":\"%s\",\"adaptation\":\"%s\","
-               "\"snapshot\":%s}\n",
-               json_escape(id).c_str(), to_string(scheme),
-               json_escape(algo).c_str(), snap.to_json().c_str());
+  std::fwrite(lines.data(), 1, lines.size(), f);
   std::fclose(f);
 }
 
+// One trailer line per campaign: wall-clock, serial estimate (sum of
+// per-run times), and the realized speedup, so BENCH_*.json tracks the
+// parallelism win over time alongside the per-run metric snapshots.
+inline void append_campaign_summary(const CampaignStats& stats) {
+  if (!bench_json_enabled()) return;
+  const std::string id =
+      current_bench_id().empty() ? "bench" : current_bench_id();
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"bench\":\"%s\",\"campaign\":{\"runs\":%d,\"jobs\":%d,"
+                "\"failures\":%d,\"wall_s\":%.3f,\"serial_est_s\":%.3f,"
+                "\"speedup\":%.2f}}\n",
+                json_escape(id).c_str(), stats.runs, stats.jobs,
+                stats.failures, stats.wall_s, stats.run_wall_sum_s,
+                stats.speedup());
+  append_bench_lines(buf);
+}
+
+// Runs one (scenario, scheme, algorithm) cell. When `json_out` is given,
+// the MPDASH_BENCH_JSON snapshot line is returned through it instead of
+// written immediately — required inside campaign workers, where direct
+// file appends would interleave nondeterministically.
 inline SessionResult run_scheme(const ScenarioConfig& net, const Video& video,
                                 Scheme scheme, const std::string& algo,
-                                bool record = false) {
+                                bool record = false,
+                                std::string* json_out = nullptr) {
   Scenario scenario(net);
   SessionConfig cfg;
   cfg.scheme = scheme;
@@ -89,7 +140,13 @@ inline SessionResult run_scheme(const ScenarioConfig& net, const Video& video,
   if (bench_json_enabled()) cfg.telemetry = &telemetry;
   SessionResult res = run_streaming_session(scenario, video, cfg);
   if (bench_json_enabled()) {
-    append_bench_snapshot(telemetry, scheme, algo, res.session_s);
+    const std::string line =
+        bench_snapshot_line(telemetry, scheme, algo, res.session_s);
+    if (json_out != nullptr) {
+      *json_out = line;
+    } else {
+      append_bench_lines(line);
+    }
   }
   return res;
 }

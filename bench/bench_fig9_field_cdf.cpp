@@ -8,10 +8,11 @@
 using namespace mpdash;
 using namespace mpdash::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = parse_jobs(argc, argv);
   print_header("Figure 9", "cellular savings CDF across 33 locations");
 
-  const auto outcomes = run_field_study(field_study_locations());
+  const auto outcomes = run_field_study(field_study_locations(), jobs);
 
   std::vector<std::pair<std::string,
                         std::vector<std::pair<double, double>>>> series;

@@ -9,7 +9,8 @@
 using namespace mpdash;
 using namespace mpdash::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = parse_jobs(argc, argv);
   print_header("Table 1", "bandwidth profiles for the simulation");
   TextTable t1({"trace", "WiFi Mbps", "Cell Mbps", "file", "deadlines (s)"});
   for (const auto& p : table1_profiles()) {
@@ -27,32 +28,56 @@ int main() {
   print_header("Table 2", "online Algorithm 1 vs offline optimal");
   TextTable t2({"trace", "D/L s", "Cell% Optimal", "Cell% Online", "Diff",
                 "Miss?"});
-  double max_diff = 0.0;
-  int misses = 0, rows = 0;
+
+  // One campaign run per (profile, deadline) row; each worker builds its
+  // own traces and solves both the oracle and the online algorithm.
+  struct Row {
+    std::string profile;
+    Duration deadline = kDurationZero;
+    TwoPathFluidResult opt;
+    OnlineSimResult online;
+  };
+  Campaign<Row> campaign("table-2");
   for (const auto& p : table1_profiles()) {
     for (const Duration deadline : p.deadlines) {
-      const Duration horizon = deadline + seconds(120.0);
-      const BandwidthTrace wifi = p.wifi_trace(horizon);
-      const BandwidthTrace cell = p.cell_trace(horizon);
-
-      const auto opt =
-          optimal_two_path_fluid(wifi, cell, p.file_size, deadline);
-      const auto online =
-          simulate_online_two_path(wifi, cell, p.file_size, deadline);
-
-      const double diff = online.costly_fraction - opt.costly_fraction;
-      max_diff = std::max(max_diff, diff);
-      misses += online.deadline_missed;
-      ++rows;
-      t2.add_row({p.name, TextTable::num(to_seconds(deadline), 0),
-                  TextTable::pct(opt.costly_fraction),
-                  TextTable::pct(online.costly_fraction),
-                  TextTable::pct(diff),
-                  online.deadline_missed
-                      ? TextTable::num(to_milliseconds(online.miss_by), 0) +
-                            "ms"
-                      : "No"});
+      campaign.add(
+          p.name + "/" + TextTable::num(to_seconds(deadline), 0) + "s",
+          [&p, deadline](RunContext&) {
+            const Duration horizon = deadline + seconds(120.0);
+            const BandwidthTrace wifi = p.wifi_trace(horizon);
+            const BandwidthTrace cell = p.cell_trace(horizon);
+            Row row;
+            row.profile = p.name;
+            row.deadline = deadline;
+            row.opt =
+                optimal_two_path_fluid(wifi, cell, p.file_size, deadline);
+            row.online =
+                simulate_online_two_path(wifi, cell, p.file_size, deadline);
+            return row;
+          });
     }
+  }
+  CampaignOptions opts;
+  opts.jobs = jobs;
+  const auto res = campaign.run(opts);
+  res.require_all_ok();
+  append_campaign_summary(res.stats);
+
+  double max_diff = 0.0;
+  int misses = 0, rows = 0;
+  for (const Row& row : res.results) {
+    const double diff = row.online.costly_fraction - row.opt.costly_fraction;
+    max_diff = std::max(max_diff, diff);
+    misses += row.online.deadline_missed;
+    ++rows;
+    t2.add_row({row.profile, TextTable::num(to_seconds(row.deadline), 0),
+                TextTable::pct(row.opt.costly_fraction),
+                TextTable::pct(row.online.costly_fraction),
+                TextTable::pct(diff),
+                row.online.deadline_missed
+                    ? TextTable::num(to_milliseconds(row.online.miss_by), 0) +
+                          "ms"
+                    : "No"});
   }
   std::printf("%s\n", t2.render().c_str());
   std::printf("rows: %d, deadline misses: %d, max online-vs-optimal diff: "

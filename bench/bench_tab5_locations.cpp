@@ -7,10 +7,11 @@
 using namespace mpdash;
 using namespace mpdash::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = parse_jobs(argc, argv);
   print_header("Table 5", "savings at representative locations");
 
-  const auto outcomes = run_field_study(table5_locations());
+  const auto outcomes = run_field_study(table5_locations(), jobs);
 
   TextTable table({"location", "WiFi BW/RTT", "LTE BW/RTT", "FEST/B rate",
                    "FEST/B dur", "FEST/E rate", "FEST/E dur", "BBA/B rate",

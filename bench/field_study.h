@@ -44,27 +44,75 @@ struct LocationOutcome {
   }
 };
 
+// Executes the full grid (|locations| × 2 algorithms × 3 schemes) as one
+// Campaign: one RunSpec per cell, sharded over `jobs` workers (0 = auto).
+// Results are reassembled in location order after the pool drains, so the
+// returned vector — and everything aggregated from it — is bitwise
+// identical for any job count.
 inline std::vector<LocationOutcome> run_field_study(
-    const std::vector<LocationProfile>& locations) {
+    const std::vector<LocationProfile>& locations, int jobs = 0) {
   const Video video = bench_video();
   const Duration horizon = video.total_duration() + seconds(120.0);
 
-  std::vector<LocationOutcome> out;
+  // Scenario configs are built once, serially, and shared read-only with
+  // the workers (trace expansion is the expensive deterministic part).
+  std::vector<ScenarioConfig> nets;
+  nets.reserve(locations.size());
   for (const auto& loc : locations) {
-    LocationOutcome outcome;
-    outcome.location = loc;
-    const ScenarioConfig net = location_scenario(loc, horizon);
+    nets.push_back(location_scenario(loc, horizon));
+  }
+
+  struct Cell {
+    SessionResult result;
+    std::string bench_json;
+  };
+  static const std::vector<std::pair<std::string, Scheme>> kSchemes = {
+      {"baseline", Scheme::kBaseline},
+      {"rate", Scheme::kMpDashRate},
+      {"duration", Scheme::kMpDashDuration}};
+
+  Campaign<Cell> campaign("field-study");
+  struct Slot {
+    std::size_t location;
+    std::string run_key;  // "<algo>/<scheme>" within the LocationOutcome
+  };
+  std::vector<Slot> slots;
+  for (std::size_t li = 0; li < locations.size(); ++li) {
     for (const char* algo : {"festive", "bba"}) {
-      for (const auto& [key, scheme] :
-           std::vector<std::pair<std::string, Scheme>>{
-               {"baseline", Scheme::kBaseline},
-               {"rate", Scheme::kMpDashRate},
-               {"duration", Scheme::kMpDashDuration}}) {
-        outcome.runs.emplace(std::string(algo) + "/" + key,
-                             run_scheme(net, video, scheme, algo));
+      for (const auto& [key, scheme] : kSchemes) {
+        const std::string run_key = std::string(algo) + "/" + key;
+        const ScenarioConfig& net = nets[li];
+        const std::string algo_name = algo;
+        const Scheme sch = scheme;
+        campaign.add(locations[li].name + "/" + run_key,
+                     [&net, &video, sch, algo_name](RunContext&) {
+                       Cell cell;
+                       cell.result = run_scheme(net, video, sch, algo_name,
+                                                false, &cell.bench_json);
+                       return cell;
+                     });
+        slots.push_back({li, run_key});
       }
     }
-    out.push_back(std::move(outcome));
+  }
+
+  CampaignOptions opts;
+  opts.jobs = jobs;
+  auto res = campaign.run(opts);
+  res.require_all_ok();
+
+  std::string json_lines;
+  for (const Cell& cell : res.results) json_lines += cell.bench_json;
+  append_bench_lines(json_lines);
+  append_campaign_summary(res.stats);
+
+  std::vector<LocationOutcome> out(locations.size());
+  for (std::size_t li = 0; li < locations.size(); ++li) {
+    out[li].location = locations[li];
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    out[slots[i].location].runs.emplace(slots[i].run_key,
+                                        std::move(res.results[i].result));
   }
   return out;
 }

@@ -27,7 +27,7 @@ struct SegmentRef {
 };
 
 struct Packet {
-  std::uint64_t id = 0;  // globally unique, assigned by the sender
+  std::uint64_t id = 0;  // unique within one simulation (EventLoop-issued)
   PacketKind kind = PacketKind::kData;
   int path_id = -1;
 

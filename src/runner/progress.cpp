@@ -1,0 +1,75 @@
+#include "runner/progress.h"
+
+#include <chrono>
+
+#ifdef _WIN32
+#include <io.h>
+#define MPDASH_ISATTY _isatty
+#define MPDASH_FILENO _fileno
+#else
+#include <unistd.h>
+#define MPDASH_ISATTY isatty
+#define MPDASH_FILENO fileno
+#endif
+
+namespace mpdash {
+
+double monotonic_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+ProgressReporter::ProgressReporter(std::string label, int total,
+                                   std::FILE* out)
+    : label_(std::move(label)),
+      total_(total),
+      out_(out),
+      tty_(out != nullptr && MPDASH_ISATTY(MPDASH_FILENO(out)) != 0),
+      start_s_(monotonic_seconds()) {}
+
+ProgressReporter::~ProgressReporter() {
+  if (out_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tty_ && done_ > 0) std::fputc('\n', out_);
+}
+
+int ProgressReporter::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void ProgressReporter::print_status_locked() {
+  const double elapsed = monotonic_seconds() - start_s_;
+  const double eta =
+      done_ > 0 ? elapsed / done_ * (total_ - done_) : 0.0;
+  std::fprintf(out_, "%s[%s] %d/%d (%.0f%%) elapsed %.1fs eta %.1fs%s",
+               tty_ ? "\r" : "", label_.c_str(), done_, total_,
+               total_ > 0 ? 100.0 * done_ / total_ : 100.0, elapsed, eta,
+               tty_ ? "" : "\n");
+  std::fflush(out_);
+}
+
+void ProgressReporter::completed(const std::string& key, bool ok,
+                                 const std::string& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  if (!ok) ++failed_;
+  if (out_ == nullptr) return;
+  if (!ok) {
+    std::fprintf(out_, "%s[%s] run '%s' FAILED: %s\n", tty_ ? "\n" : "",
+                 label_.c_str(), key.c_str(), error.c_str());
+  }
+  if (tty_) {
+    print_status_locked();
+    return;
+  }
+  // Non-tty (logs, CI): one line per decile plus the final run.
+  const int decile = total_ > 0 ? done_ * 10 / total_ : 10;
+  if (decile != last_printed_decile_ || done_ == total_) {
+    last_printed_decile_ = decile;
+    print_status_locked();
+  }
+}
+
+}  // namespace mpdash

@@ -1,0 +1,47 @@
+#pragma once
+// Thread-safe progress/ETA reporting for campaign runs. Writes to stderr
+// (or any FILE*) so that campaign *results* on stdout stay byte-identical
+// regardless of job count; wall-clock and ETA figures are display-only
+// and never feed back into run state.
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace mpdash {
+
+class ProgressReporter {
+ public:
+  // `out == nullptr` disables all output (failures included).
+  ProgressReporter(std::string label, int total, std::FILE* out);
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  // Called by workers as each run finishes. Failures always print one
+  // line; successes update an in-place tty status line, or print at ~10%
+  // steps when `out` is not a terminal.
+  void completed(const std::string& key, bool ok, const std::string& error);
+
+  int done() const;
+
+ private:
+  void print_status_locked();
+
+  const std::string label_;
+  const int total_;
+  std::FILE* const out_;
+  const bool tty_;
+  const double start_s_;  // monotonic clock, seconds
+
+  mutable std::mutex mu_;
+  int done_ = 0;
+  int failed_ = 0;
+  int last_printed_decile_ = -1;
+};
+
+// Monotonic wall clock in seconds (std::chrono::steady_clock).
+double monotonic_seconds();
+
+}  // namespace mpdash

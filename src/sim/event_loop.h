@@ -57,6 +57,12 @@ class EventLoop {
   // detach. Never changes scheduling behavior.
   void set_telemetry(Telemetry* telemetry);
 
+  // Allocates a simulation-unique id (packet ids, etc.). Keeping the
+  // counter on the loop — not in a process-wide static — lets concurrent
+  // simulations share nothing mutable, so parallel campaigns stay both
+  // race-free and bitwise deterministic.
+  std::uint64_t allocate_id() { return next_alloc_id_++; }
+
  private:
   struct Entry {
     TimePoint at;
@@ -80,6 +86,7 @@ class EventLoop {
   TimePoint now_ = kTimeZero;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
+  std::uint64_t next_alloc_id_ = 1;
   std::size_t executed_ = 0;
   std::size_t cancelled_pending_ = 0;  // stale entries still in the heap
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;

@@ -6,8 +6,6 @@
 
 namespace mpdash {
 
-std::uint64_t SubflowSender::global_packet_id_ = 1;
-
 SubflowSender::SubflowSender(EventLoop& loop, SubflowConfig config,
                              std::function<void(Packet)> transmit,
                              std::function<void()> on_capacity)
@@ -90,7 +88,7 @@ void SubflowSender::send_data(std::uint64_t data_seq, Bytes len,
 void SubflowSender::transmit_packet(std::uint64_t subflow_seq,
                                     const SentPacket& sp, bool retransmit) {
   Packet p;
-  p.id = global_packet_id_++;
+  p.id = loop_.allocate_id();
   p.kind = PacketKind::kData;
   p.path_id = config_.path_id;
   p.subflow_seq = subflow_seq;

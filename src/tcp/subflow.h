@@ -114,8 +114,6 @@ class SubflowSender {
   Histogram rtt_histogram_;
   Counter retransmissions_counter_;
   Counter timeouts_counter_;
-
-  static std::uint64_t global_packet_id_;
 };
 
 }  // namespace mpdash

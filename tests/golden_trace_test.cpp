@@ -1,0 +1,127 @@
+// Golden-trace regression tests for Algorithm 1: the deadline scheduler's
+// decision records (kSchedDecision / kPathMask) for fixed scenarios are
+// pinned to committed JSONL fixtures, so a scheduler refactor cannot
+// silently change its decisions.
+//
+// Updating after an *intentional* behavior change (see DESIGN.md):
+//   MPDASH_UPDATE_GOLDEN=1 ./tests/golden_trace_test
+// rewrites the fixtures in the source tree; review and commit the diff.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dash/video.h"
+#include "exp/scenario.h"
+#include "exp/session.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_sink.h"
+
+using namespace mpdash;
+
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(MPDASH_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string decisions_to_jsonl(const std::vector<TraceRecord>& records) {
+  std::string out;
+  for (const TraceRecord& r : records) {
+    if (r.type != TraceType::kSchedDecision &&
+        r.type != TraceType::kPathMask) {
+      continue;
+    }
+    out += trace_record_to_json(r);
+    out += '\n';
+  }
+  return out;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[4096];
+  std::size_t n;
+  out->clear();
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+void check_golden(const std::string& name, const std::string& got) {
+  ASSERT_FALSE(got.empty()) << "scenario produced no decision records";
+  const std::string path = fixture_path(name);
+  if (std::getenv("MPDASH_UPDATE_GOLDEN") != nullptr) {
+    ASSERT_TRUE(write_file(path, got)) << "cannot write " << path;
+    GTEST_SKIP() << "fixture updated: " << path
+                 << " — review and commit the diff";
+  }
+  std::string want;
+  ASSERT_TRUE(read_file(path, &want))
+      << "missing fixture " << path
+      << "; run with MPDASH_UPDATE_GOLDEN=1 to create it";
+  EXPECT_EQ(got, want)
+      << "Algorithm-1 decisions diverged from the committed fixture "
+      << path << ". If the change is intentional, regenerate with "
+      << "MPDASH_UPDATE_GOLDEN=1 and commit the new fixture.";
+}
+
+}  // namespace
+
+// A 5 MB deadline download where WiFi alone cannot make the deadline, so
+// Algorithm 1 must enable and later shed the cellular path.
+TEST(GoldenTrace, DownloadSchedulerDecisions) {
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(2.4), DataRate::mbps(3.0)));
+  Telemetry telemetry;
+  TraceCollector collector;
+  telemetry.add_sink(&collector);
+
+  DownloadConfig cfg;
+  cfg.size = megabytes(5);
+  cfg.deadline = seconds(10.0);
+  cfg.use_mpdash = true;
+  cfg.telemetry = &telemetry;
+  const DownloadResult res = run_download_session(scenario, cfg);
+  EXPECT_TRUE(res.completed);
+
+  check_golden("download_sched_decisions.jsonl",
+               decisions_to_jsonl(collector.records()));
+}
+
+// A short MP-DASH rate-deadline streaming session: per-chunk activations
+// of Algorithm 1 under FESTIVE on a constrained WiFi path.
+TEST(GoldenTrace, StreamingSchedulerDecisions) {
+  const Video video("golden-clip", seconds(4.0), 10,
+                    {DataRate::mbps(0.58), DataRate::mbps(1.01),
+                     DataRate::mbps(1.47), DataRate::mbps(2.41),
+                     DataRate::mbps(3.94)},
+                    0.12, 42);
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(2.8), DataRate::mbps(3.0)));
+  Telemetry telemetry;
+  TraceCollector collector;
+  telemetry.add_sink(&collector);
+
+  SessionConfig cfg;
+  cfg.scheme = Scheme::kMpDashRate;
+  cfg.adaptation = "festive";
+  cfg.telemetry = &telemetry;
+  const SessionResult res = run_streaming_session(scenario, video, cfg);
+  EXPECT_TRUE(res.completed);
+
+  check_golden("streaming_sched_decisions.jsonl",
+               decisions_to_jsonl(collector.records()));
+}

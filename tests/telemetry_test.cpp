@@ -180,7 +180,10 @@ TEST(TraceSink, RecordToJsonCarriesTypedFields) {
 }
 
 TEST(TraceSink, JsonlSinkWritesOneLinePerRecord) {
-  const std::string path = "telemetry_test_out.jsonl";
+  // Absolute temp path: cases run concurrently under `ctest -j` from a
+  // shared working directory, so cwd-relative output files are unsafe.
+  const std::string path =
+      ::testing::TempDir() + "mpdash_telemetry_test_out.jsonl";
   {
     JsonlSink sink(path);
     ASSERT_TRUE(sink.ok());

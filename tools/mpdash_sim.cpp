@@ -11,6 +11,7 @@
 //   mpdash_sim stream --wifi-trace wifi.csv --lte 8.0
 //   mpdash_sim download --size-mb 5 --deadline 10 --no-mpdash
 //   mpdash_sim locations            # list the field-study profile DB
+//   mpdash_sim sweep --algo bba --jobs 8   # parallel field-study campaign
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,10 +23,12 @@
 #include "dash/video.h"
 #include "exp/scenario.h"
 #include "exp/session.h"
+#include "runner/campaign.h"
 #include "telemetry/telemetry.h"
 #include "trace/locations.h"
 #include "trace/trace_io.h"
 #include "util/csv.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 using namespace mpdash;
@@ -51,12 +54,14 @@ struct Args {
   double deadline_s = 10.0;
   bool use_mpdash = true;
   std::string mptcp_scheduler = "minrtt";
+  int jobs = 0;  // sweep workers; 0 = MPDASH_JOBS env, then hardware cores
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
-               "usage: mpdash_sim <stream|download|locations> [options]\n"
+               "usage: mpdash_sim <stream|download|sweep|locations> "
+               "[options]\n"
                "  --scheme wifi-only|baseline|mpdash-rate|mpdash-duration\n"
                "  --algo gpac|festive|bba|bba-c|mpc\n"
                "  --video bbb|redbull|tears|tears-hd   --chunk <seconds>\n"
@@ -65,6 +70,7 @@ struct Args {
                "  --location <name from `locations`>\n"
                "  --alpha <0..1>  --scheduler minrtt|roundrobin\n"
                "  --size-mb <mb> --deadline <s> --no-mpdash   (download)\n"
+               "  --jobs <n>     sweep workers (default: hardware cores)\n"
                "  --csv <path>   write the result row as CSV\n"
                "  --metrics <path>   per-second metrics timeline "
                "(CSV: time_s,metric,value)\n"
@@ -97,6 +103,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--size-mb") a.size_mb = std::atof(value().c_str());
     else if (flag == "--deadline") a.deadline_s = std::atof(value().c_str());
     else if (flag == "--no-mpdash") a.use_mpdash = false;
+    else if (flag == "--jobs") a.jobs = std::atoi(value().c_str());
     else if (flag == "--csv") a.csv_path = value();
     else if (flag == "--metrics") a.metrics_path = value();
     else if (flag == "--trace") a.trace_path = value();
@@ -303,6 +310,105 @@ int cmd_download(const Args& a) {
   return res.completed && !res.deadline_missed ? 0 : 1;
 }
 
+// Parallel field-study campaign: baseline vs the chosen MP-DASH scheme at
+// every built-in location, sharded over --jobs workers. The table and the
+// optional CSV are assembled in location order after the pool drains, so
+// they are identical for any job count.
+int cmd_sweep(const Args& a) {
+  const Scheme scheme = parse_scheme(a.scheme);
+  if (scheme == Scheme::kBaseline || scheme == Scheme::kWifiOnly) {
+    usage("sweep needs an MP-DASH scheme (mpdash-rate or mpdash-duration)");
+  }
+  const Video video = pick_video(a);
+  const Duration horizon = video.total_duration() + seconds(180.0);
+
+  const auto& locations = field_study_locations();
+  struct Pair {
+    SessionResult base;
+    SessionResult mpd;
+  };
+  Campaign<Pair> campaign("sweep/" + a.algo);
+  for (const auto& loc : locations) {
+    campaign.add(loc.name + "/" + a.algo + "/" + a.scheme,
+                 [&loc, &video, &a, scheme, horizon](RunContext&) {
+                   ScenarioConfig net;
+                   net.wifi_down = loc.wifi_trace(horizon);
+                   net.lte_down = loc.lte_trace(horizon);
+                   net.wifi_rtt = loc.wifi_rtt;
+                   net.lte_rtt = loc.lte_rtt;
+
+                   SessionConfig cfg;
+                   cfg.adaptation = a.algo;
+                   cfg.alpha = a.alpha;
+                   cfg.mptcp_scheduler = a.mptcp_scheduler;
+                   Pair pair;
+                   cfg.scheme = Scheme::kBaseline;
+                   Scenario base_sc(net);
+                   pair.base = run_streaming_session(base_sc, video, cfg);
+                   cfg.scheme = scheme;
+                   Scenario mpd_sc(net);
+                   pair.mpd = run_streaming_session(mpd_sc, video, cfg);
+                   return pair;
+                 });
+  }
+  CampaignOptions opts;
+  opts.jobs = a.jobs;
+  const auto res = campaign.run(opts);
+  if (!res.all_ok()) {
+    for (const RunReport& r : res.reports) {
+      if (!r.ok) {
+        std::fprintf(stderr, "run '%s' failed: %s\n", r.key.c_str(),
+                     r.error.c_str());
+      }
+    }
+    return 1;
+  }
+
+  TextTable table({"location", "scenario", "cell saving", "bitrate delta",
+                   "stalls"});
+  CsvWriter csv({"location", "scenario", "algo", "scheme", "base_cell_mb",
+                 "mpdash_cell_mb", "cell_saving", "bitrate_delta_mbps",
+                 "stalls"});
+  std::vector<double> savings;
+  for (std::size_t i = 0; i < locations.size(); ++i) {
+    const auto& loc = locations[i];
+    const Pair& pair = res.results[i];
+    const double saving =
+        pair.base.cell_bytes > 0
+            ? 1.0 - static_cast<double>(pair.mpd.cell_bytes) /
+                        static_cast<double>(pair.base.cell_bytes)
+            : 0.0;
+    const double delta = pair.mpd.steady_avg_bitrate_mbps -
+                         pair.base.steady_avg_bitrate_mbps;
+    savings.push_back(saving);
+    table.add_row({loc.name, std::to_string(static_cast<int>(loc.scenario)),
+                   TextTable::pct(saving, 1), TextTable::num(delta, 2),
+                   std::to_string(pair.mpd.stalls)});
+    csv.add_row({loc.name, std::to_string(static_cast<int>(loc.scenario)),
+                 a.algo, a.scheme,
+                 TextTable::num(static_cast<double>(pair.base.cell_bytes) / 1e6, 3),
+                 TextTable::num(static_cast<double>(pair.mpd.cell_bytes) / 1e6, 3),
+                 TextTable::num(saving, 4), TextTable::num(delta, 3),
+                 std::to_string(pair.mpd.stalls)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("cellular savings: p25 %.0f%%, median %.0f%%, p75 %.0f%%\n",
+              percentile(savings, 25) * 100, percentile(savings, 50) * 100,
+              percentile(savings, 75) * 100);
+  std::printf("campaign: %d runs on %d workers, %.2fs wall (serial est "
+              "%.2fs, speedup %.2fx)\n",
+              res.stats.runs, res.stats.jobs, res.stats.wall_s,
+              res.stats.run_wall_sum_s, res.stats.speedup());
+  if (!a.csv_path.empty()) {
+    if (!csv.write_file(a.csv_path)) {
+      std::fprintf(stderr, "cannot write %s\n", a.csv_path.c_str());
+      return 1;
+    }
+    std::printf("results written to %s\n", a.csv_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -310,5 +416,6 @@ int main(int argc, char** argv) {
   if (args.command == "locations") return cmd_locations();
   if (args.command == "stream") return cmd_stream(args);
   if (args.command == "download") return cmd_download(args);
+  if (args.command == "sweep") return cmd_sweep(args);
   usage(("unknown command " + args.command).c_str());
 }
