@@ -89,7 +89,8 @@ void BM_HttpParseResponseHead(benchmark::State& state) {
         {.on_request = nullptr,
          .on_response_head = nullptr,
          .on_body = nullptr,
-         .on_message_complete = [&done] { ++done; }});
+         .on_message_complete = [&done] { ++done; },
+         .on_error = nullptr});
     parser.consume(wire);
     benchmark::DoNotOptimize(done);
   }

@@ -107,7 +107,8 @@ void reconstruct_chunks(const std::vector<TraceRecord>& trace,
           .on_message_complete =
               [&] {
                 if (is_media) report.chunks.push_back(current);
-              }});
+              },
+          .on_error = nullptr});
 
   for (const auto& [seq, rec] : stream) {
     feeding = rec;

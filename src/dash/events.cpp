@@ -19,6 +19,8 @@ const char* to_string(PlayerEventType t) {
     case PlayerEventType::kStallEnd: return "stall_end";
     case PlayerEventType::kBufferSample: return "buffer_sample";
     case PlayerEventType::kPlaybackDone: return "playback_done";
+    case PlayerEventType::kChunkRetry: return "chunk_retry";
+    case PlayerEventType::kChunkAbandoned: return "chunk_abandoned";
   }
   return "unknown";
 }
@@ -26,7 +28,7 @@ const char* to_string(PlayerEventType t) {
 namespace {
 
 PlayerEventType type_from_string(const std::string& s) {
-  for (int t = 0; t <= static_cast<int>(PlayerEventType::kPlaybackDone); ++t) {
+  for (int t = 0; t <= static_cast<int>(PlayerEventType::kChunkAbandoned); ++t) {
     const auto type = static_cast<PlayerEventType>(t);
     if (s == to_string(type)) return type;
   }

@@ -18,6 +18,8 @@ enum class PlayerEventType : std::uint8_t {
   kStallEnd,       // extra(stall seconds)
   kBufferSample,   // extra(buffer seconds)
   kPlaybackDone,
+  kChunkRetry,     // level(retry level), chunk, extra(attempt number)
+  kChunkAbandoned, // level(last tried), chunk
 };
 
 struct PlayerEvent {

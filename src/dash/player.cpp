@@ -27,6 +27,20 @@ void DashPlayer::start() {
 }
 
 void DashPlayer::on_manifest(const HttpTransfer& transfer) {
+  if (!transfer.ok()) {
+    // Transport-level failure (timeout budget spent, stream poisoned).
+    // Retry the manifest itself; without it there is nothing to play.
+    if (++manifest_attempt_ < config_.max_chunk_attempts) {
+      client_.get(manifest_url(),
+                  [this](const HttpTransfer& t) { on_manifest(t); });
+      return;
+    }
+    manifest_failed_ = true;
+    done_ = true;
+    log(PlayerEventType::kPlaybackDone);
+    if (on_done_) on_done_();
+    return;
+  }
   if (transfer.response.status != 200) {
     throw std::runtime_error("manifest fetch failed");
   }
@@ -106,9 +120,14 @@ void DashPlayer::fetch_next_chunk() {
 }
 
 void DashPlayer::on_chunk_done(const HttpTransfer& transfer) {
+  if (!transfer.ok()) {
+    on_chunk_failed(transfer);
+    return;
+  }
   if (transfer.response.status != 200) {
     throw std::runtime_error("chunk fetch failed");
   }
+  fetch_attempt_ = 0;
   const TimePoint now = loop_.now();
 
   ChunkRecord rec;
@@ -144,6 +163,50 @@ void DashPlayer::on_chunk_done(const HttpTransfer& transfer) {
     log(PlayerEventType::kStallEnd, -1, -1, 0,
         to_seconds(now - stall_started_));
   }
+  arm_depletion_watch();
+  fetch_next_chunk();
+}
+
+void DashPlayer::on_chunk_failed(const HttpTransfer& transfer) {
+  (void)transfer;
+  ++fetch_attempt_;
+  if (fetch_attempt_ >= config_.max_chunk_attempts) {
+    abandon_chunk();
+    return;
+  }
+  // Downshift-and-retry: a lower level is fewer bytes, which is the best
+  // bet on whatever is left of the network.
+  const int level = std::max(0, pending_level_ - 1);
+  ++chunk_retries_;
+  log(PlayerEventType::kChunkRetry, level, next_chunk_, 0,
+      static_cast<double>(fetch_attempt_));
+  pending_level_ = level;
+  pending_request_time_ = loop_.now();
+  client_.get(chunk_url(level, next_chunk_),
+              [this](const HttpTransfer& t) { on_chunk_done(t); });
+}
+
+void DashPlayer::abandon_chunk() {
+  // The paper's graceful-degradation endpoint: give up on this chunk so
+  // the session as a whole survives. Playback will skip the gap.
+  ++chunks_abandoned_;
+  log(PlayerEventType::kChunkAbandoned, pending_level_, next_chunk_);
+  fetch_attempt_ = 0;
+  ++next_chunk_;
+  if (hooks_) hooks_->on_chunk_complete(make_view());
+  if (next_chunk_ >= video_->chunk_count() && stalled_) {
+    // The chunk this stall was waiting for (and everything after it) is
+    // gone; nothing will ever refill the buffer. Close the stall and end
+    // the session instead of hanging.
+    const TimePoint now = loop_.now();
+    stalled_ = false;
+    total_stall_ += now - stall_started_;
+    log(PlayerEventType::kStallEnd, -1, -1, 0,
+        to_seconds(now - stall_started_));
+    finish();
+    return;
+  }
+  maybe_start_playback();
   arm_depletion_watch();
   fetch_next_chunk();
 }
@@ -200,7 +263,7 @@ void DashPlayer::sample_buffer() {
 void DashPlayer::finish() {
   if (done_) return;
   done_ = true;
-  buffer_->set_playing(loop_.now(), false);
+  if (buffer_) buffer_->set_playing(loop_.now(), false);
   log(PlayerEventType::kPlaybackDone);
   loop_.cancel(fetch_timer_);
   loop_.cancel(depletion_timer_);
@@ -216,6 +279,8 @@ void DashPlayer::set_telemetry(Telemetry* telemetry) {
     stalls_counter_ = Counter{};
     switches_counter_ = Counter{};
     chunks_counter_ = Counter{};
+    retries_counter_ = Counter{};
+    abandoned_counter_ = Counter{};
     return;
   }
   MetricsRegistry& m = telemetry_->metrics();
@@ -224,6 +289,8 @@ void DashPlayer::set_telemetry(Telemetry* telemetry) {
   stalls_counter_ = m.counter("player.stalls");
   switches_counter_ = m.counter("player.switches");
   chunks_counter_ = m.counter("player.chunks");
+  retries_counter_ = m.counter("player.chunk_retries");
+  abandoned_counter_ = m.counter("player.chunks_abandoned");
 }
 
 void DashPlayer::log(PlayerEventType type, int level, int chunk, Bytes bytes,
@@ -243,6 +310,12 @@ void DashPlayer::log(PlayerEventType type, int level, int chunk, Bytes bytes,
       break;
     case PlayerEventType::kStallStart:
       stalls_counter_.increment();
+      break;
+    case PlayerEventType::kChunkRetry:
+      retries_counter_.increment();
+      break;
+    case PlayerEventType::kChunkAbandoned:
+      abandoned_counter_.increment();
       break;
     default:
       break;

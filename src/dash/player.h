@@ -52,6 +52,13 @@ struct PlayerConfig {
   // a stall the same way).
   Duration startup_buffer = seconds(8.0);
   Duration buffer_sample_interval = seconds(1.0);
+  // Graceful degradation: total fetch attempts per chunk before the chunk
+  // is abandoned and playback skips over it. Each retry downshifts one
+  // quality level (smaller segment, better odds on a degraded network).
+  // Only reachable when the HttpClient can fail a transfer (retry layer
+  // on); with the default client a chunk fetch never completes with an
+  // error and these settings are inert.
+  int max_chunk_attempts = 3;
 };
 
 struct ChunkRecord {
@@ -89,6 +96,10 @@ class DashPlayer {
   int stall_count() const { return stall_count_; }
   Duration total_stall_time() const { return total_stall_; }
   int quality_switches() const { return switches_; }
+  int chunk_retries() const { return chunk_retries_; }
+  int chunks_abandoned() const { return chunks_abandoned_; }
+  // True if the manifest never arrived (session over before it started).
+  bool manifest_failed() const { return manifest_failed_; }
 
   // Registers `player.*` metrics and bridges the event log to kPlayer
   // trace records. nullptr detaches.
@@ -99,6 +110,8 @@ class DashPlayer {
   void schedule_fetch();
   void fetch_next_chunk();
   void on_chunk_done(const HttpTransfer& transfer);
+  void on_chunk_failed(const HttpTransfer& transfer);
+  void abandon_chunk();
   AdaptationView make_view() const;
   void maybe_start_playback();
   void arm_depletion_watch();
@@ -120,6 +133,9 @@ class DashPlayer {
 
   int next_chunk_ = 0;
   int last_level_ = -1;
+  int fetch_attempt_ = 0;       // attempts made for the current chunk
+  int manifest_attempt_ = 0;
+  bool manifest_failed_ = false;
   bool playing_started_ = false;
   bool stalled_ = false;
   TimePoint stall_started_ = kTimeZero;
@@ -140,6 +156,8 @@ class DashPlayer {
   int stall_count_ = 0;
   Duration total_stall_ = kDurationZero;
   int switches_ = 0;
+  int chunk_retries_ = 0;
+  int chunks_abandoned_ = 0;
 
   Telemetry* telemetry_ = nullptr;
   Gauge buffer_gauge_;
@@ -147,6 +165,8 @@ class DashPlayer {
   Counter stalls_counter_;
   Counter switches_counter_;
   Counter chunks_counter_;
+  Counter retries_counter_;
+  Counter abandoned_counter_;
 };
 
 }  // namespace mpdash

@@ -15,6 +15,9 @@ class DashServer {
 
   const Video& video() const { return video_; }
   std::size_t chunks_served() const { return chunks_served_; }
+  // The underlying HTTP engine — the fault layer drives its stall/drop
+  // hooks through this.
+  HttpServer& http() { return http_; }
 
  private:
   HttpResponse handle(const HttpRequest& req);

@@ -1,0 +1,209 @@
+#include "exp/chaos.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace mpdash {
+
+std::string ChaosRunResult::fingerprint() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "seed=%llu ok=%d done=%d t=%.6f chunks=%d abandoned=%d retries=%d "
+      "stalls=%d sf=%d rev=%d reinj=%d to=%d rt=%d faults=%d skip=%d "
+      "viol=%zu",
+      static_cast<unsigned long long>(seed), ok() ? 1 : 0, completed ? 1 : 0,
+      session_s, chunks_delivered, chunks_abandoned, chunk_retries, stalls,
+      subflow_failures, subflow_revivals, reinjected_packets, http_timeouts,
+      http_retries, faults_started, faults_skipped, violations.size());
+  return buf;
+}
+
+int ChaosCampaignResult::violation_count() const {
+  int n = 0;
+  for (const ChaosRunResult& r : runs) {
+    n += static_cast<int>(r.violations.size());
+  }
+  return n;
+}
+
+std::string ChaosCampaignResult::digest() const {
+  std::string out;
+  for (const ChaosRunResult& r : runs) {
+    out += r.fingerprint();
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> check_chaos_invariants(const SessionResult& res,
+                                                int chunk_count) {
+  std::vector<std::string> v;
+  auto fail = [&v](std::string msg) { v.push_back(std::move(msg)); };
+
+  if (!res.completed) {
+    fail("session hung: time limit reached before playback finished");
+  }
+  if (res.manifest_failed) {
+    // A cleanly-failed manifest ends the session with zero chunks; any
+    // delivered chunk alongside it means the player state machine broke.
+    if (res.chunks != 0) {
+      fail("manifest failed but " + std::to_string(res.chunks) +
+           " chunks delivered");
+    }
+  } else if (res.chunks + res.chunks_abandoned != chunk_count) {
+    fail("chunk accounting: delivered " + std::to_string(res.chunks) +
+         " + abandoned " + std::to_string(res.chunks_abandoned) + " != " +
+         std::to_string(chunk_count));
+  }
+  if (res.server_data_seq_high != res.client_bytes_in_order) {
+    fail("byte accounting server->client: scheduled " +
+         std::to_string(res.server_data_seq_high) + ", consumed in order " +
+         std::to_string(res.client_bytes_in_order));
+  }
+  if (res.client_data_seq_high != res.server_bytes_in_order) {
+    fail("byte accounting client->server: scheduled " +
+         std::to_string(res.client_data_seq_high) + ", consumed in order " +
+         std::to_string(res.server_bytes_in_order));
+  }
+  if (res.reinject_backlog != 0) {
+    fail("reinjection backlog not drained: " +
+         std::to_string(res.reinject_backlog) + " segments stranded");
+  }
+  if (!res.faults_quiescent) {
+    fail("fault windows still open at session end");
+  }
+  if (res.faults_skipped != 0) {
+    fail(std::to_string(res.faults_skipped) +
+         " fault events had no attachable target");
+  }
+  return v;
+}
+
+ScenarioConfig chaos_scenario_config(std::uint64_t run_seed) {
+  ScenarioConfig net = constant_scenario(DataRate::mbps(5.0),
+                                         DataRate::mbps(4.0));
+  net.seed = derive_stream_seed(run_seed, "links");
+  return net;
+}
+
+Video chaos_video(const ChaosConfig& cfg) {
+  // Fixed content seed: every chaos run streams the same bytes; only the
+  // network and the fault plan vary with the run seed.
+  return Video("chaos", seconds(2.0), cfg.chunk_count,
+               {DataRate::mbps(0.6), DataRate::mbps(1.2), DataRate::mbps(2.4)},
+               0.1, 42);
+}
+
+SessionConfig chaos_session_config(const ChaosConfig& cfg,
+                                   std::uint64_t run_seed) {
+  SessionConfig s;
+  s.scheme = cfg.scheme;
+  s.adaptation = cfg.adaptation;
+  s.mptcp_scheduler = cfg.mptcp_scheduler;
+  s.time_limit = cfg.time_limit;
+  s.player.max_chunk_attempts = 3;
+  if (cfg.recovery) {
+    s.mptcp_recovery.max_consecutive_rtos = 4;
+    s.mptcp_recovery.reprobe_interval = seconds(2.0);
+    s.http_recovery.request_timeout = seconds(4.0);
+    s.http_recovery.max_retries = 4;
+    s.http_recovery.jitter_seed = derive_stream_seed(run_seed, "http-jitter");
+  }
+  return s;
+}
+
+namespace {
+
+ChaosRunResult run_one(const ChaosConfig& cfg, const Video& video,
+                       RunContext& ctx) {
+  const FaultPlan plan = random_fault_plan(ctx.seed, cfg.plan);
+  Scenario scenario(chaos_scenario_config(ctx.seed));
+  SessionConfig scfg = chaos_session_config(cfg, ctx.seed);
+  scfg.telemetry = &ctx.telemetry;
+  scfg.faults = &plan;
+
+  const SessionResult res = run_streaming_session(scenario, video, scfg);
+
+  ChaosRunResult out;
+  out.seed = ctx.seed;
+  out.completed = res.completed;
+  out.session_s = res.session_s;
+  out.chunks_delivered = res.chunks;
+  out.chunks_abandoned = res.chunks_abandoned;
+  out.chunk_retries = res.chunk_retries;
+  out.stalls = res.stalls;
+  out.subflow_failures = res.subflow_failures;
+  out.subflow_revivals = res.subflow_revivals;
+  out.reinjected_packets = res.reinjected_packets;
+  out.http_timeouts = res.http_timeouts;
+  out.http_retries = res.http_retries;
+  out.faults_started = res.faults_started;
+  out.faults_skipped = res.faults_skipped;
+  out.manifest_failed = res.manifest_failed;
+  out.violations = check_chaos_invariants(res, video.chunk_count());
+
+  // Telemetry-consistency invariants: counters must agree with the result
+  // struct (an instrumentation site drifting from the source of truth is a
+  // bug the goldens can't see).
+  MetricsRegistry& m = ctx.telemetry.metrics();
+  auto counter_is = [&](const char* name, double expect, const char* what) {
+    const double got = m.counter(name).value();
+    if (got != expect) {
+      out.violations.push_back(std::string("counter ") + name + " = " +
+                               std::to_string(got) + ", " + what + " = " +
+                               std::to_string(expect));
+    }
+  };
+  counter_is("player.chunks", res.chunks, "result chunks");
+  counter_is("player.chunks_abandoned", res.chunks_abandoned,
+             "result abandoned");
+  counter_is("player.chunk_retries", res.chunk_retries, "result retries");
+  counter_is("player.stalls", res.stalls, "result stalls");
+  counter_is("fault.injected", res.faults_started, "faults started");
+  const double sf = m.counter("mptcp.subflow_failures").value() +
+                    m.counter("mptcp.client.subflow_failures").value();
+  if (sf != res.subflow_failures) {
+    out.violations.push_back("subflow-failure counters = " +
+                             std::to_string(sf) + ", result = " +
+                             std::to_string(res.subflow_failures));
+  }
+  const double reinj = m.counter("mptcp.reinjected_packets").value() +
+                       m.counter("mptcp.client.reinjected_packets").value();
+  if (reinj != res.reinjected_packets) {
+    out.violations.push_back("reinjection counters = " +
+                             std::to_string(reinj) + ", result = " +
+                             std::to_string(res.reinjected_packets));
+  }
+  return out;
+}
+
+}  // namespace
+
+ChaosCampaignResult run_chaos_campaign(const ChaosConfig& cfg) {
+  const Video video = chaos_video(cfg);
+  Campaign<ChaosRunResult> campaign("chaos", cfg.base_seed);
+  for (int i = 0; i < cfg.seed_count; ++i) {
+    campaign.add("chaos/" + std::to_string(i),
+                 [&cfg, &video](RunContext& ctx) {
+                   return run_one(cfg, video, ctx);
+                 });
+  }
+  CampaignOptions opts;
+  opts.jobs = cfg.jobs;
+  opts.progress = cfg.progress;
+  CampaignResult<ChaosRunResult> res = campaign.run(opts);
+
+  ChaosCampaignResult out;
+  out.stats = res.stats;
+  out.runs = std::move(res.results);
+  for (std::size_t i = 0; i < out.runs.size(); ++i) {
+    if (!res.reports[i].ok) {
+      out.runs[i].seed = res.reports[i].seed;
+      out.runs[i].violations.push_back("run threw: " + res.reports[i].error);
+    }
+  }
+  return out;
+}
+
+}  // namespace mpdash

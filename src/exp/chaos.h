@@ -1,0 +1,99 @@
+#pragma once
+// Chaos campaign: seeded random fault plans swept over the parallel
+// campaign runner, with per-run invariant checks.
+//
+// Each run derives everything mutable — the fault plan, every link's loss
+// stream, the HTTP jitter stream — from one per-run seed, streams a short
+// video through the full stack with recovery enabled, and then audits the
+// wreckage:
+//   * the session finished inside the time limit (no hung session);
+//   * every chunk was delivered or cleanly abandoned;
+//   * byte accounting conserved in both directions (all scheduled stream
+//     bytes consumed in order, no stranded reinjection backlog);
+//   * every fault window opened and closed (network restored);
+//   * telemetry counters agree with the result struct.
+//
+// Results land in add-order slots (Campaign contract), so the campaign
+// digest is bitwise identical for any --jobs value.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/session.h"
+#include "fault/fault.h"
+#include "runner/campaign.h"
+
+namespace mpdash {
+
+struct ChaosConfig {
+  int seed_count = 50;
+  std::uint64_t base_seed = 1;
+  int jobs = 0;  // 0 → MPDASH_JOBS env or hardware cores
+  Scheme scheme = Scheme::kMpDashDuration;
+  std::string adaptation = "festive";
+  std::string mptcp_scheduler = "minrtt";
+  // Short synthetic video (chunk_count × 2 s) keeps one run ~seconds.
+  int chunk_count = 30;
+  // Faults are generated inside [start_margin, fault_horizon - end_margin]
+  // (see RandomPlanConfig); the session gets until `time_limit` to finish.
+  RandomPlanConfig plan;
+  Duration time_limit = seconds(600.0);
+  // Recovery stack on/off (off demonstrates why it exists: hung sessions).
+  bool recovery = true;
+  std::FILE* progress = stderr;  // nullptr silences the runner
+};
+
+struct ChaosRunResult {
+  std::uint64_t seed = 0;
+  bool completed = false;
+  double session_s = 0.0;
+  int chunks_delivered = 0;
+  int chunks_abandoned = 0;
+  int chunk_retries = 0;
+  int stalls = 0;
+  int subflow_failures = 0;
+  int subflow_revivals = 0;
+  int reinjected_packets = 0;
+  int http_timeouts = 0;
+  int http_retries = 0;
+  int faults_started = 0;
+  int faults_skipped = 0;
+  bool manifest_failed = false;
+  std::vector<std::string> violations;  // empty = all invariants hold
+
+  bool ok() const { return violations.empty(); }
+  // Deterministic one-line digest of everything observable; the jobs-N
+  // vs jobs-1 comparison hashes these.
+  std::string fingerprint() const;
+};
+
+struct ChaosCampaignResult {
+  std::vector<ChaosRunResult> runs;  // seed order
+  CampaignStats stats;
+
+  int violation_count() const;
+  // Concatenated per-run fingerprints: equal digests ⇔ identical campaigns.
+  std::string digest() const;
+};
+
+// Audits one finished session against the chaos invariants. Exposed so
+// tests can run single sessions through the same checks.
+std::vector<std::string> check_chaos_invariants(const SessionResult& res,
+                                                int chunk_count);
+
+// Builds the per-seed SessionConfig (recovery knobs, jitter seed) — shared
+// by the campaign, the CLI, and the acceptance tests.
+SessionConfig chaos_session_config(const ChaosConfig& cfg,
+                                   std::uint64_t run_seed);
+
+// The scenario every chaos run streams over (moderate WiFi + LTE, per-run
+// link loss streams derived from `run_seed`).
+ScenarioConfig chaos_scenario_config(std::uint64_t run_seed);
+
+// The synthetic chaos video for `cfg.chunk_count` chunks.
+Video chaos_video(const ChaosConfig& cfg);
+
+ChaosCampaignResult run_chaos_campaign(const ChaosConfig& cfg);
+
+}  // namespace mpdash

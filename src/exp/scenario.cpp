@@ -21,6 +21,8 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
     wifi.one_way_delay = config_.wifi_rtt / 2;
     wifi.queue_capacity = config_.queue_capacity;
     wifi.random_loss = config_.random_loss;
+    wifi.downlink_ge_loss = config_.wifi_ge_loss;
+    wifi.loss_seed = derive_stream_seed(config_.seed, "wifi");
     std::vector<PathDescription> descs{wifi.description};
     config_.policy.apply(descs);
     wifi.description = descs.front();
@@ -37,6 +39,8 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
     lte.one_way_delay = config_.lte_rtt / 2;
     lte.queue_capacity = config_.queue_capacity;
     lte.random_loss = config_.random_loss;
+    lte.downlink_ge_loss = config_.lte_ge_loss;
+    lte.loss_seed = derive_stream_seed(config_.seed, "lte");
     lte.downlink_shaper = config_.lte_throttle;
     std::vector<PathDescription> descs{lte.description};
     config_.policy.apply(descs);

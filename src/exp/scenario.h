@@ -26,6 +26,14 @@ struct ScenarioConfig {
   Duration lte_rtt = milliseconds(55);    // commercial LTE, 50-60 ms
   Bytes queue_capacity = 192 * 1000;
   double random_loss = 0.0;  // extra i.i.d. loss on every link
+  // Bursty downlink loss (Gilbert–Elliott); per interface so a noisy WiFi
+  // AP can coexist with a clean LTE carrier.
+  std::optional<GilbertElliottConfig> wifi_ge_loss;
+  std::optional<GilbertElliottConfig> lte_ge_loss;
+  // Scenario seed. Each link draws loss from its own stream derived as
+  // derive_stream_seed(seed, "wifi"/"lte" + ".down"/".up"), so loss on one
+  // link never perturbs another's pattern.
+  std::uint64_t seed = 1;
   std::optional<ShaperConfig> lte_throttle;  // Table 4 strawman
   PathPolicy policy = prefer_wifi_policy();
   bool wifi_only = false;  // single-path baseline (Figure 11 bottom)

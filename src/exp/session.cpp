@@ -10,6 +10,7 @@
 #include "adapter/mpdash_adapter.h"
 #include "core/mpdash_socket.h"
 #include "dash/server.h"
+#include "fault/injector.h"
 #include "http/client.h"
 #include "mptcp/connection.h"
 
@@ -162,8 +163,26 @@ SessionResult run_streaming_session(Scenario& scenario, const Video& video,
     conn.set_telemetry(telemetry);
   }
 
+  if (config.mptcp_recovery.max_consecutive_rtos > 0) {
+    conn.server().set_failure_policy(config.mptcp_recovery);
+    conn.client().set_failure_policy(config.mptcp_recovery);
+  }
+
   DashServer server(conn.server(), video);
-  HttpClient client(loop, conn.client());
+  HttpClient client(loop, conn.client(), config.http_recovery);
+
+  std::unique_ptr<FaultInjector> injector;
+  if (config.faults && !config.faults->empty()) {
+    injector = std::make_unique<FaultInjector>(loop, *config.faults);
+    for (NetPath* p : scenario.paths()) injector->attach_path(p);
+    HttpServer& hs = server.http();
+    FaultInjector::ServerHooks hooks;
+    hooks.set_stalled = [&hs](bool on) { hs.set_stalled(on); };
+    hooks.set_dropping = [&hs](bool on) { hs.set_dropping(on); };
+    injector->set_server_hooks(std::move(hooks));
+    if (telemetry) injector->set_telemetry(telemetry);
+    injector->arm();
+  }
 
   std::unique_ptr<RateAdaptation> adaptation =
       make_adaptation(config.adaptation);
@@ -220,6 +239,31 @@ SessionResult run_streaming_session(Scenario& scenario, const Video& video,
   res.chunks = static_cast<int>(res.chunk_log.size());
   if (socket) res.deadline_misses = socket->deadline_misses();
   if (adapter) res.chunks_engaged = adapter->chunks_engaged();
+
+  res.subflow_failures = static_cast<int>(conn.server().subflow_failures() +
+                                          conn.client().subflow_failures());
+  res.subflow_revivals = static_cast<int>(conn.server().subflow_revivals() +
+                                          conn.client().subflow_revivals());
+  res.reinjected_packets =
+      static_cast<int>(conn.server().reinjected_packets() +
+                       conn.client().reinjected_packets());
+  res.reinject_backlog =
+      conn.server().reinject_backlog() + conn.client().reinject_backlog();
+  res.http_timeouts = static_cast<int>(client.timeouts());
+  res.http_retries = static_cast<int>(client.retries_sent());
+  res.chunk_retries = player.chunk_retries();
+  res.chunks_abandoned = player.chunks_abandoned();
+  res.manifest_failed = player.manifest_failed();
+  if (injector) {
+    res.faults_started = injector->faults_started();
+    res.faults_ended = injector->faults_ended();
+    res.faults_skipped = injector->faults_skipped();
+    res.faults_quiescent = injector->quiescent();
+  }
+  res.server_data_seq_high = conn.server().data_seq_high();
+  res.client_bytes_in_order = conn.client().bytes_received_in_order();
+  res.client_data_seq_high = conn.client().data_seq_high();
+  res.server_bytes_in_order = conn.server().bytes_received_in_order();
   if (config.record_trace && telemetry) {
     telemetry->remove_sink(&collector);
     res.trace = collector.take();

@@ -16,6 +16,8 @@
 
 namespace mpdash {
 
+struct FaultPlan;
+
 enum class Scheme : std::uint8_t {
   kWifiOnly,         // single path (no MPTCP)
   kBaseline,         // vanilla MPTCP
@@ -53,6 +55,16 @@ struct SessionConfig {
   // The paper reports statistics over the last 80% of chunks (steady
   // state).
   double steady_skip_fraction = 0.2;
+
+  // --- robustness (all default off: seed-identical behavior) -----------
+  // Transport recovery: subflow-failure detection + reinjection on both
+  // endpoints (inert while max_consecutive_rtos == 0).
+  MptcpFailureConfig mptcp_recovery;
+  // Application recovery: HTTP request timeout/retry layer (inert while
+  // request_timeout == 0).
+  HttpClientConfig http_recovery;
+  // Fault plan injected during the run. Borrowed; null = no faults.
+  const FaultPlan* faults = nullptr;
 };
 
 struct SessionResult {
@@ -80,6 +92,27 @@ struct SessionResult {
   std::vector<ChunkRecord> chunk_log;
   std::vector<PlayerEvent> events;
   std::vector<TraceRecord> trace;  // when record_trace
+
+  // --- robustness / chaos accounting -----------------------------------
+  int subflow_failures = 0;
+  int subflow_revivals = 0;
+  int reinjected_packets = 0;
+  std::uint64_t reinject_backlog = 0;  // nonzero = data stranded at exit
+  int http_timeouts = 0;
+  int http_retries = 0;
+  int chunk_retries = 0;
+  int chunks_abandoned = 0;
+  bool manifest_failed = false;
+  int faults_started = 0;
+  int faults_ended = 0;
+  int faults_skipped = 0;
+  bool faults_quiescent = true;  // every fault window opened and closed
+  // Byte accounting per direction: one past the highest connection-level
+  // byte the sender scheduled vs. what the receiver consumed in order.
+  std::uint64_t server_data_seq_high = 0;
+  std::uint64_t client_bytes_in_order = 0;
+  std::uint64_t client_data_seq_high = 0;
+  std::uint64_t server_bytes_in_order = 0;
 };
 
 SessionResult run_streaming_session(Scenario& scenario, const Video& video,

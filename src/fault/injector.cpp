@@ -1,0 +1,183 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mpdash {
+
+namespace {
+
+bool is_server_fault(FaultKind k) {
+  return k == FaultKind::kServerStall || k == FaultKind::kServerReset;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(EventLoop& loop, FaultPlan plan)
+    : loop_(loop), plan_(std::move(plan)) {}
+
+FaultInjector::~FaultInjector() {
+  for (const EventId id : timers_) loop_.cancel(id);
+}
+
+void FaultInjector::attach_path(NetPath* path) {
+  assert(path != nullptr);
+  paths_[path->id()].path = path;
+}
+
+void FaultInjector::set_server_hooks(ServerHooks hooks) {
+  hooks_ = std::move(hooks);
+}
+
+void FaultInjector::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  injected_counter_ =
+      telemetry_ ? telemetry_->metrics().counter("fault.injected") : Counter{};
+}
+
+void FaultInjector::arm() {
+  assert(!armed_);
+  armed_ = true;
+  for (const FaultEvent& e : plan_.events) {
+    if (is_server_fault(e.kind)) {
+      const bool has_hook = e.kind == FaultKind::kServerStall
+                                ? static_cast<bool>(hooks_.set_stalled)
+                                : static_cast<bool>(hooks_.set_dropping);
+      if (!has_hook) {
+        ++skipped_;
+        continue;
+      }
+    } else if (!paths_.count(e.path_id) || !paths_[e.path_id].path) {
+      ++skipped_;
+      continue;
+    }
+    timers_.push_back(loop_.schedule_at(e.at, [this, &e] { begin(e); }));
+    timers_.push_back(loop_.schedule_at(e.end(), [this, &e] { end(e); }));
+    if (e.kind == FaultKind::kFlap && e.value > 0.0) {
+      // Expand the flap into balanced down/up toggles covering the window;
+      // begin()/end() then only do the bookkeeping.
+      const Duration phase = seconds(e.value);
+      for (TimePoint t = e.at; t < e.end(); t = t + phase + phase) {
+        const TimePoint up_at = std::min(t + phase, e.end());
+        timers_.push_back(loop_.schedule_at(
+            t, [this, id = e.path_id] { add_down_ref(id, +1); }));
+        timers_.push_back(loop_.schedule_at(
+            up_at, [this, id = e.path_id] { add_down_ref(id, -1); }));
+      }
+    }
+  }
+}
+
+void FaultInjector::add_down_ref(int path_id, int delta) {
+  PathCtl& ctl = paths_[path_id];
+  ctl.down_refs += delta;
+  assert(ctl.down_refs >= 0);
+  const bool down = ctl.down_refs > 0;
+  ctl.path->downlink().set_down(down);
+  ctl.path->uplink().set_down(down);
+}
+
+void FaultInjector::apply_rate(PathCtl& ctl) {
+  double factor = 1.0;
+  for (const double f : ctl.rate_factors) factor *= f;
+  ctl.path->downlink().set_rate_factor(factor);
+}
+
+void FaultInjector::apply_delay(PathCtl& ctl) {
+  Duration extra = kDurationZero;
+  for (const Duration d : ctl.extra_delays) extra = extra + d;
+  ctl.path->downlink().set_extra_delay(extra);
+}
+
+void FaultInjector::begin(const FaultEvent& e) {
+  ++started_;
+  injected_counter_.increment();
+  emit(e, /*starting=*/true);
+  switch (e.kind) {
+    case FaultKind::kBlackout:
+      add_down_ref(e.path_id, +1);
+      break;
+    case FaultKind::kFlap:
+      if (e.value <= 0.0) add_down_ref(e.path_id, +1);  // degenerate: blackout
+      break;
+    case FaultKind::kLossBurst: {
+      PathCtl& ctl = paths_[e.path_id];
+      ++ctl.ge_refs;
+      ctl.path->downlink().set_ge_loss(e.ge);
+      break;
+    }
+    case FaultKind::kRttSpike: {
+      PathCtl& ctl = paths_[e.path_id];
+      ctl.extra_delays.push_back(seconds(e.value / 1000.0));
+      apply_delay(ctl);
+      break;
+    }
+    case FaultKind::kRateCollapse: {
+      PathCtl& ctl = paths_[e.path_id];
+      ctl.rate_factors.push_back(e.value);
+      apply_rate(ctl);
+      break;
+    }
+    case FaultKind::kServerStall:
+      if (++server_stall_refs_ == 1) hooks_.set_stalled(true);
+      break;
+    case FaultKind::kServerReset:
+      if (++server_drop_refs_ == 1) hooks_.set_dropping(true);
+      break;
+  }
+}
+
+void FaultInjector::end(const FaultEvent& e) {
+  ++ended_;
+  emit(e, /*starting=*/false);
+  switch (e.kind) {
+    case FaultKind::kBlackout:
+      add_down_ref(e.path_id, -1);
+      break;
+    case FaultKind::kFlap:
+      if (e.value <= 0.0) add_down_ref(e.path_id, -1);
+      break;
+    case FaultKind::kLossBurst: {
+      PathCtl& ctl = paths_[e.path_id];
+      if (--ctl.ge_refs == 0) ctl.path->downlink().set_ge_loss(std::nullopt);
+      break;
+    }
+    case FaultKind::kRttSpike: {
+      PathCtl& ctl = paths_[e.path_id];
+      const Duration d = seconds(e.value / 1000.0);
+      const auto it = std::find(ctl.extra_delays.begin(),
+                                ctl.extra_delays.end(), d);
+      if (it != ctl.extra_delays.end()) ctl.extra_delays.erase(it);
+      apply_delay(ctl);
+      break;
+    }
+    case FaultKind::kRateCollapse: {
+      PathCtl& ctl = paths_[e.path_id];
+      const auto it = std::find(ctl.rate_factors.begin(),
+                                ctl.rate_factors.end(), e.value);
+      if (it != ctl.rate_factors.end()) ctl.rate_factors.erase(it);
+      apply_rate(ctl);
+      break;
+    }
+    case FaultKind::kServerStall:
+      if (--server_stall_refs_ == 0) hooks_.set_stalled(false);
+      break;
+    case FaultKind::kServerReset:
+      if (--server_drop_refs_ == 0) hooks_.set_dropping(false);
+      break;
+  }
+}
+
+void FaultInjector::emit(const FaultEvent& e, bool starting) {
+  if (!telemetry_ || !telemetry_->tracing()) return;
+  TraceRecord r;
+  r.at = loop_.now();
+  r.type = TraceType::kFault;
+  r.label = to_string(e.kind);
+  r.enabled = starting;
+  r.value = e.value;
+  if (!is_server_fault(e.kind)) r.path_id = e.path_id;
+  telemetry_->emit(r);
+}
+
+}  // namespace mpdash

@@ -1,0 +1,103 @@
+#pragma once
+// FaultInjector: executes a FaultPlan against live simulation objects.
+//
+// The injector is scheduled on the same event loop as everything else, so
+// fault timing composes deterministically with transport and player
+// events. Link-scoped faults drive the impairment surface of the attached
+// NetPaths; server-scoped faults go through std::function hooks so this
+// library never depends on the HTTP layer.
+//
+// Overlap semantics (random plans may stack windows):
+//   * blackout / flap down-phases are reference-counted — a path is up
+//     again only when every down window has lifted;
+//   * rate collapses multiply (product of active factors);
+//   * RTT spikes add (sum of active extra delays);
+//   * loss bursts refcount; a later burst's GE parameters replace an
+//     earlier overlapping one's (the chain restarts in Good);
+//   * server stall / reset windows refcount.
+// Every window therefore restores the exact pre-fault state once all
+// overlapping windows have closed.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "fault/fault.h"
+#include "link/path.h"
+#include "sim/event_loop.h"
+#include "telemetry/telemetry.h"
+
+namespace mpdash {
+
+class FaultInjector {
+ public:
+  // Bridges to the origin server without a fault->http dependency.
+  struct ServerHooks {
+    std::function<void(bool)> set_stalled;   // hold finished responses
+    std::function<void(bool)> set_dropping;  // discard incoming requests
+  };
+
+  FaultInjector(EventLoop& loop, FaultPlan plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Registers a target path (keyed by path->id()). Borrowed; must outlive
+  // the injector. Call before arm().
+  void attach_path(NetPath* path);
+  void set_server_hooks(ServerHooks hooks);
+  // Registers the `fault.injected` counter and emits kFault trace records.
+  void set_telemetry(Telemetry* telemetry);
+
+  // Schedules the whole plan. Events targeting a path that was never
+  // attached — or server events without hooks — are counted as skipped and
+  // otherwise ignored. Call exactly once, before the loop runs.
+  void arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  int faults_started() const { return started_; }
+  int faults_ended() const { return ended_; }
+  int faults_skipped() const { return skipped_; }
+  // Every scheduled window has opened and closed again (the network is
+  // back to its configured state).
+  bool quiescent() const {
+    return armed_ && started_ == ended_ &&
+           started_ + skipped_ == static_cast<int>(plan_.size());
+  }
+
+ private:
+  struct PathCtl {
+    NetPath* path = nullptr;
+    int down_refs = 0;
+    int ge_refs = 0;
+    std::vector<double> rate_factors;    // active collapse factors
+    std::vector<Duration> extra_delays;  // active spike contributions
+  };
+
+  void begin(const FaultEvent& e);
+  void end(const FaultEvent& e);
+  void add_down_ref(int path_id, int delta);
+  void apply_rate(PathCtl& ctl);
+  void apply_delay(PathCtl& ctl);
+  void emit(const FaultEvent& e, bool starting);
+
+  EventLoop& loop_;
+  FaultPlan plan_;
+  std::map<int, PathCtl> paths_;
+  ServerHooks hooks_;
+  int server_stall_refs_ = 0;
+  int server_drop_refs_ = 0;
+
+  bool armed_ = false;
+  int started_ = 0;
+  int ended_ = 0;
+  int skipped_ = 0;
+  std::vector<EventId> timers_;
+
+  Telemetry* telemetry_ = nullptr;
+  Counter injected_counter_;
+};
+
+}  // namespace mpdash

@@ -1,22 +1,48 @@
 #include "http/client.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <utility>
 
 namespace mpdash {
 
-HttpClient::HttpClient(EventLoop& loop, MptcpEndpoint& endpoint)
+const char* to_string(TransferError e) {
+  switch (e) {
+    case TransferError::kNone: return "none";
+    case TransferError::kTimeout: return "timeout";
+    case TransferError::kParseError: return "parse-error";
+    case TransferError::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+HttpClient::HttpClient(EventLoop& loop, MptcpEndpoint& endpoint,
+                       HttpClientConfig config)
     : loop_(loop),
       endpoint_(endpoint),
+      config_(config),
       parser_(HttpStreamParser::Mode::kResponses,
               HttpStreamParser::Callbacks{
                   .on_request = nullptr,
                   .on_response_head =
                       [this](const HttpResponse& head) {
+                        // With the retry layer on, a response carrying a
+                        // stale id answers an attempt we already gave up
+                        // on: swallow the whole message.
+                        if (config_.request_timeout > kDurationZero) {
+                          const auto rid = head.header(kRequestIdHeader);
+                          discarding_stale_ =
+                              !rid || std::strtoull(rid->c_str(), nullptr,
+                                                    10) != expected_rid_;
+                          if (discarding_stale_) return;
+                        }
                         current_.response = head;
                         current_.head_received = loop_.now();
                       },
                   .on_body =
                       [this](Bytes count, const std::string& real) {
+                        if (discarding_stale_) return;
                         current_.body_bytes += count;
                         current_.body += real;
                         if (!pending_.empty() && pending_.front().on_progress) {
@@ -27,7 +53,21 @@ HttpClient::HttpClient(EventLoop& loop, MptcpEndpoint& endpoint)
                       },
                   .on_message_complete =
                       [this] {
+                        if (discarding_stale_) {
+                          discarding_stale_ = false;
+                          return;  // keep waiting for the live attempt
+                        }
+                        loop_.cancel(timeout_timer_);
+                        timeout_timer_ = EventId{};
+                        // A response can land during a retry backoff (the
+                        // attempt timed out but was merely late); the
+                        // scheduled resend must die with the transfer or
+                        // it fires against the *next* queued request.
+                        loop_.cancel(retry_timer_);
+                        retry_timer_ = EventId{};
                         current_.completed = loop_.now();
+                        current_.retries = attempt_;
+                        attempt_ = 0;
                         Pending done = std::move(pending_.front());
                         pending_.pop_front();
                         in_flight_ = false;
@@ -37,9 +77,27 @@ HttpClient::HttpClient(EventLoop& loop, MptcpEndpoint& endpoint)
                         // back-to-back fetches pipeline tightly.
                         maybe_send_next();
                         if (done.on_done) done.on_done(result);
-                      }}) {
+                      },
+                  .on_error =
+                      [this](HttpParseError, const std::string&) {
+                        // Response framing is unrecoverable: every queued
+                        // transfer on this stream is lost, not just the
+                        // in-flight one. Completion callbacks may enqueue
+                        // follow-up gets; those fail here too.
+                        parser_dead_ = true;
+                        while (in_flight_ || !pending_.empty()) {
+                          if (!in_flight_) in_flight_ = true;
+                          complete_with_error(TransferError::kParseError);
+                        }
+                      }}),
+      jitter_rng_(config.jitter_seed) {
   endpoint_.set_receive_handler(
       [this](const WireData& data) { on_stream_data(data); });
+}
+
+HttpClient::~HttpClient() {
+  loop_.cancel(timeout_timer_);
+  loop_.cancel(retry_timer_);
 }
 
 void HttpClient::get(std::string target, CompletionHandler on_done,
@@ -50,14 +108,78 @@ void HttpClient::get(std::string target, CompletionHandler on_done,
 }
 
 void HttpClient::maybe_send_next() {
-  if (in_flight_ || pending_.empty()) return;
+  if (in_flight_ || pending_.empty() || parser_dead_) return;
   in_flight_ = true;
+  attempt_ = 0;
   current_ = HttpTransfer{};
   current_.request_sent = loop_.now();
+  send_attempt();
+}
+
+void HttpClient::send_attempt() {
   HttpRequest req;
   req.target = pending_.front().target;
   req.headers.push_back({"Host", "mpdash.local"});
+  if (config_.request_timeout > kDurationZero) {
+    expected_rid_ = next_rid_++;
+    req.headers.push_back(
+        {kRequestIdHeader, std::to_string(expected_rid_)});
+    loop_.cancel(timeout_timer_);
+    timeout_timer_ =
+        loop_.schedule_in(config_.request_timeout, [this] { on_timeout(); });
+  }
   endpoint_.send(req.to_wire());
+}
+
+void HttpClient::on_timeout() {
+  timeout_timer_ = EventId{};
+  ++timeouts_;
+  if (attempt_ >= config_.max_retries) {
+    complete_with_error(TransferError::kTimeout);
+    return;
+  }
+  // Back off before the resend: if the response is merely late (not
+  // lost), the stale-id discard path absorbs it when it lands.
+  const Duration delay = backoff_delay(attempt_);
+  ++attempt_;
+  ++retries_sent_;
+  retry_timer_ = loop_.schedule_in(delay, [this] {
+    retry_timer_ = EventId{};
+    send_attempt();
+  });
+}
+
+Duration HttpClient::backoff_delay(int attempt) {
+  const double factor = std::pow(config_.backoff_factor, attempt);
+  Duration d = std::min(
+      Duration(static_cast<Duration::rep>(
+          static_cast<double>(config_.backoff_base.count()) * factor)),
+      config_.backoff_cap);
+  // Deterministic jitter: scale by [1, 1.25) so synchronized clients
+  // (e.g. a fleet of chaos runs) don't retry in lockstep.
+  const double jitter = 1.0 + 0.25 * jitter_rng_.uniform();
+  return Duration(static_cast<Duration::rep>(
+      static_cast<double>(d.count()) * jitter));
+}
+
+void HttpClient::complete_with_error(TransferError error) {
+  loop_.cancel(timeout_timer_);
+  loop_.cancel(retry_timer_);
+  timeout_timer_ = EventId{};
+  retry_timer_ = EventId{};
+  current_.completed = loop_.now();
+  current_.retries = attempt_;
+  current_.error = error;
+  attempt_ = 0;
+  // A timed-out request may still be answered later; that response now
+  // belongs to no transfer and must be dropped by id when it arrives.
+  Pending done = std::move(pending_.front());
+  pending_.pop_front();
+  in_flight_ = false;
+  HttpTransfer result = std::move(current_);
+  current_ = HttpTransfer{};
+  maybe_send_next();
+  if (done.on_done) done.on_done(result);
 }
 
 void HttpClient::on_stream_data(const WireData& data) { parser_.consume(data); }

@@ -3,7 +3,16 @@
 // flight at a time (DASH players fetch chunks back to back). Completion
 // callbacks carry the parsed response, any real body bytes (manifests),
 // and transfer timing.
+//
+// Optional robustness layer (HttpClientConfig::request_timeout > 0): each
+// request is watched by a timer; on expiry it is retried with capped
+// exponential backoff and deterministic jitter, up to a bounded retry
+// budget, after which the transfer completes with a typed error. Retried
+// requests carry a monotonically increasing id header the server echoes,
+// so a late response to an abandoned attempt is recognized and discarded
+// instead of desynchronizing response framing.
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <string>
@@ -12,8 +21,22 @@
 #include "http/parser.h"
 #include "mptcp/endpoint.h"
 #include "sim/event_loop.h"
+#include "util/rng.h"
 
 namespace mpdash {
+
+// Echoed request-id header (only present when the retry layer is active,
+// so default runs stay byte-identical with the seed wire format).
+inline constexpr const char kRequestIdHeader[] = "X-Mpdash-Rid";
+
+enum class TransferError {
+  kNone = 0,
+  kTimeout,      // retry budget exhausted
+  kParseError,   // response stream malformed beyond recovery
+  kAborted,      // client shut down with the transfer pending
+};
+
+const char* to_string(TransferError e);
 
 struct HttpTransfer {
   HttpResponse response;
@@ -22,9 +45,25 @@ struct HttpTransfer {
   TimePoint request_sent = kTimeZero;
   TimePoint head_received = kTimeZero;
   TimePoint completed = kTimeZero;
+  TransferError error = TransferError::kNone;
+  int retries = 0;        // resends beyond the first attempt
 
+  bool ok() const { return error == TransferError::kNone; }
   Duration download_time() const { return completed - request_sent; }
   DataRate goodput() const { return rate_of(body_bytes, download_time()); }
+};
+
+struct HttpClientConfig {
+  // Per-attempt response deadline. Zero disables the whole robustness
+  // layer (seed behavior: wait forever, no id header on the wire).
+  Duration request_timeout = kDurationZero;
+  int max_retries = 3;  // resends after the first attempt
+  Duration backoff_base = milliseconds(250);
+  double backoff_factor = 2.0;
+  Duration backoff_cap = seconds(4.0);
+  // Deterministic jitter stream: each backoff is scaled by a uniform
+  // factor in [1, 1.25) drawn from this seed.
+  std::uint64_t jitter_seed = 0;
 };
 
 class HttpClient {
@@ -33,14 +72,21 @@ class HttpClient {
   using ProgressHandler = std::function<void(Bytes received, Bytes total)>;
 
   // Installs itself as the endpoint's receive handler.
-  HttpClient(EventLoop& loop, MptcpEndpoint& endpoint);
+  HttpClient(EventLoop& loop, MptcpEndpoint& endpoint,
+             HttpClientConfig config = {});
+  ~HttpClient();
 
-  // Enqueues a GET. `on_done` fires when the full body has arrived.
+  // Enqueues a GET. `on_done` fires when the full body has arrived — or,
+  // with the retry layer active, when the retry budget is exhausted
+  // (transfer.error != kNone, response fields undefined).
   void get(std::string target, CompletionHandler on_done,
            ProgressHandler on_progress = nullptr);
 
   std::size_t outstanding() const { return pending_.size(); }
   bool busy() const { return in_flight_; }
+  std::size_t timeouts() const { return timeouts_; }
+  std::size_t retries_sent() const { return retries_sent_; }
+  const HttpClientConfig& config() const { return config_; }
 
  private:
   struct Pending {
@@ -50,14 +96,31 @@ class HttpClient {
   };
 
   void maybe_send_next();
+  void send_attempt();
   void on_stream_data(const WireData& data);
+  void on_timeout();
+  void complete_with_error(TransferError error);
+  Duration backoff_delay(int attempt);
 
   EventLoop& loop_;
   MptcpEndpoint& endpoint_;
+  HttpClientConfig config_;
   HttpStreamParser parser_;
   std::deque<Pending> pending_;
   bool in_flight_ = false;
+  bool parser_dead_ = false;  // response stream poisoned; fail everything
   HttpTransfer current_;
+
+  // retry state for the in-flight request
+  std::uint64_t next_rid_ = 1;     // id stamped on the next attempt
+  std::uint64_t expected_rid_ = 0; // id the current attempt awaits
+  bool discarding_stale_ = false;  // response matches an abandoned attempt
+  int attempt_ = 0;                // 0 = first send
+  EventId timeout_timer_;
+  EventId retry_timer_;
+  Rng jitter_rng_;
+  std::size_t timeouts_ = 0;
+  std::size_t retries_sent_ = 0;
 };
 
 }  // namespace mpdash

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <stdexcept>
 #include <utility>
 
 namespace mpdash {
@@ -25,29 +24,56 @@ std::vector<std::string> split_lines(const std::string& text) {
   return lines;
 }
 
-HttpHeader parse_header_line(const std::string& line) {
-  const std::size_t colon = line.find(':');
-  if (colon == std::string::npos) {
-    throw std::runtime_error("malformed header line: " + line);
+// Strict non-negative decimal; std::atoll would silently accept garbage
+// ("12abc") and overflow is UB — a hostile Content-Length must surface as
+// a typed error, not a corrupted body size.
+bool parse_content_length(const std::string& value, Bytes* out) {
+  if (value.empty() || value.size() > 18) return false;
+  Bytes n = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') return false;
+    n = n * 10 + (c - '0');
   }
-  std::string name = line.substr(0, colon);
-  std::size_t vstart = colon + 1;
-  while (vstart < line.size() && line[vstart] == ' ') ++vstart;
-  return {std::move(name), line.substr(vstart)};
+  *out = n;
+  return true;
 }
 
 }  // namespace
 
+const char* to_string(HttpParseError e) {
+  switch (e) {
+    case HttpParseError::kNone: return "none";
+    case HttpParseError::kVirtualBytesInHead: return "virtual-bytes-in-head";
+    case HttpParseError::kMalformedStartLine: return "malformed-start-line";
+    case HttpParseError::kMalformedHeader: return "malformed-header";
+    case HttpParseError::kEmptyHead: return "empty-head";
+    case HttpParseError::kBadContentLength: return "bad-content-length";
+  }
+  return "unknown";
+}
+
 HttpStreamParser::HttpStreamParser(Mode mode, Callbacks callbacks)
     : mode_(mode), cb_(std::move(callbacks)) {}
 
+void HttpStreamParser::fail(HttpParseError e, const std::string& detail) {
+  state_ = State::kError;
+  error_ = e;
+  head_buf_.clear();
+  body_remaining_ = 0;
+  if (cb_.on_error) cb_.on_error(e, detail);
+}
+
 void HttpStreamParser::consume(const WireData& data) {
+  if (state_ == State::kError) return;  // poisoned: framing is gone
   for (const auto& seg : data) {
     std::size_t seg_pos = 0;
     while (seg_pos < seg.len) {
+      if (state_ == State::kError) return;
       if (state_ == State::kHead) {
         if (seg.is_virtual()) {
-          throw std::runtime_error("virtual bytes inside HTTP head");
+          fail(HttpParseError::kVirtualBytesInHead,
+               "virtual bytes inside HTTP head");
+          return;
         }
         // Append up to the head terminator, searching across the boundary.
         const std::size_t prev = head_buf_.size();
@@ -65,7 +91,7 @@ void HttpStreamParser::consume(const WireData& data) {
         head_buf_.resize(head_total);
         parse_head(head_buf_);
         head_buf_.clear();
-        if (body_remaining_ == 0) finish_message();
+        if (state_ != State::kError && body_remaining_ == 0) finish_message();
       } else {
         const Bytes avail = static_cast<Bytes>(seg.len - seg_pos);
         const Bytes take = std::min(body_remaining_, avail);
@@ -89,7 +115,10 @@ void HttpStreamParser::parse_head(const std::string& head) {
   // Strip the trailing blank line before splitting.
   const std::string text = head.substr(0, head.size() - 2);
   const std::vector<std::string> lines = split_lines(text);
-  if (lines.empty()) throw std::runtime_error("empty HTTP head");
+  if (lines.empty()) {
+    fail(HttpParseError::kEmptyHead, "empty HTTP head");
+    return;
+  }
 
   if (mode_ == Mode::kRequests) {
     HttpRequest req;
@@ -97,13 +126,24 @@ void HttpStreamParser::parse_head(const std::string& head) {
     const std::size_t sp1 = start.find(' ');
     const std::size_t sp2 = start.find(' ', sp1 + 1);
     if (sp1 == std::string::npos || sp2 == std::string::npos) {
-      throw std::runtime_error("malformed request line: " + start);
+      fail(HttpParseError::kMalformedStartLine,
+           "malformed request line: " + start);
+      return;
     }
     req.method = start.substr(0, sp1);
     req.target = start.substr(sp1 + 1, sp2 - sp1 - 1);
     for (std::size_t i = 1; i < lines.size(); ++i) {
       if (lines[i].empty()) continue;
-      req.headers.push_back(parse_header_line(lines[i]));
+      const std::size_t colon = lines[i].find(':');
+      if (colon == std::string::npos) {
+        fail(HttpParseError::kMalformedHeader,
+             "malformed header line: " + lines[i]);
+        return;
+      }
+      std::size_t vstart = colon + 1;
+      while (vstart < lines[i].size() && lines[i][vstart] == ' ') ++vstart;
+      req.headers.push_back(
+          {lines[i].substr(0, colon), lines[i].substr(vstart)});
     }
     body_remaining_ = 0;  // requests carry no body in this model
     state_ = State::kBody;
@@ -112,7 +152,9 @@ void HttpStreamParser::parse_head(const std::string& head) {
     HttpResponse resp;
     const std::string& start = lines[0];
     if (start.rfind("HTTP/1.1 ", 0) != 0 || start.size() < 12) {
-      throw std::runtime_error("malformed status line: " + start);
+      fail(HttpParseError::kMalformedStartLine,
+           "malformed status line: " + start);
+      return;
     }
     resp.status = std::atoi(start.c_str() + 9);
     const std::size_t sp = start.find(' ', 9);
@@ -120,9 +162,21 @@ void HttpStreamParser::parse_head(const std::string& head) {
     Bytes content_length = 0;
     for (std::size_t i = 1; i < lines.size(); ++i) {
       if (lines[i].empty()) continue;
-      HttpHeader h = parse_header_line(lines[i]);
+      const std::size_t colon = lines[i].find(':');
+      if (colon == std::string::npos) {
+        fail(HttpParseError::kMalformedHeader,
+             "malformed header line: " + lines[i]);
+        return;
+      }
+      std::size_t vstart = colon + 1;
+      while (vstart < lines[i].size() && lines[i][vstart] == ' ') ++vstart;
+      HttpHeader h{lines[i].substr(0, colon), lines[i].substr(vstart)};
       if (header_name_equals(h.name, "Content-Length")) {
-        content_length = std::atoll(h.value.c_str());
+        if (!parse_content_length(h.value, &content_length)) {
+          fail(HttpParseError::kBadContentLength,
+               "bad Content-Length: " + h.value);
+          return;
+        }
       }
       resp.headers.push_back(std::move(h));
     }

@@ -14,6 +14,21 @@
 
 namespace mpdash {
 
+// What went wrong with an HTTP byte stream. Framing on a raw stream is
+// unrecoverable after any of these: the parser latches the error and
+// ignores further input ("poisoned") instead of silently waiting for a
+// head terminator that will never parse.
+enum class HttpParseError {
+  kNone = 0,
+  kVirtualBytesInHead,   // simulated payload bytes where a head must be
+  kMalformedStartLine,   // bad request/status line
+  kMalformedHeader,      // header line without a colon
+  kEmptyHead,            // head terminator with no content
+  kBadContentLength,     // non-numeric or negative Content-Length
+};
+
+const char* to_string(HttpParseError e);
+
 class HttpStreamParser {
  public:
   enum class Mode { kRequests, kResponses };
@@ -26,22 +41,28 @@ class HttpStreamParser {
     // actual content (manifest text); may fire many times per message.
     std::function<void(Bytes count, const std::string& real)> on_body;
     std::function<void()> on_message_complete;
+    // Fires once, when the stream first turns out to be malformed.
+    std::function<void(HttpParseError, const std::string& detail)> on_error;
   };
 
   HttpStreamParser(Mode mode, Callbacks callbacks);
 
-  // Feeds the next in-order stream chunk. Throws std::runtime_error on
-  // malformed heads (virtual bytes inside a head, bad start line).
+  // Feeds the next in-order stream chunk. On malformed input the parser
+  // reports through on_error (once) and discards everything from then on;
+  // it never throws.
   void consume(const WireData& data);
 
   bool mid_message() const { return state_ != State::kHead || !head_buf_.empty(); }
   std::size_t messages_completed() const { return completed_; }
+  HttpParseError error() const { return error_; }
+  bool ok() const { return error_ == HttpParseError::kNone; }
 
  private:
-  enum class State { kHead, kBody };
+  enum class State { kHead, kBody, kError };
 
   void parse_head(const std::string& head);
   void finish_message();
+  void fail(HttpParseError e, const std::string& detail);
 
   Mode mode_;
   Callbacks cb_;
@@ -49,6 +70,7 @@ class HttpStreamParser {
   std::string head_buf_;
   Bytes body_remaining_ = 0;
   std::size_t completed_ = 0;
+  HttpParseError error_ = HttpParseError::kNone;
 };
 
 }  // namespace mpdash

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "http/client.h"  // kRequestIdHeader
+
 namespace mpdash {
 
 HttpServer::HttpServer(MptcpEndpoint& endpoint, Handler handler)
@@ -10,16 +12,42 @@ HttpServer::HttpServer(MptcpEndpoint& endpoint, Handler handler)
       parser_(HttpStreamParser::Mode::kRequests,
               HttpStreamParser::Callbacks{
                   .on_request =
-                      [this](const HttpRequest& req) {
-                        HttpResponse resp = handler_(req);
-                        ++served_;
-                        endpoint_.send(resp.to_wire());
-                      },
+                      [this](const HttpRequest& req) { on_request(req); },
                   .on_response_head = nullptr,
                   .on_body = nullptr,
-                  .on_message_complete = nullptr}) {
+                  .on_message_complete = nullptr,
+                  .on_error = nullptr}) {
   endpoint_.set_receive_handler(
       [this](const WireData& data) { parser_.consume(data); });
+}
+
+void HttpServer::on_request(const HttpRequest& req) {
+  if (dropping_) {
+    ++dropped_;
+    return;
+  }
+  HttpResponse resp = handler_(req);
+  // Clients running the retry layer stamp each attempt with an id; echo
+  // it so they can tell a live response from a stale one. Costs wire
+  // bytes only when the client opted in.
+  if (const auto rid = req.header(kRequestIdHeader)) {
+    resp.headers.push_back({kRequestIdHeader, *rid});
+  }
+  ++served_;
+  if (stalled_) {
+    stalled_responses_.push_back(resp.to_wire());
+    return;
+  }
+  endpoint_.send(resp.to_wire());
+}
+
+void HttpServer::set_stalled(bool stalled) {
+  stalled_ = stalled;
+  if (stalled_) return;
+  while (!stalled_responses_.empty()) {
+    endpoint_.send(std::move(stalled_responses_.front()));
+    stalled_responses_.pop_front();
+  }
 }
 
 HttpResponse not_found() {

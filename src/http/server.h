@@ -3,7 +3,13 @@
 // stream and writes handler-produced responses back in order. The video
 // server application stays untouched by MP-DASH, exactly as the paper's
 // deployment story requires — path control arrives via the transport.
+//
+// Fault hooks (driven by src/fault): a stalled server holds finished
+// responses until released; a dropping server discards requests outright,
+// modeling a reset/overloaded origin the client can only recover from by
+// timing out and retrying.
 
+#include <deque>
 #include <functional>
 
 #include "http/message.h"
@@ -20,12 +26,30 @@ class HttpServer {
   HttpServer(MptcpEndpoint& endpoint, Handler handler);
 
   std::size_t requests_served() const { return served_; }
+  std::size_t requests_dropped() const { return dropped_; }
+  HttpParseError parse_error() const { return parser_.error(); }
+
+  // --- fault hooks -----------------------------------------------------
+  // Stalled: requests are still parsed and handled, but responses queue
+  // up server-side; clearing the stall flushes them in order.
+  void set_stalled(bool stalled);
+  bool stalled() const { return stalled_; }
+  // Dropping: requests are consumed off the stream and thrown away. The
+  // client never hears back for these.
+  void set_dropping(bool dropping) { dropping_ = dropping; }
+  bool dropping() const { return dropping_; }
 
  private:
+  void on_request(const HttpRequest& req);
+
   MptcpEndpoint& endpoint_;
   Handler handler_;
   HttpStreamParser parser_;
   std::size_t served_ = 0;
+  std::size_t dropped_ = 0;
+  bool stalled_ = false;
+  bool dropping_ = false;
+  std::deque<WireData> stalled_responses_;
 };
 
 // Convenience 404.

@@ -1,15 +1,17 @@
 #include "link/link.h"
 
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 namespace mpdash {
 
 Link::Link(EventLoop& loop, LinkConfig config)
-    : loop_(loop), config_(std::move(config)) {
+    : loop_(loop), config_(std::move(config)), rng_(config_.loss_seed) {
   if (config_.name.empty()) {
     config_.name = "link" + std::to_string(config_.id);
   }
+  if (config_.ge_loss) ge_.emplace(*config_.ge_loss);
 }
 
 void Link::set_telemetry(Telemetry* telemetry) {
@@ -47,19 +49,41 @@ void Link::emit_packet(TraceType type, const Packet& p) const {
   telemetry_->emit(r);
 }
 
+void Link::drop_packet(const Packet& p) {
+  dropped_bytes_ += p.wire_size;
+  ++dropped_packets_;
+  if (telemetry_) {
+    dropped_packets_counter_.increment();
+    if (telemetry_->tracing()) emit_packet(TraceType::kPacketDrop, p);
+  }
+}
+
+double Link::draw_uniform() {
+  return loss_rng_ ? loss_rng_() : rng_.uniform();
+}
+
+bool Link::loss_model_drops() {
+  // Fixed draw order (i.i.d. first, then the GE pair) so a given seed maps
+  // to one loss pattern regardless of which models are active elsewhere.
+  bool drop = false;
+  if (config_.random_loss > 0.0 && draw_uniform() < config_.random_loss) {
+    drop = true;
+  }
+  if (ge_) {
+    const double u_loss = draw_uniform();
+    const double u_flip = draw_uniform();
+    if (ge_->step(u_loss, u_flip)) drop = true;
+  }
+  return drop;
+}
+
 void Link::send(Packet p) {
   if (telemetry_ && telemetry_->tracing()) {
     emit_packet(TraceType::kPacketSend, p);
   }
-  const bool random_drop =
-      config_.random_loss > 0.0 && loss_rng_ && loss_rng_() < config_.random_loss;
-  if (random_drop || queued_bytes_ + p.wire_size > config_.queue_capacity) {
-    dropped_bytes_ += p.wire_size;
-    ++dropped_packets_;
-    if (telemetry_) {
-      dropped_packets_counter_.increment();
-      if (telemetry_->tracing()) emit_packet(TraceType::kPacketDrop, p);
-    }
+  if (down_ || loss_model_drops() ||
+      queued_bytes_ + p.wire_size > config_.queue_capacity) {
+    drop_packet(p);
     return;
   }
   queued_bytes_ += p.wire_size;
@@ -68,14 +92,50 @@ void Link::send(Packet p) {
   if (!busy_) start_serializing();
 }
 
+void Link::set_down(bool down) {
+  down_ = down;
+  if (!down_) return;
+  // Everything still waiting behind the radio is lost with it. The packet
+  // currently serializing (queue front while busy_) is dropped when its
+  // serialization completes; packets already propagating still arrive.
+  const std::size_t keep = busy_ ? 1 : 0;
+  while (queue_.size() > keep) {
+    Packet p = std::move(queue_.back());
+    queue_.pop_back();
+    queued_bytes_ -= p.wire_size;
+    drop_packet(p);
+  }
+  if (telemetry_) queue_gauge_.set(static_cast<double>(queued_bytes_));
+}
+
+void Link::set_rate_factor(double factor) {
+  rate_factor_ = factor > 0.0 ? factor : 0.0;
+}
+
+void Link::set_ge_loss(const std::optional<GilbertElliottConfig>& ge) {
+  config_.ge_loss = ge;
+  if (ge) {
+    ge_.emplace(*ge);
+  } else {
+    ge_.reset();
+  }
+}
+
 void Link::start_serializing() {
   assert(!queue_.empty());
   busy_ = true;
-  const TimePoint done =
-      config_.rate.time_to_deliver(loop_.now(), queue_.front().wire_size);
+  // A factor-f rate scale is equivalent to serializing wire_size/f bytes at
+  // the unscaled trace rate; factor 0 behaves like a zero-rate tail.
+  TimePoint done = TimePoint::max();
+  if (rate_factor_ > 0.0) {
+    const auto scaled = static_cast<Bytes>(
+        std::ceil(static_cast<double>(queue_.front().wire_size) /
+                  rate_factor_));
+    done = config_.rate.time_to_deliver(loop_.now(), scaled);
+  }
   if (done == TimePoint::max()) {
     // Zero-rate tail: the packet is stuck; retry after a coarse interval so
-    // looped/step traces can resume.
+    // looped/step traces (or a restored rate factor) can resume.
     loop_.schedule_in(milliseconds(100), [this] {
       busy_ = false;
       if (!queue_.empty()) start_serializing();
@@ -92,20 +152,25 @@ void Link::on_serialized() {
   queued_bytes_ -= p.wire_size;
   if (telemetry_) queue_gauge_.set(static_cast<double>(queued_bytes_));
 
-  loop_.schedule_in(config_.propagation_delay,
-                    [this, p = std::move(p)]() mutable {
-                      delivered_bytes_ += p.wire_size;
-                      ++delivered_packets_;
-                      if (telemetry_) {
-                        delivered_bytes_counter_.add(
-                            static_cast<double>(p.wire_size));
-                        delivered_packets_counter_.increment();
-                        if (telemetry_->tracing()) {
-                          emit_packet(TraceType::kPacketDeliver, p);
+  if (down_) {
+    // The link died while this packet was on the radio.
+    drop_packet(p);
+  } else {
+    loop_.schedule_in(config_.propagation_delay + extra_delay_,
+                      [this, p = std::move(p)]() mutable {
+                        delivered_bytes_ += p.wire_size;
+                        ++delivered_packets_;
+                        if (telemetry_) {
+                          delivered_bytes_counter_.add(
+                              static_cast<double>(p.wire_size));
+                          delivered_packets_counter_.increment();
+                          if (telemetry_->tracing()) {
+                            emit_packet(TraceType::kPacketDeliver, p);
+                          }
                         }
-                      }
-                      if (deliver_) deliver_(std::move(p));
-                    });
+                        if (deliver_) deliver_(std::move(p));
+                      });
+  }
 
   busy_ = false;
   if (!queue_.empty()) start_serializing();

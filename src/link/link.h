@@ -1,15 +1,24 @@
 #pragma once
 // One-way link with a time-varying rate, propagation delay, and a drop-tail
 // queue — the simulator's equivalent of a shaped WiFi or LTE hop.
+//
+// Besides the static configuration, a link exposes a dynamic impairment
+// surface (down/up, rate scaling, extra latency, loss-model swaps) that the
+// fault-injection layer (src/fault) drives at scheduled times to reproduce
+// the hostile conditions of the paper's field study: AP blackouts, bursty
+// interference, and abrupt capacity collapse.
 
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "link/loss.h"
 #include "link/packet.h"
 #include "sim/event_loop.h"
 #include "trace/bandwidth_trace.h"
+#include "util/rng.h"
 
 namespace mpdash {
 
@@ -20,6 +29,12 @@ struct LinkConfig {
   Duration propagation_delay = milliseconds(25);  // one-way
   Bytes queue_capacity = 192 * 1000;         // drop-tail buffer
   double random_loss = 0.0;                  // extra i.i.d. loss probability
+  // Bursty-loss channel (Gilbert–Elliott); composes with random_loss.
+  std::optional<GilbertElliottConfig> ge_loss;
+  // Seed of the link's private loss stream. Every link owns its own Rng so
+  // loss on one link can never perturb another's draws (the seed tests
+  // shared one RNG across links, coupling their loss patterns).
+  std::uint64_t loss_seed = 0;
 };
 
 class Link {
@@ -34,9 +49,31 @@ class Link {
   void send(Packet p);
 
   void set_deliver_handler(DeliverHandler h) { deliver_ = std::move(h); }
+  // Test hook: overrides the link's own loss stream with an external
+  // uniform-draw source (used to script exact drop positions).
   void set_loss_rng(std::function<double()> uniform) {
     loss_rng_ = std::move(uniform);
   }
+
+  // --- dynamic impairments (fault-injection surface) -------------------
+  // While down, every packet offered or finishing serialization is lost;
+  // packets already propagating still arrive (they are past the radio).
+  void set_down(bool down);
+  bool is_down() const { return down_; }
+  // Scales the instantaneous trace rate by `factor` (rate collapse /
+  // recovery). Applies to serializations started after the call.
+  void set_rate_factor(double factor);
+  double rate_factor() const { return rate_factor_; }
+  // Extra one-way latency added on top of the propagation delay (RTT
+  // spike). Applies to deliveries scheduled after the call.
+  void set_extra_delay(Duration extra) { extra_delay_ = extra; }
+  Duration extra_delay() const { return extra_delay_; }
+  // Replaces the i.i.d. loss probability at runtime (loss burst window).
+  void set_random_loss(double p) { config_.random_loss = p; }
+  double random_loss() const { return config_.random_loss; }
+  // Installs/clears the Gilbert–Elliott burst model at runtime. The chain
+  // restarts in the Good state.
+  void set_ge_loss(const std::optional<GilbertElliottConfig>& ge);
 
   // Attaches telemetry: packet send/deliver/drop trace records plus
   // `link.{name}.*` queue/delivery metrics. Pass nullptr to detach.
@@ -56,16 +93,24 @@ class Link {
  private:
   void start_serializing();
   void on_serialized();
+  void drop_packet(const Packet& p);
+  bool loss_model_drops();
+  double draw_uniform();
   void emit_packet(TraceType type, const Packet& p) const;
 
   EventLoop& loop_;
   LinkConfig config_;
   DeliverHandler deliver_;
-  std::function<double()> loss_rng_;
+  std::function<double()> loss_rng_;  // optional test override
+  Rng rng_;
+  std::optional<GilbertElliottLoss> ge_;
 
   std::deque<Packet> queue_;
   Bytes queued_bytes_ = 0;
   bool busy_ = false;
+  bool down_ = false;
+  double rate_factor_ = 1.0;
+  Duration extra_delay_ = kDurationZero;
 
   Bytes delivered_bytes_ = 0;
   Bytes dropped_bytes_ = 0;

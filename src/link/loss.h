@@ -1,0 +1,58 @@
+#pragma once
+// Packet-loss channel models.
+//
+// The seed links only knew i.i.d. loss (LinkConfig::random_loss), which is
+// a poor model of public WiFi: real interference arrives in bursts (AP
+// contention, microwave ovens, hidden terminals). The Gilbert–Elliott
+// two-state Markov chain below is the standard burst-loss model — a Good
+// state with (near-)zero loss and a Bad state where most packets die, with
+// per-packet transition probabilities shaping mean burst length.
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace mpdash {
+
+struct GilbertElliottConfig {
+  // Per-packet transition probabilities. Mean residence (in packets) is
+  // 1/p for each state: p_good_to_bad = 0.01, p_bad_to_good = 0.2 yields
+  // ~100-packet clean spells broken by ~5-packet loss bursts.
+  double p_good_to_bad = 0.01;
+  double p_bad_to_good = 0.2;
+  // Loss probability within each state (classic GE: 0 and ~1).
+  double loss_good = 0.0;
+  double loss_bad = 0.9;
+};
+
+// Stateful per-link instance of the model. Each call to should_drop()
+// consumes RNG draws, advances the chain one packet, and reports whether
+// that packet is lost.
+class GilbertElliottLoss {
+ public:
+  explicit GilbertElliottLoss(GilbertElliottConfig config) : config_(config) {}
+
+  bool should_drop(Rng& rng) {
+    const double u_loss = rng.uniform();
+    const double u_flip = rng.uniform();
+    return step(u_loss, u_flip);
+  }
+
+  // Pure-draw variant for callers that source uniforms elsewhere (e.g. a
+  // link's scripted loss stream).
+  bool step(double u_loss, double u_flip) {
+    const bool drop = u_loss < (bad_ ? config_.loss_bad : config_.loss_good);
+    const double flip = bad_ ? config_.p_bad_to_good : config_.p_good_to_bad;
+    if (u_flip < flip) bad_ = !bad_;
+    return drop;
+  }
+
+  bool in_bad_state() const { return bad_; }
+  const GilbertElliottConfig& config() const { return config_; }
+
+ private:
+  GilbertElliottConfig config_;
+  bool bad_ = false;
+};
+
+}  // namespace mpdash

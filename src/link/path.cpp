@@ -13,6 +13,8 @@ NetPath::NetPath(EventLoop& loop, PathEndpointsConfig config)
   down.propagation_delay = config.one_way_delay;
   down.queue_capacity = config.queue_capacity;
   down.random_loss = config.random_loss;
+  down.ge_loss = config.downlink_ge_loss;
+  down.loss_seed = derive_stream_seed(config.loss_seed, ".down");
   down_ = std::make_unique<Link>(loop, std::move(down));
 
   LinkConfig up;
@@ -22,6 +24,7 @@ NetPath::NetPath(EventLoop& loop, PathEndpointsConfig config)
   up.propagation_delay = config.one_way_delay;
   up.queue_capacity = config.queue_capacity;
   up.random_loss = config.random_loss;
+  up.loss_seed = derive_stream_seed(config.loss_seed, ".up");
   up_ = std::make_unique<Link>(loop, std::move(up));
 
   if (config.downlink_shaper) {

@@ -43,6 +43,12 @@ struct PathEndpointsConfig {
   Duration one_way_delay = milliseconds(25);
   Bytes queue_capacity = 192 * 1000;
   double random_loss = 0.0;
+  // Bursty loss on the downlink (the direction interference hurts most);
+  // uplinks keep i.i.d.-only loss.
+  std::optional<GilbertElliottConfig> downlink_ge_loss;
+  // Base seed for the path's loss streams; each link derives its own via
+  // derive_stream_seed(loss_seed, ".down"/".up").
+  std::uint64_t loss_seed = 0;
   // Optional throttle applied to the downlink (Table 4's strawman).
   std::optional<ShaperConfig> downlink_shaper;
 };

@@ -12,7 +12,10 @@ namespace mpdash {
 MptcpEndpoint::MptcpEndpoint(EventLoop& loop, Role role)
     : loop_(loop), role_(role), scheduler_(std::make_unique<MinRttScheduler>()) {}
 
-MptcpEndpoint::~MptcpEndpoint() { loop_.cancel(sampler_timer_); }
+MptcpEndpoint::~MptcpEndpoint() {
+  loop_.cancel(sampler_timer_);
+  for (auto& [id, st] : paths_) loop_.cancel(st.reprobe_timer);
+}
 
 void MptcpEndpoint::add_path(SubflowConfig config,
                              std::function<void(Packet)> transmit) {
@@ -25,7 +28,61 @@ void MptcpEndpoint::add_path(SubflowConfig config,
   st.sampler = std::make_unique<RateSampler>(
       std::make_shared<HoltWinters>(), kSamplerInterval);
   if (telemetry_) wire_sender_telemetry(st);
+  if (failure_policy_.max_consecutive_rtos > 0) wire_failure_detection(id, st);
   paths_.emplace(id, std::move(st));
+}
+
+void MptcpEndpoint::set_failure_policy(const MptcpFailureConfig& policy) {
+  failure_policy_ = policy;
+  for (auto& [id, st] : paths_) {
+    if (failure_policy_.max_consecutive_rtos > 0) {
+      wire_failure_detection(id, st);
+    } else {
+      st.sender->set_max_consecutive_rtos(0);
+      st.sender->set_failure_handler(nullptr);
+    }
+  }
+}
+
+void MptcpEndpoint::wire_failure_detection(int path_id, PathState& st) {
+  st.sender->set_max_consecutive_rtos(failure_policy_.max_consecutive_rtos);
+  st.sender->set_failure_handler(
+      [this, path_id] { on_subflow_failure(path_id); });
+}
+
+void MptcpEndpoint::on_subflow_failure(int path_id) {
+  PathState& st = path_state(path_id);
+  st.dead = true;
+  ++subflow_failures_;
+  if (telemetry_) subflow_failures_counter_.increment();
+  // Reinjection preserves the original data_seq: if the "lost" original
+  // actually arrived (only its ack died), the receiver's dedupe discards
+  // the copy and connection-level accounting stays exact.
+  std::vector<UnackedData> stranded = st.sender->take_unacked();
+  reinjected_packets_ += stranded.size();
+  if (telemetry_) {
+    reinjections_counter_.add(static_cast<double>(stranded.size()));
+  }
+  for (auto& u : stranded) reinject_.push_back(std::move(u));
+  if (failure_policy_.reprobe_interval > kDurationZero) {
+    loop_.cancel(st.reprobe_timer);
+    st.reprobe_timer = loop_.schedule_in(
+        failure_policy_.reprobe_interval,
+        [this, path_id] { revive_path(path_id); });
+  }
+  try_send();
+}
+
+void MptcpEndpoint::revive_path(int path_id) {
+  PathState& st = path_state(path_id);
+  st.reprobe_timer = EventId{};
+  if (!st.dead) return;
+  st.dead = false;
+  st.sender->reset_for_reconnect();
+  ++subflow_revivals_;
+  // The revived path immediately competes for data again; if it is still
+  // dead the probe traffic re-kills it after another K RTOs.
+  try_send();
 }
 
 void MptcpEndpoint::set_telemetry(Telemetry* telemetry) {
@@ -35,6 +92,17 @@ void MptcpEndpoint::set_telemetry(Telemetry* telemetry) {
     mask_changes_counter_ = telemetry_->metrics().counter("mptcp.mask_changes");
   } else {
     mask_changes_counter_ = Counter{};
+  }
+  if (telemetry_) {
+    const std::string scope =
+        role_ == Role::kServer ? "mptcp" : "mptcp.client";
+    subflow_failures_counter_ =
+        telemetry_->metrics().counter(scope + ".subflow_failures");
+    reinjections_counter_ =
+        telemetry_->metrics().counter(scope + ".reinjected_packets");
+  } else {
+    subflow_failures_counter_ = Counter{};
+    reinjections_counter_ = Counter{};
   }
 }
 
@@ -60,22 +128,35 @@ void MptcpEndpoint::send(WireData data) {
 void MptcpEndpoint::try_send() {
   if (in_try_send_) return;  // sender callbacks can re-enter via transmit
   in_try_send_ = true;
-  while (!send_buffer_.empty()) {
+  // Reinjected data first (it is the oldest data the peer is waiting on),
+  // then new stream data.
+  while (!reinject_.empty() || !send_buffer_.empty()) {
+    // Recovery data overrides the MP-DASH preference mask (§4.3 fallback
+    // to vanilla MPTCP): the peer is head-of-line blocked on it, so any
+    // live subflow may carry it.
+    const bool vanilla = !reinject_.empty();
     std::vector<SubflowSnapshot> snaps;
     snaps.reserve(paths_.size());
     for (const auto& [id, st] : paths_) {
+      if (st.dead) continue;  // a dead subflow can't carry anything
       SubflowSnapshot s;
       s.path_id = id;
       s.has_cwnd_space = st.sender->can_send();
-      s.enabled = (send_mask_ >> id) & 1u;
+      s.enabled = vanilla || ((send_mask_ >> id) & 1u);
       s.srtt = st.sender->srtt();
       snaps.push_back(s);
     }
     const int pick = scheduler_->select(snaps);
     if (pick < 0) break;
+    PathState& st = path_state(pick);
+    if (!reinject_.empty()) {
+      UnackedData u = std::move(reinject_.front());
+      reinject_.pop_front();
+      st.sender->send_data(u.data_seq, u.payload_len, std::move(u.segments));
+      continue;
+    }
     WireData payload = send_buffer_.pull(kMaxSegmentSize);
     const Bytes len = wire_length(payload);
-    PathState& st = path_state(pick);
     const std::uint64_t seq = next_data_seq_;
     next_data_seq_ += static_cast<std::uint64_t>(len);
     st.sender->send_data(seq, len, std::move(payload));

@@ -10,6 +10,7 @@
 // schedules data packets.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -26,6 +27,18 @@
 namespace mpdash {
 
 constexpr std::uint32_t kAllPathsMask = ~0u;
+
+// Subflow-failure handling (paper §4.3: when a path silently dies, MP-DASH
+// must fall back to the surviving subflows instead of stalling).
+struct MptcpFailureConfig {
+  // Consecutive RTOs before a subflow is declared dead. 0 disables
+  // detection entirely (seed behavior).
+  int max_consecutive_rtos = 0;
+  // How long after death to re-admit the path with a fresh sender. The
+  // probe data is real traffic: if the path is still dead it is re-killed
+  // after another max_consecutive_rtos timeouts. Zero = never revive.
+  Duration reprobe_interval = seconds(5.0);
+};
 
 class MptcpEndpoint {
  public:
@@ -66,6 +79,18 @@ class MptcpEndpoint {
   // update the enforcement path mask.
   void on_packet(Packet p);
 
+  // --- failure recovery -----------------------------------------------
+  // Enables subflow-failure detection on every path (current and future):
+  // K consecutive RTOs mark the subflow dead, its unacked connection-level
+  // data is reinjected onto live subflows (original data_seq, so receiver
+  // dedupe stays correct), and the path is periodically reprobed.
+  void set_failure_policy(const MptcpFailureConfig& policy);
+  bool path_dead(int path_id) const { return path_state(path_id).dead; }
+  std::size_t subflow_failures() const { return subflow_failures_; }
+  std::size_t subflow_revivals() const { return subflow_revivals_; }
+  std::size_t reinjected_packets() const { return reinjected_packets_; }
+  std::size_t reinject_backlog() const { return reinject_.size(); }
+
   // --- path control (MP-DASH overlay) ---------------------------------
   // Client side: records the decision and pushes it to the peer via bare
   // control ACKs on every path (plus piggybacked on subsequent acks).
@@ -97,6 +122,9 @@ class MptcpEndpoint {
   std::vector<int> path_ids() const;
   Bytes send_backlog() const { return send_buffer_.size(); }
   std::uint64_t bytes_received_in_order() const { return next_expected_; }
+  // One past the highest connection-level byte ever scheduled onto a
+  // subflow; with an empty backlog this equals total bytes sent.
+  std::uint64_t data_seq_high() const { return next_data_seq_; }
 
   // Attempts to move queued data into subflows; invoked automatically on
   // sends/acks/mask changes, public for tests.
@@ -109,10 +137,15 @@ class MptcpEndpoint {
     Bytes delivered_payload = 0;
     std::unique_ptr<RateSampler> sampler;
     bool sampler_started = false;
+    bool dead = false;
+    EventId reprobe_timer;
   };
 
   void handle_data(Packet p);
   void handle_ack(const Packet& p);
+  void wire_failure_detection(int path_id, PathState& st);
+  void on_subflow_failure(int path_id);
+  void revive_path(int path_id);
   void send_ack(const Packet& data, int path_id);
   void deliver_in_order();
   void flush_samplers();
@@ -138,6 +171,15 @@ class MptcpEndpoint {
   StreamBuffer send_buffer_;
   std::uint64_t next_data_seq_ = 0;
   bool in_try_send_ = false;
+
+  // failure recovery
+  MptcpFailureConfig failure_policy_;  // inert until max_consecutive_rtos>0
+  std::deque<UnackedData> reinject_;   // drained before new stream data
+  std::size_t subflow_failures_ = 0;
+  std::size_t subflow_revivals_ = 0;
+  std::size_t reinjected_packets_ = 0;
+  Counter subflow_failures_counter_;
+  Counter reinjections_counter_;
 
   // receiver
   std::uint64_t next_expected_ = 0;

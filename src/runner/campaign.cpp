@@ -4,17 +4,10 @@ namespace mpdash {
 
 std::uint64_t derive_run_seed(std::uint64_t campaign_seed,
                               std::string_view key) {
-  // FNV-1a over the key bytes, offset by the campaign seed…
-  std::uint64_t h = 0xcbf29ce484222325ull ^ campaign_seed;
-  for (const char c : key) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;
-  }
-  // …then a splitmix64 finalizer so near-identical keys land far apart.
-  h += 0x9e3779b97f4a7c15ull;
-  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
-  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
-  return h ^ (h >> 31);
+  // Same FNV-1a + splitmix64 construction the rest of the codebase uses
+  // for named streams; kept as its own entry point because the derivation
+  // is part of the campaign determinism contract.
+  return derive_stream_seed(campaign_seed, key);
 }
 
 }  // namespace mpdash

@@ -62,7 +62,9 @@ void SubflowSender::publish_window_state() {
 Duration SubflowSender::rto() const {
   Duration base = srtt_ + 4 * rttvar_;
   base = std::clamp(base, config_.min_rto, config_.max_rto);
-  return base * (1 << std::min(rto_backoff_, 6));
+  // The backoff shift must not escape the cap either: max_rto bounds the
+  // *effective* timeout (RFC 6298 §5.5), not just its pre-backoff base.
+  return std::min(base * (1 << std::min(rto_backoff_, 6)), config_.max_rto);
 }
 
 void SubflowSender::send_data(std::uint64_t data_seq, Bytes len,
@@ -127,6 +129,7 @@ void SubflowSender::on_ack(const Packet& ack) {
     }
   }
   rto_backoff_ = 0;
+  consecutive_timeouts_ = 0;
 
   bytes_acked_ += it->second.payload_len;
   // Congestion avoidance / slow start.
@@ -186,7 +189,16 @@ void SubflowSender::on_rto() {
   if (inflight_.empty()) return;
   ++timeouts_;
   ++rto_backoff_;
+  ++consecutive_timeouts_;
   if (telemetry_) timeouts_counter_.increment();
+  if (config_.max_consecutive_rtos > 0 &&
+      consecutive_timeouts_ >= config_.max_consecutive_rtos && on_failure_) {
+    // The path is declared dead. No further retransmission here — the
+    // failure handler decides what happens to the stranded data (it
+    // usually calls take_unacked() and reinjects on live subflows).
+    on_failure_();
+    return;
+  }
   ssthresh_ = std::max(cwnd_ / 2.0, config_.min_cwnd);
   cwnd_ = 1.0;
   recovery_until_ = next_seq_;
@@ -206,6 +218,34 @@ void SubflowSender::on_rto() {
   arm_rto();
   if (telemetry_) publish_window_state();
   if (can_send() && on_capacity_) on_capacity_();
+}
+
+std::vector<UnackedData> SubflowSender::take_unacked() {
+  loop_.cancel(rto_timer_);
+  rto_timer_ = EventId{};
+  std::vector<UnackedData> out;
+  out.reserve(inflight_.size());
+  for (auto& [seq, sp] : inflight_) {
+    out.push_back({sp.data_seq, sp.payload_len, std::move(sp.segments)});
+  }
+  inflight_.clear();
+  return out;
+}
+
+void SubflowSender::reset_for_reconnect() {
+  assert(inflight_.empty());
+  loop_.cancel(rto_timer_);
+  rto_timer_ = EventId{};
+  cwnd_ = config_.initial_cwnd;
+  ssthresh_ = 1e9;
+  recovery_until_ = next_seq_;
+  srtt_ = config_.initial_rtt;
+  rttvar_ = config_.initial_rtt / 2;
+  have_rtt_sample_ = false;
+  rto_backoff_ = 0;
+  consecutive_timeouts_ = 0;
+  last_send_ = kTimeZero;
+  if (telemetry_) publish_window_state();
 }
 
 }  // namespace mpdash

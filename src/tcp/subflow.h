@@ -25,6 +25,19 @@ struct SubflowConfig {
   Duration initial_rtt = milliseconds(100);
   Duration min_rto = milliseconds(200);
   Duration max_rto = seconds(60.0);
+  // Failure detection: after this many consecutive RTOs with no ack in
+  // between, the subflow is declared dead and the failure handler fires
+  // instead of another retransmission. 0 disables detection (seed
+  // behavior: retransmit forever with capped backoff).
+  int max_consecutive_rtos = 0;
+};
+
+// Connection-level payload stranded on a dead subflow, handed back so the
+// MPTCP endpoint can reinject it on surviving paths.
+struct UnackedData {
+  std::uint64_t data_seq = 0;
+  Bytes payload_len = 0;
+  std::vector<SegmentRef> segments;
 };
 
 class SubflowSender {
@@ -46,6 +59,25 @@ class SubflowSender {
   // Processes an acknowledgment for this subflow.
   void on_ack(const Packet& ack);
 
+  // Invoked (from inside the RTO handler) when max_consecutive_rtos fire
+  // without an intervening ack. The handler owns the fallout: typically
+  // take_unacked() + reinjection elsewhere.
+  void set_failure_handler(std::function<void()> h) {
+    on_failure_ = std::move(h);
+  }
+  void set_max_consecutive_rtos(int n) { config_.max_consecutive_rtos = n; }
+
+  // Drains every outstanding packet (in subflow-send order), cancels the
+  // RTO timer, and returns the stranded connection-level data. The sender
+  // is left idle; pair with reset_for_reconnect() before reusing it.
+  std::vector<UnackedData> take_unacked();
+
+  // Fresh-start state for a revived path: initial window, cleared RTT
+  // estimate and backoff. Subflow sequence numbers keep increasing so
+  // stale acks from before the failure can never be confused with new
+  // transmissions.
+  void reset_for_reconnect();
+
   // Attaches telemetry under `{scope}.{path_id}.*` (cwnd/srtt gauges, RTT
   // histogram, retransmission counters). `emit_trace` additionally emits a
   // kSubflowUpdate record per cwnd/RTT change — enabled for the
@@ -64,6 +96,7 @@ class SubflowSender {
   Bytes bytes_acked() const { return bytes_acked_; }
   std::size_t retransmissions() const { return retransmissions_; }
   std::size_t timeouts() const { return timeouts_; }
+  int consecutive_timeouts() const { return consecutive_timeouts_; }
 
  private:
   struct SentPacket {
@@ -88,6 +121,7 @@ class SubflowSender {
   SubflowConfig config_;
   std::function<void(Packet)> transmit_;
   std::function<void()> on_capacity_;
+  std::function<void()> on_failure_;
 
   double cwnd_;
   double ssthresh_ = 1e9;
@@ -100,6 +134,7 @@ class SubflowSender {
   Duration rttvar_;
   bool have_rtt_sample_ = false;
   int rto_backoff_ = 0;
+  int consecutive_timeouts_ = 0;
   EventId rto_timer_;
 
   Bytes bytes_sent_ = 0;

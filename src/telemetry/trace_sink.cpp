@@ -13,6 +13,7 @@ const char* to_string(TraceType t) {
     case TraceType::kSchedDecision: return "sched_decision";
     case TraceType::kPathMask: return "path_mask";
     case TraceType::kPlayer: return "player";
+    case TraceType::kFault: return "fault";
   }
   return "unknown";
 }
@@ -141,6 +142,15 @@ std::string trace_record_to_json(const TraceRecord& r) {
       if (r.level >= 0) integer("level", r.level);
       if (r.chunk >= 0) integer("chunk", r.chunk);
       if (r.bytes > 0) integer("bytes", r.bytes);
+      num("value", r.value);
+      break;
+    case TraceType::kFault:
+      if (r.label) {
+        out += ",\"fault\":\"" + json_escape(r.label) + '"';
+      }
+      out += ",\"phase\":\"";
+      out += r.enabled ? "start" : "end";
+      out += '"';
       num("value", r.value);
       break;
   }

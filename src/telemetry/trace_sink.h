@@ -33,6 +33,8 @@ enum class TraceType : std::uint8_t {
   kSchedDecision,  // Algorithm-1 path enable/disable with its inputs
   kPathMask,       // decision-function mask signalled to the peer
   kPlayer,         // bridged DASH player event
+  kFault,          // fault-injection event (label = fault kind, value =
+                   // parameter; path_id when link-scoped)
 };
 
 const char* to_string(TraceType t);

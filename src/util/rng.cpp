@@ -20,6 +20,20 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t derive_stream_seed(std::uint64_t base, std::string_view key) {
+  // FNV-1a over the key bytes, offset by the base seed…
+  std::uint64_t h = 0xcbf29ce484222325ull ^ base;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  // …then a splitmix64 finalizer so near-identical keys land far apart.
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t x = seed;
   for (auto& word : s_) word = splitmix64(x);

@@ -6,8 +6,15 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 
 namespace mpdash {
+
+// Stable named-stream seed: splitmix64 finalization over an FNV-1a hash of
+// `key`, mixed with `base`. Depends only on the two inputs, so inserting or
+// removing one consumer can never reseed another. Used for campaign runs
+// (runner) and per-link loss streams (exp::Scenario).
+std::uint64_t derive_stream_seed(std::uint64_t base, std::string_view key);
 
 // xoshiro256++ 1.0 (Blackman & Vigna, public domain reference
 // implementation), seeded via splitmix64 so that any 64-bit seed yields a

@@ -16,6 +16,7 @@
 #include "dash/video.h"
 #include "exp/scenario.h"
 #include "exp/session.h"
+#include "fault/fault.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace_sink.h"
 
@@ -124,4 +125,54 @@ TEST(GoldenTrace, StreamingSchedulerDecisions) {
 
   check_golden("streaming_sched_decisions.jsonl",
                decisions_to_jsonl(collector.records()));
+}
+
+// A scripted mid-session WiFi blackout with the full recovery stack on:
+// the fixture pins the scheduler's decisions *and* the fault windows
+// (kFault records), so both the failure script and the scheduler's
+// reaction to it are regression-locked.
+TEST(GoldenTrace, BlackoutSchedulerDecisions) {
+  const Video video("golden-clip", seconds(4.0), 10,
+                    {DataRate::mbps(0.58), DataRate::mbps(1.01),
+                     DataRate::mbps(1.47), DataRate::mbps(2.41),
+                     DataRate::mbps(3.94)},
+                    0.12, 42);
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(2.8), DataRate::mbps(3.0)));
+  Telemetry telemetry;
+  TraceCollector collector;
+  telemetry.add_sink(&collector);
+
+  FaultPlan plan;
+  FaultEvent blackout;
+  blackout.kind = FaultKind::kBlackout;
+  blackout.at = TimePoint(seconds(12.0));
+  blackout.duration = seconds(8.0);
+  blackout.path_id = kWifiPathId;
+  plan.events.push_back(blackout);
+
+  SessionConfig cfg;
+  cfg.scheme = Scheme::kMpDashRate;
+  cfg.adaptation = "festive";
+  cfg.telemetry = &telemetry;
+  cfg.faults = &plan;
+  cfg.mptcp_recovery.max_consecutive_rtos = 4;
+  cfg.mptcp_recovery.reprobe_interval = seconds(2.0);
+  cfg.http_recovery.request_timeout = seconds(4.0);
+  cfg.http_recovery.max_retries = 4;
+  cfg.http_recovery.jitter_seed = 11;
+  const SessionResult res = run_streaming_session(scenario, video, cfg);
+  EXPECT_TRUE(res.completed);
+  EXPECT_TRUE(res.faults_quiescent);
+
+  std::string out;
+  for (const TraceRecord& r : collector.records()) {
+    if (r.type != TraceType::kSchedDecision &&
+        r.type != TraceType::kPathMask && r.type != TraceType::kFault) {
+      continue;
+    }
+    out += trace_record_to_json(r);
+    out += '\n';
+  }
+  check_golden("blackout_sched_decisions.jsonl", out);
 }

@@ -48,6 +48,7 @@ HttpStreamParser::Callbacks counting(int& heads, Bytes& body, int& done,
             if (real) *real += r;
           },
       .on_message_complete = [&done] { ++done; },
+      .on_error = nullptr,
   };
 }
 
@@ -123,7 +124,8 @@ TEST(HttpParser, RequestMode) {
            [&](const HttpRequest& r) { targets.push_back(r.target); },
        .on_response_head = nullptr,
        .on_body = nullptr,
-       .on_message_complete = nullptr});
+       .on_message_complete = nullptr,
+       .on_error = nullptr});
   HttpRequest r1, r2;
   r1.target = "/a";
   r2.target = "/b";
@@ -138,7 +140,10 @@ TEST(HttpParser, RejectsVirtualBytesInHead) {
   Bytes body = 0;
   HttpStreamParser p(HttpStreamParser::Mode::kResponses,
                      counting(heads, body, done));
-  EXPECT_THROW(p.consume(wire_virtual(10)), std::runtime_error);
+  p.consume(wire_virtual(10));
+  EXPECT_EQ(p.error(), HttpParseError::kVirtualBytesInHead);
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(heads, 0);
 }
 
 TEST(HttpParser, RejectsMalformedStartLine) {
@@ -146,8 +151,45 @@ TEST(HttpParser, RejectsMalformedStartLine) {
   Bytes body = 0;
   HttpStreamParser p(HttpStreamParser::Mode::kResponses,
                      counting(heads, body, done));
-  EXPECT_THROW(p.consume(wire_from_string("NONSENSE\r\n\r\n")),
-               std::runtime_error);
+  p.consume(wire_from_string("NONSENSE\r\n\r\n"));
+  EXPECT_EQ(p.error(), HttpParseError::kMalformedStartLine);
+  // Poisoned: even well-formed follow-up input is ignored.
+  HttpResponse ok_resp;
+  ok_resp.body = "x";
+  p.consume(ok_resp.to_wire());
+  EXPECT_EQ(heads, 0);
+  EXPECT_EQ(done, 0);
+}
+
+TEST(HttpParser, RejectsBadContentLength) {
+  int heads = 0, done = 0;
+  Bytes body = 0;
+  HttpStreamParser p(HttpStreamParser::Mode::kResponses,
+                     counting(heads, body, done));
+  p.consume(wire_from_string(
+      "HTTP/1.1 200 OK\r\nContent-Length: 12abc\r\n\r\n"));
+  EXPECT_EQ(p.error(), HttpParseError::kBadContentLength);
+  EXPECT_EQ(heads, 0);
+}
+
+TEST(HttpParser, ErrorCallbackFiresOnce) {
+  int errors = 0;
+  HttpParseError seen = HttpParseError::kNone;
+  HttpStreamParser p(
+      HttpStreamParser::Mode::kResponses,
+      {.on_request = nullptr,
+       .on_response_head = nullptr,
+       .on_body = nullptr,
+       .on_message_complete = nullptr,
+       .on_error =
+           [&](HttpParseError e, const std::string&) {
+             ++errors;
+             seen = e;
+           }});
+  p.consume(wire_from_string("NONSENSE\r\n\r\n"));
+  p.consume(wire_from_string("MORE NONSENSE\r\n\r\n"));
+  EXPECT_EQ(errors, 1);
+  EXPECT_EQ(seen, HttpParseError::kMalformedStartLine);
 }
 
 // --- client + server over the simulated network ------------------------
@@ -227,6 +269,104 @@ TEST(HttpEndToEnd, SequentialQueueing) {
   EXPECT_EQ(client.outstanding(), 5u);
   scenario.loop().run();
   EXPECT_EQ(completion_order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(HttpRecovery, RetryBudgetExhaustionYieldsTypedTimeout) {
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(10.0), DataRate::mbps(10.0)));
+  MptcpConnection conn(scenario.loop(), scenario.paths());
+  HttpServer server(conn.server(), [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "never sent";
+    return resp;
+  });
+  server.set_dropping(true);  // every request vanishes server-side
+
+  HttpClientConfig cfg;
+  cfg.request_timeout = milliseconds(500);
+  cfg.max_retries = 2;
+  cfg.jitter_seed = 7;
+  HttpClient client(scenario.loop(), conn.client(), cfg);
+
+  HttpTransfer final_transfer;
+  int completions = 0;
+  client.get("/chunk", [&](const HttpTransfer& t) {
+    final_transfer = t;
+    ++completions;
+  });
+  scenario.loop().run();
+
+  EXPECT_EQ(completions, 1);  // exactly one terminal callback
+  EXPECT_EQ(final_transfer.error, TransferError::kTimeout);
+  EXPECT_FALSE(final_transfer.ok());
+  EXPECT_EQ(final_transfer.retries, cfg.max_retries);
+  // First attempt + two retries all timed out; budget then stops resends.
+  EXPECT_EQ(client.timeouts(), 3u);
+  EXPECT_EQ(client.retries_sent(), 2u);
+  EXPECT_EQ(server.requests_dropped(), 3u);
+  EXPECT_EQ(server.requests_served(), 0u);
+}
+
+TEST(HttpRecovery, RetrySucceedsOnceServerStopsDropping) {
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(10.0), DataRate::mbps(10.0)));
+  MptcpConnection conn(scenario.loop(), scenario.paths());
+  HttpServer server(conn.server(), [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "payload";
+    return resp;
+  });
+  server.set_dropping(true);
+  // Outage ends before the retry budget runs out.
+  scenario.loop().schedule_at(TimePoint(seconds(1.2)),
+                              [&server] { server.set_dropping(false); });
+
+  HttpClientConfig cfg;
+  cfg.request_timeout = milliseconds(500);
+  cfg.max_retries = 5;
+  cfg.jitter_seed = 7;
+  HttpClient client(scenario.loop(), conn.client(), cfg);
+
+  HttpTransfer done;
+  client.get("/chunk", [&](const HttpTransfer& t) { done = t; });
+  scenario.loop().run();
+
+  EXPECT_TRUE(done.ok());
+  EXPECT_EQ(done.body, "payload");
+  EXPECT_GE(done.retries, 1);
+  EXPECT_LT(done.retries, cfg.max_retries);
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(HttpRecovery, StalledServerFlushesQueuedResponsesOnResume) {
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(10.0), DataRate::mbps(10.0)));
+  MptcpConnection conn(scenario.loop(), scenario.paths());
+  HttpServer server(conn.server(), [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "late";
+    return resp;
+  });
+  server.set_stalled(true);
+  scenario.loop().schedule_at(TimePoint(seconds(2.0)),
+                              [&server] { server.set_stalled(false); });
+
+  // Generous timeout: the stall ends before any retry fires, so the
+  // queued response must flush and complete the original attempt.
+  HttpClientConfig cfg;
+  cfg.request_timeout = seconds(10.0);
+  cfg.jitter_seed = 7;
+  HttpClient client(scenario.loop(), conn.client(), cfg);
+
+  HttpTransfer done;
+  client.get("/chunk", [&](const HttpTransfer& t) { done = t; });
+  scenario.loop().run();
+
+  EXPECT_TRUE(done.ok());
+  EXPECT_EQ(done.body, "late");
+  EXPECT_EQ(done.retries, 0);
+  EXPECT_GT(to_seconds(done.completed), 2.0);  // held until the flush
+  EXPECT_EQ(client.timeouts(), 0u);
 }
 
 }  // namespace

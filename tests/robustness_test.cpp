@@ -27,12 +27,8 @@ TEST(Robustness, StreamSurvivesRandomPacketLoss) {
   ScenarioConfig cfg =
       constant_scenario(DataRate::mbps(6.0), DataRate::mbps(6.0));
   cfg.random_loss = 0.01;  // 1 % i.i.d. loss on every link
+  cfg.seed = 123;          // each link draws from its own derived stream
   Scenario scenario(cfg);
-  // Seed the loss RNG deterministically.
-  Rng rng(123);
-  scenario.wifi().downlink().set_loss_rng([&rng] { return rng.uniform(); });
-  scenario.cellular()->downlink().set_loss_rng(
-      [&rng] { return rng.uniform(); });
 
   SessionConfig scfg;
   scfg.adaptation = "festive";
@@ -42,6 +38,26 @@ TEST(Robustness, StreamSurvivesRandomPacketLoss) {
   ASSERT_TRUE(res.completed);
   // Loss costs retransmissions, not correctness.
   EXPECT_EQ(res.chunks, 12);
+}
+
+TEST(Robustness, StreamSurvivesBurstyWifiLoss) {
+  // Gilbert–Elliott bursts on the WiFi downlink: ~100-packet clean spells
+  // interrupted by ~5-packet bursts where 90 % of packets die.
+  ScenarioConfig cfg =
+      constant_scenario(DataRate::mbps(6.0), DataRate::mbps(6.0));
+  cfg.wifi_ge_loss = GilbertElliottConfig{};
+  cfg.seed = 7;
+  Scenario scenario(cfg);
+
+  SessionConfig scfg;
+  scfg.adaptation = "festive";
+  scfg.scheme = Scheme::kMpDashRate;
+  const SessionResult res =
+      run_streaming_session(scenario, tiny_video(), scfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.chunks, 12);
+  // The bursts actually bit: the WiFi downlink recorded drops.
+  EXPECT_GT(scenario.wifi().downlink().dropped_packets(), 0u);
 }
 
 TEST(Robustness, WifiBlackoutMidSessionCellularRescues) {

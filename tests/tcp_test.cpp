@@ -163,5 +163,21 @@ TEST(Subflow, DuplicateAcksIgnored) {
   EXPECT_EQ(sender.bytes_acked(), 1000);
 }
 
+TEST(Subflow, RtoBackoffNeverExceedsMaxRto) {
+  EventLoop loop;
+  SubflowConfig cfg;
+  cfg.max_rto = seconds(2.0);
+  SubflowSender sender(loop, cfg, [](Packet) {}, [] {});
+  sender.send_data(0, 1000, wire_virtual(1000));
+  // No acks ever arrive: the RTO fires repeatedly with exponential backoff.
+  // The cap must hold at every timeout, not just asymptotically.
+  loop.run_until(TimePoint(seconds(60.0)));
+  EXPECT_GE(sender.consecutive_timeouts(), 6);
+  EXPECT_LE(sender.rto(), cfg.max_rto);
+  // With a 2 s cap, 60 s of silence yields at least ~25 firings; an uncapped
+  // doubling series would manage only ~7.
+  EXPECT_GE(sender.timeouts(), 20u);
+}
+
 }  // namespace
 }  // namespace mpdash

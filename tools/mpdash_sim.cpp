@@ -21,6 +21,7 @@
 #include <string>
 
 #include "dash/video.h"
+#include "exp/chaos.h"
 #include "exp/scenario.h"
 #include "exp/session.h"
 #include "runner/campaign.h"
@@ -55,12 +56,15 @@ struct Args {
   bool use_mpdash = true;
   std::string mptcp_scheduler = "minrtt";
   int jobs = 0;  // sweep workers; 0 = MPDASH_JOBS env, then hardware cores
+  int seed_count = 50;              // chaos: number of seeded fault plans
+  unsigned long long seed = 1;      // chaos: campaign base seed
+  bool recovery = true;             // chaos: --no-recovery disables
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
-               "usage: mpdash_sim <stream|download|sweep|locations> "
+               "usage: mpdash_sim <stream|download|sweep|chaos|locations> "
                "[options]\n"
                "  --scheme wifi-only|baseline|mpdash-rate|mpdash-duration\n"
                "  --algo gpac|festive|bba|bba-c|mpc\n"
@@ -70,7 +74,9 @@ struct Args {
                "  --location <name from `locations`>\n"
                "  --alpha <0..1>  --scheduler minrtt|roundrobin\n"
                "  --size-mb <mb> --deadline <s> --no-mpdash   (download)\n"
-               "  --jobs <n>     sweep workers (default: hardware cores)\n"
+               "  --jobs <n>     sweep/chaos workers (default: hardware "
+               "cores)\n"
+               "  --seed-count <n> --seed <base> --no-recovery   (chaos)\n"
                "  --csv <path>   write the result row as CSV\n"
                "  --metrics <path>   per-second metrics timeline "
                "(CSV: time_s,metric,value)\n"
@@ -104,6 +110,9 @@ Args parse(int argc, char** argv) {
     else if (flag == "--deadline") a.deadline_s = std::atof(value().c_str());
     else if (flag == "--no-mpdash") a.use_mpdash = false;
     else if (flag == "--jobs") a.jobs = std::atoi(value().c_str());
+    else if (flag == "--seed-count") a.seed_count = std::atoi(value().c_str());
+    else if (flag == "--seed") a.seed = std::strtoull(value().c_str(), nullptr, 10);
+    else if (flag == "--no-recovery") a.recovery = false;
     else if (flag == "--csv") a.csv_path = value();
     else if (flag == "--metrics") a.metrics_path = value();
     else if (flag == "--trace") a.trace_path = value();
@@ -409,6 +418,69 @@ int cmd_sweep(const Args& a) {
   return 0;
 }
 
+// Chaos campaign: N seeded random fault plans through the full stack with
+// recovery on, invariants audited per run. Exit status is the gate CI
+// uses: 0 only when every invariant held on every seed.
+int cmd_chaos(const Args& a) {
+  ChaosConfig cfg;
+  cfg.seed_count = a.seed_count;
+  cfg.base_seed = a.seed;
+  cfg.jobs = a.jobs;
+  cfg.scheme = parse_scheme(a.scheme);
+  cfg.adaptation = a.algo;
+  cfg.mptcp_scheduler = a.mptcp_scheduler;
+  cfg.recovery = a.recovery;
+
+  const ChaosCampaignResult res = run_chaos_campaign(cfg);
+
+  TextTable table({"seed", "done", "chunks", "abandoned", "retries", "sf",
+                   "reinj", "timeouts", "violations"});
+  for (const ChaosRunResult& r : res.runs) {
+    table.add_row({std::to_string(r.seed), r.completed ? "yes" : "NO",
+                   std::to_string(r.chunks_delivered),
+                   std::to_string(r.chunks_abandoned),
+                   std::to_string(r.chunk_retries),
+                   std::to_string(r.subflow_failures),
+                   std::to_string(r.reinjected_packets),
+                   std::to_string(r.http_timeouts),
+                   std::to_string(r.violations.size())});
+  }
+  std::printf("%s", table.render().c_str());
+  for (const ChaosRunResult& r : res.runs) {
+    for (const std::string& v : r.violations) {
+      std::fprintf(stderr, "seed %llu: %s\n",
+                   static_cast<unsigned long long>(r.seed), v.c_str());
+    }
+  }
+  const int violations = res.violation_count();
+  std::printf("chaos: %d seeds on %d workers, %.2fs wall, recovery %s, "
+              "%d invariant violation%s\n",
+              res.stats.runs, res.stats.jobs, res.stats.wall_s,
+              a.recovery ? "on" : "OFF", violations,
+              violations == 1 ? "" : "s");
+  if (!a.csv_path.empty()) {
+    CsvWriter csv({"seed", "completed", "chunks", "abandoned", "retries",
+                   "stalls", "subflow_failures", "reinjected", "timeouts",
+                   "violations"});
+    for (const ChaosRunResult& r : res.runs) {
+      csv.add_row({std::to_string(r.seed), r.completed ? "1" : "0",
+                   std::to_string(r.chunks_delivered),
+                   std::to_string(r.chunks_abandoned),
+                   std::to_string(r.chunk_retries), std::to_string(r.stalls),
+                   std::to_string(r.subflow_failures),
+                   std::to_string(r.reinjected_packets),
+                   std::to_string(r.http_timeouts),
+                   std::to_string(r.violations.size())});
+    }
+    if (!csv.write_file(a.csv_path)) {
+      std::fprintf(stderr, "cannot write %s\n", a.csv_path.c_str());
+      return 1;
+    }
+    std::printf("results written to %s\n", a.csv_path.c_str());
+  }
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -417,5 +489,6 @@ int main(int argc, char** argv) {
   if (args.command == "stream") return cmd_stream(args);
   if (args.command == "download") return cmd_download(args);
   if (args.command == "sweep") return cmd_sweep(args);
+  if (args.command == "chaos") return cmd_chaos(args);
   usage(("unknown command " + args.command).c_str());
 }
