@@ -56,8 +56,9 @@ FaultPlan random_fault_plan(std::uint64_t seed, const RandomPlanConfig& cfg) {
     const double max_dur =
         std::min(hi - start, 0.25 * to_seconds(cfg.horizon));
     e.at = kTimeZero + seconds(start);
-    e.duration = seconds(rng.uniform(1.0, std::max(1.5, max_dur)));
-    if (e.end() > kTimeZero + seconds(hi)) e.duration = kTimeZero + seconds(hi) - e.at;
+    // Draw within [min(1, max_dur), max_dur] so the end-margin and the
+    // 0.25*horizon cap hold by construction, with no post-hoc clipping.
+    e.duration = seconds(rng.uniform(std::min(1.0, max_dur), max_dur));
     e.path_id =
         static_cast<int>(rng.uniform_int(0, std::max(1, cfg.num_paths) - 1));
     switch (e.kind) {

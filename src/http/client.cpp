@@ -27,16 +27,21 @@ HttpClient::HttpClient(EventLoop& loop, MptcpEndpoint& endpoint,
                   .on_request = nullptr,
                   .on_response_head =
                       [this](const HttpResponse& head) {
-                        // With the retry layer on, a response carrying a
-                        // stale id answers an attempt we already gave up
-                        // on: swallow the whole message.
-                        if (config_.request_timeout > kDurationZero) {
+                        // A response no transfer owns (the request already
+                        // completed or errored out, e.g. a server stall
+                        // outlasting the whole retry budget flushing after
+                        // the queue drained), or one carrying a stale id,
+                        // answers an attempt we already gave up on: swallow
+                        // the whole message.
+                        discarding_stale_ = !in_flight_;
+                        if (!discarding_stale_ &&
+                            config_.request_timeout > kDurationZero) {
                           const auto rid = head.header(kRequestIdHeader);
                           discarding_stale_ =
                               !rid || std::strtoull(rid->c_str(), nullptr,
                                                     10) != expected_rid_;
-                          if (discarding_stale_) return;
                         }
+                        if (discarding_stale_) return;
                         current_.response = head;
                         current_.head_received = loop_.now();
                       },
@@ -68,6 +73,9 @@ HttpClient::HttpClient(EventLoop& loop, MptcpEndpoint& endpoint,
                         current_.completed = loop_.now();
                         current_.retries = attempt_;
                         attempt_ = 0;
+                        // No attempt awaits a response anymore; a late
+                        // duplicate must not match the finished id.
+                        expected_rid_ = 0;
                         Pending done = std::move(pending_.front());
                         pending_.pop_front();
                         in_flight_ = false;
@@ -151,15 +159,15 @@ void HttpClient::on_timeout() {
 
 Duration HttpClient::backoff_delay(int attempt) {
   const double factor = std::pow(config_.backoff_factor, attempt);
-  Duration d = std::min(
-      Duration(static_cast<Duration::rep>(
-          static_cast<double>(config_.backoff_base.count()) * factor)),
-      config_.backoff_cap);
   // Deterministic jitter: scale by [1, 1.25) so synchronized clients
-  // (e.g. a fleet of chaos runs) don't retry in lockstep.
+  // (e.g. a fleet of chaos runs) don't retry in lockstep. backoff_cap
+  // bounds the final, post-jitter delay.
   const double jitter = 1.0 + 0.25 * jitter_rng_.uniform();
-  return Duration(static_cast<Duration::rep>(
-      static_cast<double>(d.count()) * jitter));
+  const double raw =
+      static_cast<double>(config_.backoff_base.count()) * factor * jitter;
+  const double capped =
+      std::min(raw, static_cast<double>(config_.backoff_cap.count()));
+  return Duration(static_cast<Duration::rep>(capped));
 }
 
 void HttpClient::complete_with_error(TransferError error) {
@@ -172,7 +180,9 @@ void HttpClient::complete_with_error(TransferError error) {
   current_.error = error;
   attempt_ = 0;
   // A timed-out request may still be answered later; that response now
-  // belongs to no transfer and must be dropped by id when it arrives.
+  // belongs to no transfer and must be dropped when it arrives, whether
+  // or not a new request has re-stamped the expected id by then.
+  expected_rid_ = 0;
   Pending done = std::move(pending_.front());
   pending_.pop_front();
   in_flight_ = false;

@@ -369,5 +369,43 @@ TEST(HttpRecovery, StalledServerFlushesQueuedResponsesOnResume) {
   EXPECT_EQ(client.timeouts(), 0u);
 }
 
+TEST(HttpRecovery, ResponseFlushedAfterBudgetExhaustionIsDiscarded) {
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(10.0), DataRate::mbps(10.0)));
+  MptcpConnection conn(scenario.loop(), scenario.paths());
+  HttpServer server(conn.server(), [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "too late";
+    return resp;
+  });
+  // The stall outlasts the whole retry budget: every attempt's response
+  // is held, the transfer errors out, and only then does the server
+  // flush. The flushed responses belong to no transfer — including the
+  // one echoing the final attempt's id — and must all be discarded.
+  server.set_stalled(true);
+  scenario.loop().schedule_at(TimePoint(seconds(8.0)),
+                              [&server] { server.set_stalled(false); });
+
+  HttpClientConfig cfg;
+  cfg.request_timeout = milliseconds(400);
+  cfg.max_retries = 2;
+  cfg.jitter_seed = 7;
+  HttpClient client(scenario.loop(), conn.client(), cfg);
+
+  HttpTransfer done;
+  int completions = 0;
+  client.get("/chunk", [&](const HttpTransfer& t) {
+    done = t;
+    ++completions;
+  });
+  scenario.loop().run();
+
+  EXPECT_EQ(completions, 1);  // the timeout callback, and nothing after
+  EXPECT_EQ(done.error, TransferError::kTimeout);
+  EXPECT_EQ(server.requests_served(), 3u);  // all attempts held, then flushed
+  EXPECT_FALSE(client.busy());
+  EXPECT_EQ(client.outstanding(), 0u);
+}
+
 }  // namespace
 }  // namespace mpdash
