@@ -80,16 +80,39 @@ inline bool bench_json_enabled() {
   return env != nullptr && env[0] == '1';
 }
 
+// MPDASH_BENCH_SERIES=1 (with MPDASH_BENCH_JSON=1) additionally samples
+// the registry on a 1 s sim-time cadence and embeds the whole series in
+// each run's JSON line, so campaign benches emit per-run QoE/byte-share
+// time series, not just the end-of-run totals.
+inline bool bench_series_enabled() {
+  const char* env = std::getenv("MPDASH_BENCH_SERIES");
+  return env != nullptr && env[0] == '1';
+}
+
 inline std::string bench_snapshot_line(Telemetry& telemetry, Scheme scheme,
                                        const std::string& algo,
-                                       double session_s) {
+                                       double session_s,
+                                       const MetricsTimeline* series =
+                                           nullptr) {
   const std::string id =
       current_bench_id().empty() ? "bench" : current_bench_id();
   const MetricsSnapshot snap =
       telemetry.metrics().snapshot(TimePoint(seconds(session_s)));
-  return "{\"bench\":\"" + json_escape(id) + "\",\"scheme\":\"" +
-         to_string(scheme) + "\",\"adaptation\":\"" + json_escape(algo) +
-         "\",\"snapshot\":" + snap.to_json() + "}\n";
+  std::string out = "{\"bench\":\"" + json_escape(id) + "\",\"scheme\":\"" +
+                    to_string(scheme) + "\",\"adaptation\":\"" +
+                    json_escape(algo) + "\",\"snapshot\":" + snap.to_json();
+  if (series != nullptr) {
+    out += ",\"series\":[";
+    bool first = true;
+    for (const MetricsSnapshot& s : series->snapshots()) {
+      if (!first) out += ',';
+      first = false;
+      out += s.to_json();
+    }
+    out += ']';
+  }
+  out += "}\n";
+  return out;
 }
 
 // Appends pre-rendered JSON lines to BENCH_<id>.json. Campaign benches
@@ -137,11 +160,14 @@ inline SessionResult run_scheme(const ScenarioConfig& net, const Video& video,
   cfg.adaptation = algo;
   cfg.record_trace = record;
   Telemetry telemetry;
+  MetricsTimeline timeline;
+  const bool series = bench_json_enabled() && bench_series_enabled();
   if (bench_json_enabled()) cfg.telemetry = &telemetry;
+  if (series) cfg.metrics = &timeline;
   SessionResult res = run_streaming_session(scenario, video, cfg);
   if (bench_json_enabled()) {
-    const std::string line =
-        bench_snapshot_line(telemetry, scheme, algo, res.session_s);
+    const std::string line = bench_snapshot_line(
+        telemetry, scheme, algo, res.session_s, series ? &timeline : nullptr);
     if (json_out != nullptr) {
       *json_out = line;
     } else {

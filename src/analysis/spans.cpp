@@ -1,0 +1,226 @@
+#include "analysis/spans.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mpdash {
+
+const char* to_string(MissCause c) {
+  switch (c) {
+    case MissCause::kNone: return "none";
+    case MissCause::kFaultBlackout: return "fault-blackout";
+    case MissCause::kRetryBackoff: return "retry-backoff";
+    case MissCause::kSchedulerLate: return "scheduler-late";
+    case MissCause::kBandwidthShortfall: return "bandwidth-shortfall";
+    case MissCause::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+bool ChunkTimeline::missed() const {
+  if (status && std::strcmp(status, "abandoned") == 0) return true;
+  if (status && std::strcmp(status, "failed") == 0) return true;
+  if (sched_missed) return true;
+  return deadline_s > 0.0 && elapsed_s() > deadline_s;
+}
+
+const ChunkTimeline* SpanModel::find(SpanId id) const {
+  const auto it = std::lower_bound(
+      spans.begin(), spans.end(), id,
+      [](const ChunkTimeline& t, SpanId s) { return t.span < s; });
+  if (it == spans.end() || it->span != id) return nullptr;
+  return &*it;
+}
+
+namespace {
+
+bool label_is(const TraceRecord& r, const char* name) {
+  return r.label != nullptr && std::strcmp(r.label, name) == 0;
+}
+
+}  // namespace
+
+SpanModel build_span_model(const std::vector<TraceRecord>& trace) {
+  SpanModel model;
+  model.records = trace.size();
+  // Span ids are allocated in increasing order, so a map keyed by id
+  // yields timelines in request order.
+  std::map<SpanId, ChunkTimeline> open;
+
+  auto timeline = [&open](const TraceRecord& r) -> ChunkTimeline& {
+    auto [it, inserted] = open.try_emplace(r.span);
+    if (inserted) {
+      // Records can precede the kSpanStart of their span (the player
+      // activates the id before level selection); the start record
+      // overwrites this provisional anchor.
+      it->second.span = r.span;
+      it->second.start = r.at;
+      it->second.end = r.at;
+    }
+    return it->second;
+  };
+
+  for (const TraceRecord& r : trace) {
+    if (r.at > model.trace_end) model.trace_end = r.at;
+    if (r.type == TraceType::kFault) {
+      if (r.enabled) {
+        FaultWindow w;
+        w.kind = r.label;
+        w.path_id = r.path_id;
+        w.start = r.at;
+        w.end = r.at;
+        model.faults.push_back(w);
+      } else {
+        for (auto it = model.faults.rbegin(); it != model.faults.rend();
+             ++it) {
+          if (!it->closed && it->path_id == r.path_id &&
+              ((it->kind == nullptr && r.label == nullptr) ||
+               (it->kind && r.label &&
+                std::strcmp(it->kind, r.label) == 0))) {
+            it->end = r.at;
+            it->closed = true;
+            break;
+          }
+        }
+      }
+      continue;  // faults are trace-global, not span-owned
+    }
+    if (r.span == 0) {
+      ++model.unspanned_records;
+      continue;
+    }
+    ChunkTimeline& t = timeline(r);
+    switch (r.type) {
+      case TraceType::kSpanStart:
+        t.name = r.label;
+        t.chunk = r.chunk;
+        t.level = r.level;
+        t.requested_bytes = r.bytes;
+        t.deadline_s = r.value;
+        t.start = r.at;
+        break;
+      case TraceType::kSpanEnd:
+        t.status = r.label;
+        t.delivered_bytes = r.bytes;
+        t.end = r.at;
+        break;
+      case TraceType::kSchedDecision:
+        if (label_is(r, "begin")) {
+          t.sched_engaged = true;
+          t.sched_begin = r.at;
+        } else if (label_is(r, "miss")) {
+          t.sched_missed = true;
+        } else if (label_is(r, "enable") && r.enabled) {
+          t.first_enable_by_path.try_emplace(r.path_id, r.at);
+        }
+        break;
+      case TraceType::kPacketDeliver:
+        if (r.kind == PacketKind::kData && r.is_downlink() &&
+            r.payload_len > 0) {
+          t.bytes_by_path[r.path_id] += r.payload_len;
+          if (!t.have_bytes) {
+            t.first_byte = r.at;
+            t.have_bytes = true;
+          }
+          t.last_byte = r.at;
+        }
+        break;
+      case TraceType::kHttp:
+        if (label_is(r, "timeout")) {
+          ++t.http_timeouts;
+        } else if (label_is(r, "retry")) {
+          ++t.http_retries;
+          t.backoff_s += r.value;
+        }
+        break;
+      case TraceType::kPlayer:
+        if (label_is(r, "chunk_retry")) {
+          ++t.chunk_retries;
+        } else if (label_is(r, "stall_start")) {
+          ++t.stalls_started;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  model.spans.reserve(open.size());
+  for (auto& [id, t] : open) {
+    if (!t.closed()) t.end = model.trace_end;  // trace ended mid-flight
+    model.spans.push_back(std::move(t));
+  }
+  for (FaultWindow& w : model.faults) {
+    if (!w.closed) w.end = model.trace_end;
+  }
+  return model;
+}
+
+void attribute_misses(SpanModel* model, int preferred_path) {
+  for (ChunkTimeline& t : model->spans) {
+    // Derive the costly-path milestones now that the preferred path is
+    // known.
+    t.costly_enabled = false;
+    for (const auto& [path, at] : t.first_enable_by_path) {
+      if (path == preferred_path) continue;
+      if (!t.costly_enabled || at < t.first_costly_enable) {
+        t.first_costly_enable = at;
+        t.costly_enabled = true;
+      }
+    }
+
+    if (!t.missed()) {
+      t.cause = MissCause::kNone;
+      continue;
+    }
+
+    const auto overlaps = [&t](const FaultWindow& w) {
+      return w.start < t.end && w.end > t.start;
+    };
+    bool path_fault = false, server_fault = false;
+    for (const FaultWindow& w : model->faults) {
+      if (!overlaps(w)) continue;
+      (w.server_scoped() ? server_fault : path_fault) = true;
+    }
+
+    // Precedence: an injected link fault is the root cause even when the
+    // recovery stack also burned budget reacting to it; retry backoff
+    // explains the miss when the origin (not the path) misbehaved and
+    // the client kept re-asking; with recovery off that same server
+    // fault is the direct cause; only a fault-free miss can indict the
+    // scheduler, and only a timely scheduler leaves bandwidth to blame.
+    if (path_fault) {
+      t.cause = MissCause::kFaultBlackout;
+    } else if (t.http_timeouts > 0 || t.http_retries > 0 ||
+               t.chunk_retries > 0) {
+      t.cause = MissCause::kRetryBackoff;
+    } else if (server_fault) {
+      t.cause = MissCause::kFaultBlackout;
+    } else if (t.sched_engaged && t.deadline_s > 0.0 &&
+               (!t.costly_enabled ||
+                to_seconds(t.first_costly_enable - t.start) >
+                    0.5 * t.deadline_s)) {
+      t.cause = MissCause::kSchedulerLate;
+    } else if (t.sched_engaged || t.have_bytes) {
+      t.cause = MissCause::kBandwidthShortfall;
+    } else {
+      t.cause = MissCause::kUnknown;
+    }
+  }
+}
+
+std::map<MissCause, int> attribution_counts(const SpanModel& model) {
+  std::map<MissCause, int> counts;
+  for (const MissCause c :
+       {MissCause::kFaultBlackout, MissCause::kRetryBackoff,
+        MissCause::kSchedulerLate, MissCause::kBandwidthShortfall,
+        MissCause::kUnknown}) {
+    counts[c] = 0;
+  }
+  for (const ChunkTimeline& t : model.spans) {
+    if (t.cause != MissCause::kNone) ++counts[t.cause];
+  }
+  return counts;
+}
+
+}  // namespace mpdash

@@ -1,0 +1,118 @@
+#pragma once
+// Span model: reconstructs per-chunk causal timelines from a TraceRecord
+// stream (live from a TraceCollector or loaded from JSONL) and runs the
+// deadline-miss attribution pass — the "why did chunk 42 stall" layer the
+// paper had to hand-correlate from tcpdump + player logs (§6).
+//
+// Every record between a chunk's kSpanStart and kSpanEnd carries the
+// span's id (Telemetry stamps the active span), so a span's causal
+// window is exactly the records that share its id, joined against the
+// trace-global fault windows.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace_sink.h"
+
+namespace mpdash {
+
+// Root cause assigned to a missed deadline / abandoned chunk / stall.
+// Precedence (checked in order) favors external causes over scheduler
+// blame: an injected fault explains a miss even when the scheduler also
+// reacted late to it.
+enum class MissCause : std::uint8_t {
+  kNone = 0,             // span met its deadline
+  kFaultBlackout,        // a scripted path/server fault overlapped the span
+  kRetryBackoff,         // HTTP timeout/retry backoff ate the budget
+  kSchedulerLate,        // Algorithm 1 never (or too late) enabled help
+  kBandwidthShortfall,   // all enabled paths were simply too slow
+  kUnknown,              // missed, but no signal matched (foreign trace)
+};
+
+const char* to_string(MissCause c);
+
+// One injected fault occurrence (kFault start/end pair). An unclosed
+// window extends to the end of the trace.
+struct FaultWindow {
+  const char* kind = nullptr;  // interned fault label ("blackout", ...)
+  int path_id = -1;            // -1 for server-scoped faults
+  TimePoint start = kTimeZero;
+  TimePoint end = kTimeZero;
+  bool closed = false;
+
+  // Server faults stall/reset the HTTP origin rather than a link.
+  bool server_scoped() const { return path_id < 0; }
+};
+
+// Reconstructed life of one causal span (one chunk request, or the
+// manifest fetch).
+struct ChunkTimeline {
+  SpanId span = 0;
+  const char* name = nullptr;    // "chunk" or "manifest"
+  int chunk = -1;
+  int level = -1;                // level at request (retries may downshift)
+  Bytes requested_bytes = 0;
+  double deadline_s = 0.0;       // 0 = no deadline set (non-MP-DASH run)
+  TimePoint start = kTimeZero;
+  TimePoint end = kTimeZero;     // trace end when unclosed
+  const char* status = nullptr;  // "delivered"/"abandoned"/"failed"; null =
+                                 // trace ended mid-flight
+  Bytes delivered_bytes = 0;
+
+  // Milestones (valid when the matching flag/count is set).
+  bool sched_engaged = false;     // Algorithm 1 saw this chunk ("begin")
+  bool sched_missed = false;      // scheduler declared the deadline missed
+  bool costly_enabled = false;    // a non-preferred path was enabled
+                                  // (derived by attribute_misses)
+  TimePoint sched_begin = kTimeZero;
+  TimePoint first_costly_enable = kTimeZero;
+  std::map<int, TimePoint> first_enable_by_path;  // "enable" decisions
+  TimePoint first_byte = kTimeZero;  // first downlink data delivery
+  TimePoint last_byte = kTimeZero;
+  bool have_bytes = false;
+
+  // Per-path downlink payload delivered inside the span.
+  std::map<int, Bytes> bytes_by_path;
+
+  int http_timeouts = 0;
+  int http_retries = 0;
+  double backoff_s = 0.0;   // total scheduled retry backoff
+  int chunk_retries = 0;    // player-level downshift retries
+  int stalls_started = 0;   // playback stalled while this span in flight
+
+  MissCause cause = MissCause::kNone;
+
+  double elapsed_s() const { return to_seconds(end - start); }
+  bool closed() const { return status != nullptr; }
+  // A span counts as a miss when the scheduler said so, when the player
+  // abandoned it, or when a set deadline elapsed before delivery.
+  bool missed() const;
+};
+
+struct SpanModel {
+  std::vector<ChunkTimeline> spans;  // span-id order (allocation order)
+  std::vector<FaultWindow> faults;
+  TimePoint trace_end = kTimeZero;
+  std::size_t records = 0;
+  std::size_t unspanned_records = 0;  // records outside any span
+
+  const ChunkTimeline* find(SpanId id) const;
+};
+
+// First pass: group records by span id, collect fault windows, fill
+// every ChunkTimeline milestone. Does not assign causes.
+SpanModel build_span_model(const std::vector<TraceRecord>& trace);
+
+// Attribution pass: assigns a MissCause to every missed span by walking
+// its causal window against the fault table. `preferred_path` is the
+// path Algorithm 1 keeps always-on (WiFi = 0 everywhere in this repo);
+// other paths are the "costly" set whose late enablement indicts the
+// scheduler.
+void attribute_misses(SpanModel* model, int preferred_path = 0);
+
+// Misses per cause across the model (kNone excluded; zero counts kept).
+std::map<MissCause, int> attribution_counts(const SpanModel& model);
+
+}  // namespace mpdash

@@ -1,0 +1,322 @@
+#include "analysis/trace_load.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <unordered_set>
+
+#include "dash/events.h"
+#include "fault/fault.h"
+
+namespace mpdash {
+
+namespace {
+
+// Every static label an emitter can put into TraceRecord::label. Keeping
+// the loader in the analysis library (above dash and fault) lets it hand
+// back the exact pointers those layers use.
+const char* known_labels(std::string_view s) {
+  for (int i = 0; i <= static_cast<int>(PlayerEventType::kChunkAbandoned);
+       ++i) {
+    const char* name = to_string(static_cast<PlayerEventType>(i));
+    if (s == name) return name;
+  }
+  for (int i = 0; i <= static_cast<int>(FaultKind::kServerReset); ++i) {
+    const char* name = to_string(static_cast<FaultKind>(i));
+    if (s == name) return name;
+  }
+  // Algorithm-1 decision labels (core/deadline_scheduler.cpp).
+  static constexpr const char* kSched[] = {"begin",    "enable", "disable",
+                                           "complete", "miss",   "end"};
+  for (const char* name : kSched) {
+    if (s == name) return name;
+  }
+  // HTTP client lifecycle (http/client.cpp).
+  static constexpr const char* kHttp[] = {"request", "timeout", "retry",
+                                          "response", "giveup"};
+  for (const char* name : kHttp) {
+    if (s == name) return name;
+  }
+  // Span names and close statuses (dash/player.cpp).
+  static constexpr const char* kSpan[] = {"chunk", "manifest", "delivered",
+                                          "abandoned", "failed"};
+  for (const char* name : kSpan) {
+    if (s == name) return name;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* intern_trace_label(std::string_view label) {
+  if (const char* known = known_labels(label)) return known;
+  // Unknown label (e.g. a trace from a newer build): park it in a leaked
+  // pool so the borrowed-pointer contract holds. unordered_set never
+  // moves nodes, so the c_str stays valid for the process lifetime.
+  static std::mutex mu;
+  static std::unordered_set<std::string>* pool =
+      new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  return pool->insert(std::string(label)).first->c_str();
+}
+
+namespace {
+
+// Minimal scanner for the flat JSON objects trace_record_to_json writes:
+// string, number, and boolean values only — no nesting, no arrays.
+struct Scanner {
+  std::string_view in;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) error = msg;
+    return false;
+  }
+  void skip_ws() {
+    while (pos < in.size() &&
+           (in[pos] == ' ' || in[pos] == '\t' || in[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool expect(char c) {
+    skip_ws();
+    if (pos >= in.size() || in[pos] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+  bool peek_is(char c) {
+    skip_ws();
+    return pos < in.size() && in[pos] == c;
+  }
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (pos < in.size() && in[pos] != '"') {
+      char c = in[pos++];
+      if (c == '\\') {
+        if (pos >= in.size()) return fail("dangling escape");
+        const char e = in[pos++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos + 4 > in.size()) return fail("short \\u escape");
+            unsigned code = 0;
+            const auto res = std::from_chars(in.data() + pos,
+                                             in.data() + pos + 4, code, 16);
+            if (res.ec != std::errc() || res.ptr != in.data() + pos + 4) {
+              return fail("bad \\u escape");
+            }
+            pos += 4;
+            // The writer only escapes control chars (< 0x20); anything
+            // else would be foreign input.
+            c = static_cast<char>(code);
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos >= in.size()) return fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+  // Value as (number, is_bool) — strings handled separately by caller.
+  bool parse_number(double* out) {
+    skip_ws();
+    const char* begin = in.data() + pos;
+    const char* end = in.data() + in.size();
+    const auto res = std::from_chars(begin, end, *out);
+    if (res.ec != std::errc()) return fail("bad number");
+    pos = static_cast<std::size_t>(res.ptr - in.data());
+    return true;
+  }
+  bool parse_bool(bool* out) {
+    skip_ws();
+    if (in.compare(pos, 4, "true") == 0) {
+      *out = true;
+      pos += 4;
+      return true;
+    }
+    if (in.compare(pos, 5, "false") == 0) {
+      *out = false;
+      pos += 5;
+      return true;
+    }
+    return fail("bad boolean");
+  }
+};
+
+}  // namespace
+
+bool trace_record_from_json(std::string_view line, TraceRecord* out,
+                            std::string* err) {
+  Scanner s{line, 0, {}};
+  auto fail = [&](const std::string& msg) {
+    if (err) *err = msg.empty() ? s.error : msg;
+    return false;
+  };
+
+  TraceRecord r;
+  std::string type_name;
+  std::string dir, kind, label;
+  bool have_type = false, have_retx = false, retx = false;
+  bool have_phase = false, phase_start = false;
+
+  if (!s.expect('{')) return fail("");
+  bool first = true;
+  while (!s.peek_is('}')) {
+    if (!first && !s.expect(',')) return fail("");
+    first = false;
+    std::string key;
+    if (!s.parse_string(&key)) return fail("");
+    if (!s.expect(':')) return fail("");
+    if (s.peek_is('"')) {
+      std::string val;
+      if (!s.parse_string(&val)) return fail("");
+      if (key == "type") {
+        type_name = val;
+        have_type = true;
+      } else if (key == "dir") {
+        dir = val;  // derived from link id; checked nowhere
+      } else if (key == "kind") {
+        kind = val;
+      } else if (key == "phase") {
+        have_phase = true;
+        phase_start = val == "start";
+      } else if (key == "decision" || key == "event" || key == "fault" ||
+                 key == "name" || key == "status") {
+        label = val;
+      } else {
+        return fail("unknown string key '" + key + "'");
+      }
+      continue;
+    }
+    if (s.peek_is('t') || s.peek_is('f')) {
+      bool val = false;
+      if (!s.parse_bool(&val)) return fail("");
+      if (key == "retx") {
+        have_retx = true;
+        retx = val;
+      } else if (key == "enabled") {
+        r.enabled = val;
+      } else {
+        return fail("unknown boolean key '" + key + "'");
+      }
+      continue;
+    }
+    double num = 0.0;
+    if (!s.parse_number(&num)) return fail("");
+    if (key == "t") {
+      // to_seconds() divides the integer nanosecond count by 1e9; with
+      // shortest-round-trip doubles the rescale is exact for any
+      // session-scale time, so llround restores the count bit-for-bit.
+      r.at = TimePoint(Duration(std::llround(num * 1e9)));
+    } else if (key == "span") {
+      r.span = static_cast<SpanId>(num);
+    } else if (key == "path") {
+      r.path_id = static_cast<int>(num);
+    } else if (key == "link") {
+      r.link_id = static_cast<int>(num);
+    } else if (key == "wire") {
+      r.wire_size = static_cast<Bytes>(num);
+    } else if (key == "payload") {
+      r.payload_len = static_cast<Bytes>(num);
+    } else if (key == "seq") {
+      r.data_seq = static_cast<std::uint64_t>(num);
+    } else if (key == "cwnd") {
+      r.cwnd = num;
+    } else if (key == "ssthresh") {
+      r.ssthresh = num;
+    } else if (key == "srtt_ms") {
+      r.srtt_ms = num;
+    } else if (key == "budget_s") {
+      r.budget_s = num;
+    } else if (key == "deliverable") {
+      r.deliverable_bytes = num;
+    } else if (key == "remaining") {
+      r.remaining_bytes = num;
+    } else if (key == "mask") {
+      r.mask = static_cast<std::uint32_t>(num);
+    } else if (key == "level" || key == "attempt") {
+      r.level = static_cast<int>(num);
+    } else if (key == "chunk") {
+      r.chunk = static_cast<int>(num);
+    } else if (key == "bytes") {
+      r.bytes = static_cast<Bytes>(num);
+    } else if (key == "value" || key == "deadline_s" || key == "elapsed_s") {
+      r.value = num;
+    } else {
+      return fail("unknown numeric key '" + key + "'");
+    }
+  }
+  if (!s.expect('}')) return fail("");
+
+  if (!have_type) return fail("record has no type");
+  bool matched = false;
+  for (int i = 0; i < kTraceTypeCount; ++i) {
+    if (type_name == to_string(static_cast<TraceType>(i))) {
+      r.type = static_cast<TraceType>(i);
+      matched = true;
+      break;
+    }
+  }
+  if (!matched) return fail("unknown record type '" + type_name + "'");
+
+  if (r.is_packet()) {
+    r.kind = kind == "ack" ? PacketKind::kAck : PacketKind::kData;
+    r.retransmit = have_retx && retx;
+  }
+  if (r.type == TraceType::kFault && have_phase) r.enabled = phase_start;
+  if (!label.empty()) r.label = intern_trace_label(label);
+
+  *out = r;
+  return true;
+}
+
+bool load_trace_jsonl(const std::string& path, std::vector<TraceRecord>* out,
+                      std::string* err) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    if (err) *err = "cannot open " + path;
+    return false;
+  }
+  std::string content;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+
+  std::size_t line_no = 0, pos = 0;
+  while (pos < content.size()) {
+    std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) nl = content.size();
+    const std::string_view line(content.data() + pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    TraceRecord r;
+    std::string line_err;
+    if (!trace_record_from_json(line, &r, &line_err)) {
+      if (err) {
+        *err = path + ":" + std::to_string(line_no) + ": " + line_err;
+      }
+      return false;
+    }
+    out->push_back(std::move(r));
+  }
+  return true;
+}
+
+}  // namespace mpdash

@@ -1,0 +1,37 @@
+#pragma once
+// JSONL trace loader: the inverse of trace_record_to_json. mpdash_trace
+// consumes files written by `mpdash_sim --trace` (JsonlSink), so every
+// field the writer emits must parse back to an identical TraceRecord —
+// the round-trip is pinned by tests/trace_roundtrip_test.
+//
+// One asymmetry by design: packet payload `segments` never serialize
+// (JsonlSink summarizes payload by length), so loaded records always
+// have empty segments.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/trace_sink.h"
+
+namespace mpdash {
+
+// Maps a label string back to static storage: known label tables (player
+// events, fault kinds, scheduler decisions, HTTP events, span names and
+// statuses) return the same pointers the emitters used; unknown labels
+// are interned into a process-lifetime pool so TraceRecord::label stays
+// a borrowed pointer either way.
+const char* intern_trace_label(std::string_view label);
+
+// Parses one JSON object (a line of a trace file) into *out. Returns
+// false and describes the problem in *err (when non-null) on malformed
+// input or an unknown record type.
+bool trace_record_from_json(std::string_view line, TraceRecord* out,
+                            std::string* err = nullptr);
+
+// Loads a whole JSONL trace file, skipping blank lines. On failure
+// returns false with *err naming the offending line.
+bool load_trace_jsonl(const std::string& path, std::vector<TraceRecord>* out,
+                      std::string* err = nullptr);
+
+}  // namespace mpdash

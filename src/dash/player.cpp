@@ -22,6 +22,8 @@ DashPlayer::~DashPlayer() {
 }
 
 void DashPlayer::start() {
+  activate_span(&manifest_span_);
+  open_span_record(manifest_span_, "manifest", -1, -1, 0, 0.0);
   client_.get(manifest_url(),
               [this](const HttpTransfer& t) { on_manifest(t); });
 }
@@ -35,6 +37,7 @@ void DashPlayer::on_manifest(const HttpTransfer& transfer) {
                   [this](const HttpTransfer& t) { on_manifest(t); });
       return;
     }
+    close_span(&manifest_span_, "failed", -1, -1, 0);
     manifest_failed_ = true;
     done_ = true;
     log(PlayerEventType::kPlaybackDone);
@@ -44,6 +47,7 @@ void DashPlayer::on_manifest(const HttpTransfer& transfer) {
   if (transfer.response.status != 200) {
     throw std::runtime_error("manifest fetch failed");
   }
+  close_span(&manifest_span_, "delivered", -1, -1, transfer.body_bytes);
   video_ = video_from_manifest(transfer.body);
   buffer_.emplace(config_.buffer_capacity);
   sample_timer_ = loop_.schedule_in(config_.buffer_sample_interval,
@@ -96,6 +100,11 @@ void DashPlayer::fetch_next_chunk() {
     return;
   }
 
+  // Activate the span before level selection so the kQualitySwitch,
+  // kChunkRequest, and Algorithm-1 "begin" records it triggers are all
+  // stamped with this chunk's id.
+  activate_span(&chunk_span_);
+
   AdaptationView view = make_view();
   int level = adaptation_.select_level(view);
   level = std::clamp(level, 0, video_->highest_level());
@@ -114,6 +123,8 @@ void DashPlayer::fetch_next_chunk() {
 
   log(PlayerEventType::kChunkRequest, level, next_chunk_, size,
       pending_deadline_ ? to_seconds(*pending_deadline_) : 0.0);
+  open_span_record(chunk_span_, "chunk", level, next_chunk_, size,
+                   pending_deadline_ ? to_seconds(*pending_deadline_) : 0.0);
 
   client_.get(chunk_url(level, next_chunk_),
               [this](const HttpTransfer& t) { on_chunk_done(t); });
@@ -133,6 +144,7 @@ void DashPlayer::on_chunk_done(const HttpTransfer& transfer) {
   ChunkRecord rec;
   rec.chunk = next_chunk_;
   rec.level = pending_level_;
+  rec.span = chunk_span_;
   rec.bytes = transfer.body_bytes;
   rec.requested = pending_request_time_;
   rec.completed = now;
@@ -164,6 +176,11 @@ void DashPlayer::on_chunk_done(const HttpTransfer& transfer) {
         to_seconds(now - stall_started_));
   }
   arm_depletion_watch();
+  // next_chunk_ already advanced; close the span under the chunk number
+  // it served. Stall-end above stays inside the span: the stall ended
+  // because this chunk landed.
+  close_span(&chunk_span_, "delivered", last_level_, next_chunk_ - 1,
+             transfer.body_bytes);
   fetch_next_chunk();
 }
 
@@ -191,6 +208,7 @@ void DashPlayer::abandon_chunk() {
   // the session as a whole survives. Playback will skip the gap.
   ++chunks_abandoned_;
   log(PlayerEventType::kChunkAbandoned, pending_level_, next_chunk_);
+  close_span(&chunk_span_, "abandoned", pending_level_, next_chunk_, 0);
   fetch_attempt_ = 0;
   ++next_chunk_;
   if (hooks_) hooks_->on_chunk_complete(make_view());
@@ -291,6 +309,46 @@ void DashPlayer::set_telemetry(Telemetry* telemetry) {
   chunks_counter_ = m.counter("player.chunks");
   retries_counter_ = m.counter("player.chunk_retries");
   abandoned_counter_ = m.counter("player.chunks_abandoned");
+}
+
+void DashPlayer::activate_span(std::uint64_t* slot) {
+  if (!telemetry_ || !telemetry_->tracing()) return;
+  *slot = telemetry_->open_span();
+  span_opened_ = loop_.now();
+  telemetry_->set_active_span(*slot);
+}
+
+void DashPlayer::open_span_record(std::uint64_t id, const char* name,
+                                  int level, int chunk, Bytes bytes,
+                                  double deadline_s) {
+  if (id == 0) return;
+  TraceRecord r;
+  r.at = loop_.now();
+  r.type = TraceType::kSpanStart;
+  r.span = id;
+  r.label = name;
+  r.level = level;
+  r.chunk = chunk;
+  r.bytes = bytes;
+  r.value = deadline_s;
+  telemetry_->emit(r);
+}
+
+void DashPlayer::close_span(std::uint64_t* slot, const char* status,
+                            int level, int chunk, Bytes bytes) {
+  if (*slot == 0) return;
+  TraceRecord r;
+  r.at = loop_.now();
+  r.type = TraceType::kSpanEnd;
+  r.span = *slot;
+  r.label = status;
+  r.level = level;
+  r.chunk = chunk;
+  r.bytes = bytes;
+  r.value = to_seconds(loop_.now() - span_opened_);
+  telemetry_->emit(r);
+  telemetry_->set_active_span(0);
+  *slot = 0;
 }
 
 void DashPlayer::log(PlayerEventType type, int level, int chunk, Bytes bytes,

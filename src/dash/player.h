@@ -64,6 +64,7 @@ struct PlayerConfig {
 struct ChunkRecord {
   int chunk = 0;
   int level = 0;
+  std::uint64_t span = 0;  // causal span id (0 when tracing was off)
   Bytes bytes = 0;
   TimePoint requested = kTimeZero;
   TimePoint completed = kTimeZero;
@@ -120,6 +121,15 @@ class DashPlayer {
   void log(PlayerEventType type, int level = -1, int chunk = -1,
            Bytes bytes = 0, double extra = 0.0);
   void finish();
+  // Span lifecycle: one causal span per chunk request (and one for the
+  // manifest). open_span_record emits kSpanStart for an already-activated
+  // id; close_span emits kSpanEnd and deactivates. Retries stay inside
+  // the span that opened the request.
+  void activate_span(std::uint64_t* slot);
+  void open_span_record(std::uint64_t id, const char* name, int level,
+                        int chunk, Bytes bytes, double deadline_s);
+  void close_span(std::uint64_t* slot, const char* status, int level,
+                  int chunk, Bytes bytes);
 
   EventLoop& loop_;
   HttpClient& client_;
@@ -146,6 +156,9 @@ class DashPlayer {
   std::optional<Duration> pending_deadline_;
   TimePoint pending_request_time_ = kTimeZero;
   int pending_level_ = 0;
+  std::uint64_t manifest_span_ = 0;
+  std::uint64_t chunk_span_ = 0;
+  TimePoint span_opened_ = kTimeZero;  // spans never overlap; one clock
 
   EventId fetch_timer_;
   EventId depletion_timer_;

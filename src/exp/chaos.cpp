@@ -1,9 +1,39 @@
 #include "exp/chaos.h"
 
 #include <cstdio>
+#include <memory>
 #include <utility>
 
 namespace mpdash {
+
+const char kChaosSeriesHeader[] =
+    "seed,time_s,buffer_s,level,stalls,chunks,wifi_bytes,cell_bytes,"
+    "cell_share\n";
+
+std::string qoe_series_csv(const MetricsTimeline& timeline,
+                           std::uint64_t seed) {
+  std::string out;
+  char buf[256];
+  for (const MetricsSnapshot& s : timeline.snapshots()) {
+    auto val = [&s](const char* name) {
+      const MetricValue* v = s.find(name);
+      return v ? v->value : 0.0;
+    };
+    const double wifi = val("link.wifi.down.delivered_bytes") +
+                        val("link.wifi.up.delivered_bytes");
+    const double cell = val("link.lte.down.delivered_bytes") +
+                        val("link.lte.up.delivered_bytes");
+    const double total = wifi + cell;
+    std::snprintf(buf, sizeof buf,
+                  "%llu,%.3f,%.6f,%.0f,%.0f,%.0f,%.0f,%.0f,%.6f\n",
+                  static_cast<unsigned long long>(seed), to_seconds(s.at),
+                  val("player.buffer_s"), val("player.level"),
+                  val("player.stalls"), val("player.chunks"), wifi, cell,
+                  total > 0.0 ? cell / total : 0.0);
+    out += buf;
+  }
+  return out;
+}
 
 std::string ChaosRunResult::fingerprint() const {
   char buf[256];
@@ -123,7 +153,35 @@ ChaosRunResult run_one(const ChaosConfig& cfg, const Video& video,
   scfg.telemetry = &ctx.telemetry;
   scfg.faults = &plan;
 
+  MetricsTimeline timeline;
+  if (cfg.series_interval > kDurationZero) {
+    scfg.metrics = &timeline;
+    scfg.metrics_interval = cfg.series_interval;
+  }
+
+  // Per-run trace capture: sinks attach to the run-private telemetry, so
+  // any --jobs interleaving writes each file from exactly one thread.
+  std::unique_ptr<JsonlSink> jsonl;
+  std::unique_ptr<TypeFilterSink> filter;
+  if (!cfg.trace_path.empty()) {
+    std::string path = cfg.trace_path;
+    if (cfg.seed_count > 1) path += "." + std::to_string(ctx.seed);
+    jsonl = std::make_unique<JsonlSink>(path);
+    if (cfg.trace_types != ~0u) {
+      filter = std::make_unique<TypeFilterSink>(jsonl.get(), cfg.trace_types);
+      ctx.telemetry.add_sink(filter.get());
+    } else {
+      ctx.telemetry.add_sink(jsonl.get());
+    }
+  }
+
   const SessionResult res = run_streaming_session(scenario, video, scfg);
+
+  if (filter) {
+    ctx.telemetry.remove_sink(filter.get());
+  } else if (jsonl) {
+    ctx.telemetry.remove_sink(jsonl.get());
+  }
 
   ChaosRunResult out;
   out.seed = ctx.seed;
@@ -142,6 +200,9 @@ ChaosRunResult run_one(const ChaosConfig& cfg, const Video& video,
   out.faults_skipped = res.faults_skipped;
   out.manifest_failed = res.manifest_failed;
   out.violations = check_chaos_invariants(res, video.chunk_count());
+  if (cfg.series_interval > kDurationZero) {
+    out.series_csv = qoe_series_csv(timeline, ctx.seed);
+  }
 
   // Telemetry-consistency invariants: counters must agree with the result
   // struct (an instrumentation site drifting from the source of truth is a
@@ -161,6 +222,8 @@ ChaosRunResult run_one(const ChaosConfig& cfg, const Video& video,
   counter_is("player.chunk_retries", res.chunk_retries, "result retries");
   counter_is("player.stalls", res.stalls, "result stalls");
   counter_is("fault.injected", res.faults_started, "faults started");
+  counter_is("http.timeouts", res.http_timeouts, "result http timeouts");
+  counter_is("http.retries", res.http_retries, "result http retries");
   const double sf = m.counter("mptcp.subflow_failures").value() +
                     m.counter("mptcp.client.subflow_failures").value();
   if (sf != res.subflow_failures) {

@@ -41,6 +41,15 @@ struct ChaosConfig {
   Duration time_limit = seconds(600.0);
   // Recovery stack on/off (off demonstrates why it exists: hung sessions).
   bool recovery = true;
+  // Per-run metrics time-series cadence; zero disables sampling. The
+  // snapshotter only reads the registry, so series runs keep the same
+  // digest as bare runs.
+  Duration series_interval = kDurationZero;
+  // Per-run JSONL trace capture; empty disables. With more than one seed
+  // each run writes `<trace_path>.<seed>`. `trace_types` filters the
+  // stream (parse_trace_types mask; default = everything).
+  std::string trace_path;
+  std::uint32_t trace_types = ~0u;
   std::FILE* progress = stderr;  // nullptr silences the runner
 };
 
@@ -61,6 +70,9 @@ struct ChaosRunResult {
   int faults_skipped = 0;
   bool manifest_failed = false;
   std::vector<std::string> violations;  // empty = all invariants hold
+  // Per-run QoE/byte-share time series (kChaosSeriesHeader rows, no
+  // header); empty unless ChaosConfig::series_interval > 0.
+  std::string series_csv;
 
   bool ok() const { return violations.empty(); }
   // Deterministic one-line digest of everything observable; the jobs-N
@@ -93,6 +105,15 @@ ScenarioConfig chaos_scenario_config(std::uint64_t run_seed);
 
 // The synthetic chaos video for `cfg.chunk_count` chunks.
 Video chaos_video(const ChaosConfig& cfg);
+
+// Column header for qoe_series_csv rows (includes the trailing newline).
+extern const char kChaosSeriesHeader[];
+
+// Flattens a sampled MetricsTimeline into QoE/byte-share CSV rows, one
+// per snapshot, each prefixed with `seed` so campaign-level aggregation
+// stays unambiguous.
+std::string qoe_series_csv(const MetricsTimeline& timeline,
+                           std::uint64_t seed);
 
 ChaosCampaignResult run_chaos_campaign(const ChaosConfig& cfg);
 

@@ -13,6 +13,7 @@
 #include "fault/injector.h"
 #include "http/client.h"
 #include "mptcp/connection.h"
+#include "sim/snapshotter.h"
 
 namespace mpdash {
 
@@ -104,37 +105,6 @@ class EnergyProbe {
   Counters prev_;
 };
 
-// Appends registry snapshots to a timeline on a fixed cadence. Note this
-// schedules events of its own, so metrics-timeline runs are not
-// event-count-identical to bare runs (passive sinks are; see the
-// determinism test).
-class MetricsProbe {
- public:
-  MetricsProbe(EventLoop& loop, Telemetry& telemetry, MetricsTimeline& out,
-               Duration interval, const bool& done)
-      : loop_(loop),
-        telemetry_(telemetry),
-        out_(out),
-        interval_(interval),
-        done_(done) {
-    arm();
-  }
-
- private:
-  void arm() {
-    loop_.schedule_in(interval_, [this] {
-      out_.record(telemetry_.metrics().snapshot(loop_.now()));
-      if (!done_) arm();
-    });
-  }
-
-  EventLoop& loop_;
-  Telemetry& telemetry_;
-  MetricsTimeline& out_;
-  Duration interval_;
-  const bool& done_;
-};
-
 }  // namespace
 
 SessionResult run_streaming_session(Scenario& scenario, const Video& video,
@@ -170,6 +140,7 @@ SessionResult run_streaming_session(Scenario& scenario, const Video& video,
 
   DashServer server(conn.server(), video);
   HttpClient client(loop, conn.client(), config.http_recovery);
+  if (telemetry) client.set_telemetry(telemetry);
 
   std::unique_ptr<FaultInjector> injector;
   if (config.faults && !config.faults->empty()) {
@@ -208,9 +179,9 @@ SessionResult run_streaming_session(Scenario& scenario, const Video& video,
   bool done = false;
   player.set_done_callback([&done] { done = true; });
   EnergyProbe probe(scenario, done);
-  std::unique_ptr<MetricsProbe> metrics_probe;
+  std::unique_ptr<MetricsSnapshotter> snapshotter;
   if (telemetry && config.metrics) {
-    metrics_probe = std::make_unique<MetricsProbe>(
+    snapshotter = std::make_unique<MetricsSnapshotter>(
         loop, *telemetry, *config.metrics, config.metrics_interval, done);
   }
 
@@ -320,6 +291,7 @@ DownloadResult run_download_session(Scenario& scenario,
     return resp;
   });
   HttpClient client(loop, conn.client());
+  if (config.telemetry) client.set_telemetry(config.telemetry);
 
   std::unique_ptr<MpDashSocket> socket;
   if (config.use_mpdash) {

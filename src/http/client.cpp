@@ -70,6 +70,8 @@ HttpClient::HttpClient(EventLoop& loop, MptcpEndpoint& endpoint,
                         // it fires against the *next* queued request.
                         loop_.cancel(retry_timer_);
                         retry_timer_ = EventId{};
+                        emit_http("response", attempt_,
+                                  static_cast<double>(current_.body_bytes));
                         current_.completed = loop_.now();
                         current_.retries = attempt_;
                         attempt_ = 0;
@@ -136,12 +138,38 @@ void HttpClient::send_attempt() {
     timeout_timer_ =
         loop_.schedule_in(config_.request_timeout, [this] { on_timeout(); });
   }
+  emit_http("request", attempt_, 0.0);
   endpoint_.send(req.to_wire());
+}
+
+void HttpClient::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (!telemetry_) {
+    timeouts_counter_ = Counter{};
+    retries_counter_ = Counter{};
+    return;
+  }
+  MetricsRegistry& m = telemetry_->metrics();
+  timeouts_counter_ = m.counter("http.timeouts");
+  retries_counter_ = m.counter("http.retries");
+}
+
+void HttpClient::emit_http(const char* event, int attempt, double value) {
+  if (!telemetry_ || !telemetry_->tracing()) return;
+  TraceRecord r;
+  r.at = loop_.now();
+  r.type = TraceType::kHttp;
+  r.label = event;
+  r.level = attempt;
+  r.value = value;
+  telemetry_->emit(r);
 }
 
 void HttpClient::on_timeout() {
   timeout_timer_ = EventId{};
   ++timeouts_;
+  if (telemetry_) timeouts_counter_.increment();
+  emit_http("timeout", attempt_, to_seconds(config_.request_timeout));
   if (attempt_ >= config_.max_retries) {
     complete_with_error(TransferError::kTimeout);
     return;
@@ -151,6 +179,8 @@ void HttpClient::on_timeout() {
   const Duration delay = backoff_delay(attempt_);
   ++attempt_;
   ++retries_sent_;
+  if (telemetry_) retries_counter_.increment();
+  emit_http("retry", attempt_, to_seconds(delay));
   retry_timer_ = loop_.schedule_in(delay, [this] {
     retry_timer_ = EventId{};
     send_attempt();
@@ -175,6 +205,7 @@ void HttpClient::complete_with_error(TransferError error) {
   loop_.cancel(retry_timer_);
   timeout_timer_ = EventId{};
   retry_timer_ = EventId{};
+  emit_http("giveup", attempt_, static_cast<double>(error));
   current_.completed = loop_.now();
   current_.retries = attempt_;
   current_.error = error;

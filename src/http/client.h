@@ -88,6 +88,10 @@ class HttpClient {
   std::size_t retries_sent() const { return retries_sent_; }
   const HttpClientConfig& config() const { return config_; }
 
+  // Registers `http.*` counters and emits kHttp lifecycle records
+  // (request/timeout/retry/response/giveup). nullptr detaches.
+  void set_telemetry(Telemetry* telemetry);
+
  private:
   struct Pending {
     std::string target;
@@ -101,6 +105,7 @@ class HttpClient {
   void on_timeout();
   void complete_with_error(TransferError error);
   Duration backoff_delay(int attempt);
+  void emit_http(const char* event, int attempt, double value);
 
   EventLoop& loop_;
   MptcpEndpoint& endpoint_;
@@ -121,6 +126,10 @@ class HttpClient {
   Rng jitter_rng_;
   std::size_t timeouts_ = 0;
   std::size_t retries_sent_ = 0;
+
+  Telemetry* telemetry_ = nullptr;
+  Counter timeouts_counter_;
+  Counter retries_counter_;
 };
 
 }  // namespace mpdash

@@ -35,6 +35,7 @@ void Link::emit_packet(TraceType type, const Packet& p) const {
   TraceRecord r;
   r.at = loop_.now();
   r.type = type;
+  r.span = p.span;
   r.path_id = p.path_id;
   r.link_id = config_.id;
   r.kind = p.kind;

@@ -30,6 +30,10 @@ struct Packet {
   std::uint64_t id = 0;  // unique within one simulation (EventLoop-issued)
   PacketKind kind = PacketKind::kData;
   int path_id = -1;
+  // Causal span of the chunk request this packet serves (0 = none).
+  // Stamped at send time so delivery/drop records attribute to the span
+  // that queued the bytes, not whichever span is active when they land.
+  std::uint64_t span = 0;
 
   Bytes wire_size = 0;  // headers + payload, what the link serializes
 

@@ -79,8 +79,11 @@ void SubflowSender::send_data(std::uint64_t data_seq, Bytes len,
   }
   last_send_ = loop_.now();
   const std::uint64_t seq = next_seq_++;
+  // Retransmits reuse this SentPacket, so the span sticks to the chunk
+  // request that originally queued the bytes.
+  const std::uint64_t span = telemetry_ ? telemetry_->active_span() : 0;
   auto [it, inserted] = inflight_.emplace(
-      seq, SentPacket{data_seq, len, std::move(segments), loop_.now()});
+      seq, SentPacket{data_seq, len, std::move(segments), loop_.now(), span});
   assert(inserted);
   transmit_packet(seq, it->second, /*retransmit=*/false);
   bytes_sent_ += len;
@@ -93,6 +96,7 @@ void SubflowSender::transmit_packet(std::uint64_t subflow_seq,
   p.id = loop_.allocate_id();
   p.kind = PacketKind::kData;
   p.path_id = config_.path_id;
+  p.span = sp.span;
   p.subflow_seq = subflow_seq;
   p.data_seq = sp.data_seq;
   p.payload_len = sp.payload_len;

@@ -104,6 +104,7 @@ class SubflowSender {
     Bytes payload_len;
     std::vector<SegmentRef> segments;
     TimePoint sent_at;
+    std::uint64_t span = 0;  // chunk span active at first transmission
     int sacked_above = 0;   // acks seen for higher sequence numbers
     bool retransmitted = false;
   };

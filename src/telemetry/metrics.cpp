@@ -77,24 +77,61 @@ Histogram MetricsRegistry::histogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot(TimePoint at) const {
+  // index_ is name-ordered, making snapshots stable across runs; the
+  // flat cache only memoizes that order between registrations.
+  if (ordered_.size() != slots_.size()) {
+    ordered_.clear();
+    ordered_.reserve(slots_.size());
+    for (const auto& [name, s] : index_) ordered_.push_back(s);
+  }
   MetricsSnapshot snap;
   snap.at = at;
-  snap.values.reserve(slots_.size());
-  // index_ is name-ordered, making snapshots stable across runs.
-  for (const auto& [name, s] : index_) {
-    MetricValue v;
-    v.name = s->name;
-    v.kind = s->kind;
-    v.value = s->value;
-    v.bounds = s->bounds;
-    v.bucket_counts = s->bucket_counts;
-    v.count = s->count;
-    v.sum = s->sum;
-    v.min = s->min;
-    v.max = s->max;
-    snap.values.push_back(std::move(v));
+  snap.values.reserve(ordered_.size());
+  for (const detail::MetricSlot* s : ordered_) {
+    snap.values.emplace_back(MetricValue{s->name, s->kind, s->value, s->bounds,
+                                         s->bucket_counts, s->count, s->sum,
+                                         s->min, s->max});
   }
   return snap;
+}
+
+void MetricsTimeline::record(MetricsSnapshot snap) {
+  bool fast = snap.values.size() == last_.size();
+  if (fast) {
+    for (std::size_t i = 0; i < snap.values.size(); ++i) {
+      if (snap.values[i].name.data() != last_[i].first ||
+          snap.values[i].name != *last_[i].second) {
+        fast = false;
+        break;
+      }
+    }
+  }
+  if (fast) {
+    for (std::size_t i = 0; i < snap.values.size(); ++i) {
+      snap.values[i].name = *last_[i].second;
+    }
+  } else {
+    last_.clear();
+    last_.reserve(snap.values.size());
+    for (MetricValue& v : snap.values) {
+      // The content check guards against address reuse (a new registry
+      // allocating a slot where an old one died): re-intern whenever the
+      // cached copy drifts.
+      std::string& owned = names_[static_cast<const void*>(v.name.data())];
+      if (owned != v.name) owned.assign(v.name);
+      last_.emplace_back(v.name.data(), &owned);
+      v.name = owned;
+    }
+  }
+  snapshots_.push_back(std::move(snap));
+}
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      values.begin(), values.end(), name,
+      [](const MetricValue& v, std::string_view n) { return v.name < n; });
+  if (it == values.end() || it->name != name) return nullptr;
+  return &*it;
 }
 
 namespace {
@@ -140,7 +177,7 @@ std::string MetricsSnapshot::to_json() const {
 
 std::string MetricsTimeline::to_csv() const {
   std::string out = "time_s,metric,value\n";
-  auto row = [&out](double t, const std::string& name, double value) {
+  auto row = [&out](double t, std::string_view name, double value) {
     out += fmt_double(t);
     out += ',';
     out += name;
@@ -152,12 +189,13 @@ std::string MetricsTimeline::to_csv() const {
     const double t = to_seconds(snap.at);
     for (const auto& v : snap.values) {
       if (v.kind == MetricKind::kHistogram) {
-        row(t, v.name + ".count", static_cast<double>(v.count));
-        row(t, v.name + ".sum", v.sum);
+        const std::string base(v.name);
+        row(t, base + ".count", static_cast<double>(v.count));
+        row(t, base + ".sum", v.sum);
         if (v.count > 0) {
-          row(t, v.name + ".mean", v.sum / static_cast<double>(v.count));
-          row(t, v.name + ".min", v.min);
-          row(t, v.name + ".max", v.max);
+          row(t, base + ".mean", v.sum / static_cast<double>(v.count));
+          row(t, base + ".min", v.min);
+          row(t, base + ".max", v.max);
         }
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < v.bucket_counts.size(); ++i) {
@@ -165,7 +203,7 @@ std::string MetricsTimeline::to_csv() const {
           const std::string suffix =
               i < v.bounds.size() ? ".le_" + fmt_double(v.bounds[i])
                                   : std::string(".le_inf");
-          row(t, v.name + suffix, static_cast<double>(cumulative));
+          row(t, base + suffix, static_cast<double>(cumulative));
         }
       } else {
         row(t, v.name, v.value);

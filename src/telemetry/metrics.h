@@ -100,7 +100,14 @@ class Histogram {
 
 // One metric's state at snapshot time.
 struct MetricValue {
-  std::string name;
+  // Views the registry's slot name (slots have stable addresses and names
+  // never mutate after registration), so sampling on a tight cadence does
+  // not allocate one string per metric per snapshot. A raw snapshot must
+  // not outlive the registry it was taken from; MetricsTimeline::record
+  // re-points names into storage the timeline owns, so recorded
+  // snapshots may outlive the registry (sessions tear their private
+  // Telemetry down before the caller reads the series).
+  std::string_view name;
   MetricKind kind = MetricKind::kCounter;
   double value = 0.0;                        // counter total / gauge level
   std::vector<double> bounds;                // histogram only
@@ -114,6 +121,9 @@ struct MetricValue {
 struct MetricsSnapshot {
   TimePoint at = kTimeZero;
   std::vector<MetricValue> values;  // sorted by name
+
+  // Binary search by name (values are sorted); nullptr when absent.
+  const MetricValue* find(std::string_view name) const;
 
   std::string to_json() const;
 };
@@ -136,12 +146,19 @@ class MetricsRegistry {
 
   std::deque<detail::MetricSlot> slots_;  // deque: stable addresses
   std::map<std::string, detail::MetricSlot*, std::less<>> index_;
+  // Name-ordered slot pointers, rebuilt lazily when registrations change;
+  // lets the snapshotter walk a contiguous array instead of map nodes.
+  mutable std::vector<const detail::MetricSlot*> ordered_;
 };
 
-// Accumulates snapshots over a run for time-series export.
+// Accumulates snapshots over a run for time-series export. Recording
+// interns every metric name into timeline-owned storage (keyed by the
+// registry slot's stable address, so steady-state sampling does one
+// pointer-keyed lookup per metric instead of a string allocation), which
+// lets the series be read after the registry that produced it is gone.
 class MetricsTimeline {
  public:
-  void record(MetricsSnapshot snap) { snapshots_.push_back(std::move(snap)); }
+  void record(MetricsSnapshot snap);
   const std::vector<MetricsSnapshot>& snapshots() const { return snapshots_; }
   bool empty() const { return snapshots_.empty(); }
 
@@ -152,6 +169,12 @@ class MetricsTimeline {
 
  private:
   std::vector<MetricsSnapshot> snapshots_;
+  // node-based: interned strings keep stable addresses as the map grows
+  std::map<const void*, std::string> names_;
+  // Steady-state fast path: one registry feeds a timeline, so successive
+  // snapshots carry the same slot-name pointers in the same order and a
+  // single sweep of pointer+content checks replaces the map lookups.
+  std::vector<std::pair<const char*, const std::string*>> last_;
 };
 
 }  // namespace mpdash

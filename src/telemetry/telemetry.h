@@ -30,14 +30,27 @@ class Telemetry {
   void set_capture_payload(bool on) { capture_payload_ = on; }
   bool capture_payload() const { return capture_payload_; }
 
-  void emit(const TraceRecord& r) {
+  // Span bookkeeping: the player opens one span per chunk request and
+  // marks it active; emit() stamps the active id onto every record that
+  // does not already carry one. Pure bookkeeping — allocation and
+  // stamping never feed back into simulation state, so runs stay bitwise
+  // identical with spans on or off.
+  SpanId open_span() { return next_span_id_++; }
+  void set_active_span(SpanId id) { active_span_ = id; }
+  SpanId active_span() const { return active_span_; }
+
+  void emit(TraceRecord& r) {
+    if (r.span == 0) r.span = active_span_;
     for (TraceSink* s : sinks_) s->on_record(r);
   }
+  void emit(TraceRecord&& r) { emit(r); }
 
  private:
   MetricsRegistry metrics_;
   std::vector<TraceSink*> sinks_;
   bool capture_payload_ = false;
+  SpanId next_span_id_ = 1;
+  SpanId active_span_ = 0;
 };
 
 }  // namespace mpdash

@@ -1,6 +1,8 @@
 #include "telemetry/trace_sink.h"
 
+#include <charconv>
 #include <cstdio>
+#include <cstring>
 
 namespace mpdash {
 
@@ -14,8 +16,35 @@ const char* to_string(TraceType t) {
     case TraceType::kPathMask: return "path_mask";
     case TraceType::kPlayer: return "player";
     case TraceType::kFault: return "fault";
+    case TraceType::kHttp: return "http";
+    case TraceType::kSpanStart: return "span_start";
+    case TraceType::kSpanEnd: return "span_end";
   }
   return "unknown";
+}
+
+bool parse_trace_types(std::string_view spec, std::uint32_t* mask) {
+  std::uint32_t out = 0;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view name = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view()
+                                           : spec.substr(comma + 1);
+    while (!name.empty() && name.front() == ' ') name.remove_prefix(1);
+    while (!name.empty() && name.back() == ' ') name.remove_suffix(1);
+    if (name.empty()) continue;
+    bool found = false;
+    for (int i = 0; i < kTraceTypeCount; ++i) {
+      if (name == to_string(static_cast<TraceType>(i))) {
+        out |= 1u << static_cast<unsigned>(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  *mask = out;
+  return true;
 }
 
 RingBufferSink::RingBufferSink(std::size_t capacity)
@@ -75,10 +104,12 @@ std::string json_escape(std::string_view s) {
 
 namespace {
 
+// Shortest decimal string that parses back to exactly `v`, so the JSONL
+// loader (src/analysis/trace_load) round-trips every double bit-for-bit.
 std::string fmt_double(double v) {
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%g", v);
-  return buf;
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
 }
 
 }  // namespace
@@ -99,6 +130,7 @@ std::string trace_record_to_json(const TraceRecord& r) {
     out += "\":";
     out += std::to_string(v);
   };
+  if (r.span != 0) integer("span", static_cast<std::int64_t>(r.span));
   if (r.path_id >= 0) integer("path", r.path_id);
   switch (r.type) {
     case TraceType::kPacketSend:
@@ -152,6 +184,31 @@ std::string trace_record_to_json(const TraceRecord& r) {
       out += r.enabled ? "start" : "end";
       out += '"';
       num("value", r.value);
+      break;
+    case TraceType::kHttp:
+      if (r.label) {
+        out += ",\"event\":\"" + json_escape(r.label) + '"';
+      }
+      if (r.level >= 0) integer("attempt", r.level);
+      num("value", r.value);
+      break;
+    case TraceType::kSpanStart:
+      if (r.label) {
+        out += ",\"name\":\"" + json_escape(r.label) + '"';
+      }
+      if (r.level >= 0) integer("level", r.level);
+      if (r.chunk >= 0) integer("chunk", r.chunk);
+      if (r.bytes > 0) integer("bytes", r.bytes);
+      num("deadline_s", r.value);
+      break;
+    case TraceType::kSpanEnd:
+      if (r.label) {
+        out += ",\"status\":\"" + json_escape(r.label) + '"';
+      }
+      if (r.level >= 0) integer("level", r.level);
+      if (r.chunk >= 0) integer("chunk", r.chunk);
+      if (r.bytes > 0) integer("bytes", r.bytes);
+      num("elapsed_s", r.value);
       break;
   }
   out += '}';

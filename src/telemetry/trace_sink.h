@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "link/packet.h"
@@ -35,13 +36,33 @@ enum class TraceType : std::uint8_t {
   kPlayer,         // bridged DASH player event
   kFault,          // fault-injection event (label = fault kind, value =
                    // parameter; path_id when link-scoped)
+  kHttp,           // HTTP client lifecycle (label = request/timeout/retry/
+                   // response/giveup; level = attempt number)
+  kSpanStart,      // causal span opened (label = span name, chunk/level/
+                   // bytes describe the request, value = deadline seconds)
+  kSpanEnd,        // causal span closed (label = outcome, value = elapsed
+                   // seconds from span start)
 };
 
+inline constexpr int kTraceTypeCount = 11;
+
 const char* to_string(TraceType t);
+
+// Parses a comma-separated list of trace-type names ("packet_send,fault",
+// the strings to_string() produces) into a bitmask of (1u << type).
+// Returns false and leaves *mask untouched on an unknown name.
+bool parse_trace_types(std::string_view spec, std::uint32_t* mask);
+
+// A span id is a chunk-scoped causality key: every record emitted while a
+// chunk request is in flight carries the id of the kSpanStart that opened
+// it (0 = no span). Ids are allocated per Telemetry context, so campaign
+// runs with private contexts stay deterministic under any --jobs.
+using SpanId = std::uint64_t;
 
 struct TraceRecord {
   TimePoint at = kTimeZero;
   TraceType type = TraceType::kPacketSend;
+  SpanId span = 0;  // owning chunk span, stamped by Telemetry::emit
   int path_id = -1;
   int link_id = -1;  // even = downlink, odd = uplink (see NetPath)
 
@@ -144,6 +165,27 @@ class JsonlSink final : public TraceSink {
  private:
   std::FILE* file_ = nullptr;
   std::uint64_t written_ = 0;
+};
+
+// Forwards only records whose type is set in `mask` (bit = 1u << type) to
+// the wrapped sink. Backs `mpdash_sim --trace-types a,b,c` so long chaos
+// runs can drop packet-level records from the JSONL capture.
+class TypeFilterSink final : public TraceSink {
+ public:
+  TypeFilterSink(TraceSink* inner, std::uint32_t mask)
+      : inner_(inner), mask_(mask) {}
+
+  void on_record(const TraceRecord& r) override {
+    if (inner_ && (mask_ & (1u << static_cast<unsigned>(r.type)))) {
+      inner_->on_record(r);
+    }
+  }
+
+  std::uint32_t mask() const { return mask_; }
+
+ private:
+  TraceSink* inner_;
+  std::uint32_t mask_;
 };
 
 // Renders one record as a single-line JSON object (no trailing newline).

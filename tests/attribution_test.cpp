@@ -1,0 +1,278 @@
+// Deadline-miss attribution accuracy: scripted single-cause FaultPlans
+// with known ground truth, ≥30 seeded runs, zero tolerated
+// misclassifications — plus the recovery-on vs recovery-off
+// counterfactual (the same server fault reads as retry backoff with the
+// recovery stack on and as a direct fault with it off) and the
+// campaign-level jobs-invariance of traces and QoE series.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/spans.h"
+#include "exp/chaos.h"
+#include "exp/scenario.h"
+#include "exp/session.h"
+#include "fault/fault.h"
+#include "telemetry/telemetry.h"
+#include "trace/bandwidth_trace.h"
+
+namespace mpdash {
+namespace {
+
+FaultEvent make_event(FaultKind kind, double at_s, double dur_s, int path = 0,
+                      double value = 0.0) {
+  FaultEvent e;
+  e.kind = kind;
+  e.at = kTimeZero + seconds(at_s);
+  e.duration = seconds(dur_s);
+  e.path_id = path;
+  e.value = value;
+  return e;
+}
+
+struct AttributedRun {
+  SessionResult result;
+  SpanModel model;
+  std::map<MissCause, int> counts;
+
+  int misses() const {
+    int n = 0;
+    for (const auto& [cause, count] : counts) n += count;
+    return n;
+  }
+};
+
+// Streams a short session under `plan`, reconstructs the span model from
+// the live trace, and attributes every miss.
+AttributedRun run_attributed(const ScenarioConfig& net, const FaultPlan& plan,
+                             bool recovery, const Video& video,
+                             int debounce_ticks = 2,
+                             Duration buffer_capacity = kDurationZero) {
+  Scenario scenario(net);
+  SessionConfig cfg;
+  cfg.scheme = Scheme::kMpDashDuration;
+  cfg.adaptation = "festive";
+  cfg.debounce_ticks = debounce_ticks;
+  cfg.time_limit = seconds(600.0);
+  // Engagement requires the buffer to clear Ω ≥ 0.4 × capacity; scenarios
+  // that need Algorithm 1 in the loop shrink the buffer to lower that bar.
+  if (buffer_capacity > kDurationZero) {
+    cfg.player.buffer_capacity = buffer_capacity;
+  }
+  cfg.faults = plan.empty() ? nullptr : &plan;
+  if (recovery) {
+    cfg.mptcp_recovery.max_consecutive_rtos = 4;
+    cfg.mptcp_recovery.reprobe_interval = seconds(2.0);
+    cfg.http_recovery.request_timeout = seconds(3.0);
+    cfg.http_recovery.max_retries = 4;
+    cfg.http_recovery.jitter_seed = net.seed;
+    cfg.player.max_chunk_attempts = 3;
+  }
+  Telemetry telemetry;
+  TraceCollector collector;
+  telemetry.add_sink(&collector);
+  cfg.telemetry = &telemetry;
+
+  AttributedRun out;
+  out.result = run_streaming_session(scenario, video, cfg);
+  out.model = build_span_model(collector.records());
+  attribute_misses(&out.model, kWifiPathId);
+  out.counts = attribution_counts(out.model);
+  if (const char* path = std::getenv("MPDASH_ATTR_TRACE")) {
+    JsonlSink sink(path);
+    for (const TraceRecord& r : collector.records()) sink.on_record(r);
+  }
+  if (std::getenv("MPDASH_ATTR_DEBUG")) {
+    for (const ChunkTimeline& t : out.model.spans) {
+      std::fprintf(
+          stderr,
+          "span=%llu %s chunk=%d lvl=%d start=%.2f end=%.2f dl=%.2f "
+          "eng=%d sm=%d status=%s costly=%d@%.2f to=%d rt=%d cause=%s\n",
+          static_cast<unsigned long long>(t.span), t.name ? t.name : "?",
+          t.chunk, t.level, to_seconds(t.start), to_seconds(t.end),
+          t.deadline_s, t.sched_engaged, t.sched_missed,
+          t.status ? t.status : "open", t.costly_enabled,
+          t.costly_enabled ? to_seconds(t.first_costly_enable) : 0.0,
+          t.http_timeouts, t.http_retries, to_string(t.cause));
+    }
+  }
+  return out;
+}
+
+Video attribution_video(int chunks = 12) {
+  return Video("clip", seconds(2.0), chunks,
+               {DataRate::mbps(0.6), DataRate::mbps(1.2), DataRate::mbps(2.4)},
+               0.1, 42);
+}
+
+// Every miss in `run` must carry `expected` — a single-cause plan leaves
+// exactly one admissible root cause.
+void expect_single_cause(const AttributedRun& run, MissCause expected,
+                         const char* what) {
+  EXPECT_GT(run.misses(), 0) << what << ": plan caused no misses";
+  for (const auto& [cause, count] : run.counts) {
+    if (cause == expected) continue;
+    EXPECT_EQ(count, 0) << what << ": " << count << " miss(es) misclassified "
+                        << to_string(cause) << " instead of "
+                        << to_string(expected);
+  }
+}
+
+// --- path blackout: every miss is the fault's doing ---------------------
+
+TEST(Attribution, PathBlackoutExplainsEveryMiss) {
+  // 12 seeds × a total outage (both paths dark) mid-session. Ample
+  // bandwidth outside the window, so only the outage can cause misses.
+  // The window must open while chunks are still in flight — at 5+4 Mbps
+  // the whole clip is fetched by ~8 s, so stagger starts over 6.0-7.0 s.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    ScenarioConfig net =
+        constant_scenario(DataRate::mbps(5.0), DataRate::mbps(4.0));
+    net.seed = seed;
+    const double at = 6.0 + 0.5 * static_cast<double>(seed % 3);
+    FaultPlan plan;
+    plan.events.push_back(make_event(FaultKind::kBlackout, at, 10.0, 0));
+    plan.events.push_back(make_event(FaultKind::kBlackout, at, 10.0, 1));
+    const AttributedRun run = run_attributed(net, plan, /*recovery=*/true,
+                                             attribution_video(16));
+    expect_single_cause(run, MissCause::kFaultBlackout,
+                        ("blackout seed " + std::to_string(seed)).c_str());
+  }
+}
+
+// --- server stall: the recovery counterfactual --------------------------
+
+AttributedRun server_stall_run(std::uint64_t seed, bool recovery) {
+  ScenarioConfig net =
+      constant_scenario(DataRate::mbps(5.0), DataRate::mbps(4.0));
+  net.seed = seed;
+  // Stagger stall starts over 5.0-5.8 s: the request stream is still busy
+  // there, while later starts can land after the last chunk left the wire.
+  FaultPlan plan;
+  plan.events.push_back(make_event(
+      FaultKind::kServerStall, 5.0 + 0.4 * static_cast<double>(seed % 3),
+      12.0));
+  return run_attributed(net, plan, recovery, attribution_video());
+}
+
+TEST(Attribution, ServerStallWithRecoveryReadsAsRetryBackoff) {
+  // 6 seeds: with the recovery stack on, the client times out and
+  // re-asks; the budget goes to backoff, and attribution says so.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const AttributedRun run = server_stall_run(seed, /*recovery=*/true);
+    expect_single_cause(run, MissCause::kRetryBackoff,
+                        ("stall+recovery seed " + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(Attribution, ServerStallWithoutRecoveryReadsAsFault) {
+  // Same plans, recovery off: no timeouts or retries ever fire, so the
+  // overlapping server fault is the direct cause.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const AttributedRun run = server_stall_run(seed, /*recovery=*/false);
+    expect_single_cause(run, MissCause::kFaultBlackout,
+                        ("stall-bare seed " + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(Attribution, RecoveryCounterfactualFlipsTheAttribution) {
+  // The acceptance counterfactual: toggling recovery moves every miss
+  // from fault-blackout to retry-backoff (and never the reverse).
+  int backoff_on = 0, fault_on = 0, backoff_off = 0, fault_off = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const AttributedRun on = server_stall_run(seed, true);
+    const AttributedRun off = server_stall_run(seed, false);
+    backoff_on += on.counts.at(MissCause::kRetryBackoff);
+    fault_on += on.counts.at(MissCause::kFaultBlackout);
+    backoff_off += off.counts.at(MissCause::kRetryBackoff);
+    fault_off += off.counts.at(MissCause::kFaultBlackout);
+  }
+  EXPECT_GT(backoff_on, 0);
+  EXPECT_EQ(fault_on, 0);
+  EXPECT_EQ(backoff_off, 0);
+  EXPECT_GT(fault_off, 0);
+}
+
+// --- scheduler-late: no faults, help never arrives ----------------------
+
+TEST(Attribution, LameDebounceReadsAsSchedulerLate) {
+  // 3 seeds: WiFi alone cannot carry the lowest level, LTE could — but a
+  // pathological enable debounce keeps Algorithm 1 from ever turning it
+  // on. No faults, no retries: the scheduler is the only suspect. The
+  // clip must outlast the buffer's climb to Ω (16 s at these settings) or
+  // nothing ever engages, so stream 20 chunks.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ScenarioConfig net =
+        constant_scenario(DataRate::mbps(0.4), DataRate::mbps(5.0));
+    net.seed = seed;
+    const AttributedRun run =
+        run_attributed(net, FaultPlan{}, /*recovery=*/false,
+                       attribution_video(20), /*debounce_ticks=*/1000000,
+                       /*buffer_capacity=*/seconds(20.0));
+    expect_single_cause(run, MissCause::kSchedulerLate,
+                        ("sched-late seed " + std::to_string(seed)).c_str());
+  }
+}
+
+// --- bandwidth shortfall: the scheduler did its job, physics said no ----
+
+TEST(Attribution, SlowPathsReadAsBandwidthShortfall) {
+  // 3 seeds: both paths start fast (so the buffer reaches Ω and the
+  // scheduler engages), then collapse below the lowest bitrate with a
+  // normal debounce. Every post-collapse begin() re-disables LTE, the
+  // shortfall re-triggers a prompt enable, and the chunk still misses:
+  // the scheduler did its job, physics said no. Long (4 s) chunks give
+  // the in-flight transition chunk room to re-enable LTE well inside
+  // half its deadline, keeping the attribution unambiguous.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ScenarioConfig net;
+    net.wifi_down = BandwidthTrace(
+        {{kTimeZero, DataRate::mbps(5.0)},
+         {kTimeZero + seconds(10.0), DataRate::mbps(0.35)}});
+    net.lte_down = BandwidthTrace(
+        {{kTimeZero, DataRate::mbps(4.0)},
+         {kTimeZero + seconds(10.0), DataRate::mbps(0.3)}});
+    net.seed = seed;
+    const Video video("clip", seconds(4.0), 10,
+                      {DataRate::mbps(0.6), DataRate::mbps(1.2),
+                       DataRate::mbps(2.4)},
+                      0.1, 42);
+    const AttributedRun run =
+        run_attributed(net, FaultPlan{}, /*recovery=*/false, video,
+                       /*debounce_ticks=*/2, /*buffer_capacity=*/seconds(20.0));
+    expect_single_cause(run, MissCause::kBandwidthShortfall,
+                        ("shortfall seed " + std::to_string(seed)).c_str());
+  }
+}
+
+// --- campaign-level determinism with spans + series enabled -------------
+
+TEST(Attribution, ChaosTracesAndSeriesAreJobsInvariant) {
+  auto campaign = [](int jobs) {
+    ChaosConfig cfg;
+    cfg.seed_count = 6;
+    cfg.chunk_count = 10;
+    cfg.jobs = jobs;
+    cfg.progress = nullptr;
+    cfg.series_interval = seconds(1.0);
+    return run_chaos_campaign(cfg);
+  };
+  const ChaosCampaignResult one = campaign(1);
+  const ChaosCampaignResult eight = campaign(8);
+  EXPECT_EQ(one.digest(), eight.digest());
+  ASSERT_EQ(one.runs.size(), eight.runs.size());
+  for (std::size_t i = 0; i < one.runs.size(); ++i) {
+    EXPECT_FALSE(one.runs[i].series_csv.empty());
+    EXPECT_EQ(one.runs[i].series_csv, eight.runs[i].series_csv)
+        << "seed " << one.runs[i].seed;
+  }
+}
+
+}  // namespace
+}  // namespace mpdash

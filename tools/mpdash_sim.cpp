@@ -47,6 +47,9 @@ struct Args {
   std::string csv_path;
   std::string metrics_path;  // per-second metrics timeline CSV
   std::string trace_path;    // structured event trace JSONL
+  std::string trace_types;   // --trace-types filter (comma-separated)
+  std::string series_path;   // chaos: aggregated per-run QoE series CSV
+  double series_interval_s = 1.0;
   double wifi_mbps = 3.8;
   double lte_mbps = 3.0;
   double chunk_s = 4.0;
@@ -81,7 +84,12 @@ struct Args {
                "  --metrics <path>   per-second metrics timeline "
                "(CSV: time_s,metric,value)\n"
                "  --trace <path>     structured event trace "
-               "(JSONL, one record per line)\n");
+               "(JSONL, one record per line)\n"
+               "  --trace-types a,b,c   keep only these record types "
+               "(e.g. sched_decision,fault,player)\n"
+               "  --series <path>    chaos: per-run QoE/byte-share time "
+               "series CSV\n"
+               "  --series-interval <s>   series cadence (default 1.0)\n");
   std::exit(2);
 }
 
@@ -116,6 +124,10 @@ Args parse(int argc, char** argv) {
     else if (flag == "--csv") a.csv_path = value();
     else if (flag == "--metrics") a.metrics_path = value();
     else if (flag == "--trace") a.trace_path = value();
+    else if (flag == "--trace-types") a.trace_types = value();
+    else if (flag == "--series") a.series_path = value();
+    else if (flag == "--series-interval")
+      a.series_interval_s = std::atof(value().c_str());
     else usage(("unknown flag " + flag).c_str());
   }
   return a;
@@ -182,6 +194,18 @@ bool write_text_file(const std::string& path, const std::string& text) {
   return ok;
 }
 
+// Resolves --trace-types into a sink mask (everything when unset).
+std::uint32_t trace_type_mask(const Args& a) {
+  if (a.trace_types.empty()) return ~0u;
+  std::uint32_t mask = 0;
+  if (!parse_trace_types(a.trace_types, &mask) || mask == 0) {
+    usage(("bad --trace-types '" + a.trace_types +
+           "' (names as in trace JSON \"type\", comma-separated)")
+              .c_str());
+  }
+  return mask;
+}
+
 int cmd_stream(const Args& a) {
   const Video video = pick_video(a);
   Scenario scenario(build_network(a, video.total_duration() + seconds(180.0)));
@@ -194,6 +218,7 @@ int cmd_stream(const Args& a) {
   Telemetry telemetry;
   MetricsTimeline timeline;
   std::unique_ptr<JsonlSink> jsonl;
+  std::unique_ptr<TypeFilterSink> filter;
   if (!a.metrics_path.empty() || !a.trace_path.empty()) {
     cfg.telemetry = &telemetry;
     if (!a.metrics_path.empty()) cfg.metrics = &timeline;
@@ -203,7 +228,13 @@ int cmd_stream(const Args& a) {
         std::fprintf(stderr, "cannot write %s\n", a.trace_path.c_str());
         return 1;
       }
-      telemetry.add_sink(jsonl.get());
+      const std::uint32_t mask = trace_type_mask(a);
+      if (mask != ~0u) {
+        filter = std::make_unique<TypeFilterSink>(jsonl.get(), mask);
+        telemetry.add_sink(filter.get());
+      } else {
+        telemetry.add_sink(jsonl.get());
+      }
     }
   }
 
@@ -221,7 +252,8 @@ int cmd_stream(const Args& a) {
     std::printf("trace (%llu records) written to %s\n",
                 static_cast<unsigned long long>(jsonl->records_written()),
                 a.trace_path.c_str());
-    telemetry.remove_sink(jsonl.get());
+    telemetry.remove_sink(filter ? static_cast<TraceSink*>(filter.get())
+                                 : jsonl.get());
   }
 
   std::printf("session: %s / %s / %s\n", video.name().c_str(),
@@ -277,6 +309,7 @@ int cmd_download(const Args& a) {
 
   Telemetry telemetry;
   std::unique_ptr<JsonlSink> jsonl;
+  std::unique_ptr<TypeFilterSink> filter;
   if (!a.metrics_path.empty() || !a.trace_path.empty()) {
     cfg.telemetry = &telemetry;
     if (!a.trace_path.empty()) {
@@ -285,7 +318,13 @@ int cmd_download(const Args& a) {
         std::fprintf(stderr, "cannot write %s\n", a.trace_path.c_str());
         return 1;
       }
-      telemetry.add_sink(jsonl.get());
+      const std::uint32_t mask = trace_type_mask(a);
+      if (mask != ~0u) {
+        filter = std::make_unique<TypeFilterSink>(jsonl.get(), mask);
+        telemetry.add_sink(filter.get());
+      } else {
+        telemetry.add_sink(jsonl.get());
+      }
     }
   }
 
@@ -306,7 +345,8 @@ int cmd_download(const Args& a) {
     std::printf("trace (%llu records) written to %s\n",
                 static_cast<unsigned long long>(jsonl->records_written()),
                 a.trace_path.c_str());
-    telemetry.remove_sink(jsonl.get());
+    telemetry.remove_sink(filter ? static_cast<TraceSink*>(filter.get())
+                                 : jsonl.get());
   }
   std::printf("%.1f MB with %.1f s deadline (%s):\n", a.size_mb,
               a.deadline_s, a.use_mpdash ? "MP-DASH" : "vanilla MPTCP");
@@ -430,6 +470,10 @@ int cmd_chaos(const Args& a) {
   cfg.adaptation = a.algo;
   cfg.mptcp_scheduler = a.mptcp_scheduler;
   cfg.recovery = a.recovery;
+  cfg.trace_path = a.trace_path;
+  cfg.trace_types = trace_type_mask(a);
+  cfg.series_interval =
+      a.series_path.empty() ? kDurationZero : seconds(a.series_interval_s);
 
   const ChaosCampaignResult res = run_chaos_campaign(cfg);
 
@@ -477,6 +521,21 @@ int cmd_chaos(const Args& a) {
       return 1;
     }
     std::printf("results written to %s\n", a.csv_path.c_str());
+  }
+  if (!a.series_path.empty()) {
+    // Runs land in seed order regardless of --jobs, so the aggregate is
+    // bitwise stable for any worker count.
+    std::string series(kChaosSeriesHeader);
+    for (const ChaosRunResult& r : res.runs) series += r.series_csv;
+    if (!write_text_file(a.series_path, series)) {
+      std::fprintf(stderr, "cannot write %s\n", a.series_path.c_str());
+      return 1;
+    }
+    std::printf("series written to %s\n", a.series_path.c_str());
+  }
+  if (!a.trace_path.empty()) {
+    std::printf("per-run traces written to %s%s\n", a.trace_path.c_str(),
+                cfg.seed_count > 1 ? ".<seed>" : "");
   }
   return violations == 0 ? 0 : 1;
 }

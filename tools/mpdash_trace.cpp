@@ -1,0 +1,262 @@
+// mpdash_trace — causal-span trace analyzer.
+//
+// Loads a JSONL trace written by `mpdash_sim --trace`, reconstructs the
+// per-chunk span timelines, renders per-layer latency waterfalls, and
+// runs the deadline-miss attribution pass (scheduler-late vs
+// fault-blackout vs retry-backoff vs bandwidth-shortfall). Traces
+// without span records (older captures, golden fixtures) still load:
+// the tool reports fault windows and record counts and exits 0.
+//
+//   mpdash_trace run.jsonl                    # summary + attribution
+//   mpdash_trace run.jsonl --waterfall        # per-chunk latency bars
+//   mpdash_trace run.jsonl --csv spans.csv    # one row per span
+//   mpdash_trace run.jsonl --preferred-path 0 # Algorithm 1's cheap path
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/spans.h"
+#include "analysis/trace_load.h"
+
+using namespace mpdash;
+
+namespace {
+
+struct Args {
+  std::string trace_path;
+  std::string csv_path;
+  bool waterfall = false;
+  bool summary = true;
+  int preferred_path = 0;
+  int width = 72;  // waterfall bar columns
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: mpdash_trace <trace.jsonl> [options]\n"
+               "  --waterfall          render per-chunk latency waterfalls\n"
+               "  --csv <path>         write one CSV row per span\n"
+               "  --preferred-path <n> Algorithm 1's always-on path "
+               "(default 0 = WiFi)\n"
+               "  --width <cols>       waterfall bar width (default 72)\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--waterfall") {
+      a.waterfall = true;
+    } else if (arg == "--csv") {
+      a.csv_path = next();
+    } else if (arg == "--preferred-path") {
+      a.preferred_path = std::atoi(next().c_str());
+    } else if (arg == "--width") {
+      a.width = std::max(10, std::atoi(next().c_str()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(("unknown option " + arg).c_str());
+    } else if (a.trace_path.empty()) {
+      a.trace_path = arg;
+    } else {
+      usage("more than one trace file");
+    }
+  }
+  if (a.trace_path.empty()) usage("no trace file given");
+  return a;
+}
+
+void print_summary(const SpanModel& model,
+                   const std::vector<TraceRecord>& trace) {
+  std::map<std::string, std::size_t> by_type;
+  for (const TraceRecord& r : trace) ++by_type[to_string(r.type)];
+  std::printf("trace: %zu records (%zu outside any span), %.3f s\n",
+              model.records, model.unspanned_records,
+              to_seconds(model.trace_end));
+  for (const auto& [name, count] : by_type) {
+    std::printf("  %-16s %zu\n", name.c_str(), count);
+  }
+  std::printf("spans: %zu\n", model.spans.size());
+  if (!model.faults.empty()) {
+    std::printf("fault windows:\n");
+    for (const FaultWindow& w : model.faults) {
+      std::printf("  %-13s %s %-7s %8.3f s -> %8.3f s%s\n",
+                  w.kind ? w.kind : "?",
+                  w.server_scoped() ? "server" : "path",
+                  w.server_scoped()
+                      ? ""
+                      : std::to_string(w.path_id).c_str(),
+                  to_seconds(w.start), to_seconds(w.end),
+                  w.closed ? "" : " (unclosed)");
+    }
+  }
+}
+
+void print_attribution(const SpanModel& model) {
+  int misses = 0;
+  for (const ChunkTimeline& t : model.spans) {
+    if (t.cause != MissCause::kNone) ++misses;
+  }
+  std::printf("\ndeadline-miss attribution: %d missed of %zu spans\n",
+              misses, model.spans.size());
+  for (const auto& [cause, count] : attribution_counts(model)) {
+    std::printf("  %-20s %d\n", to_string(cause), count);
+  }
+  if (misses == 0) return;
+  std::printf("\n%-5s %-6s %-9s %-9s %-20s evidence\n", "span", "chunk",
+              "elapsed", "deadline", "cause");
+  for (const ChunkTimeline& t : model.spans) {
+    if (t.cause == MissCause::kNone) continue;
+    std::string evidence;
+    if (t.http_timeouts > 0 || t.http_retries > 0) {
+      evidence += "http " + std::to_string(t.http_timeouts) + " timeouts/" +
+                  std::to_string(t.http_retries) + " retries; ";
+    }
+    if (t.chunk_retries > 0) {
+      evidence += std::to_string(t.chunk_retries) + " downshifts; ";
+    }
+    if (t.stalls_started > 0) {
+      evidence += std::to_string(t.stalls_started) + " stall(s); ";
+    }
+    if (t.sched_engaged && !t.costly_enabled) {
+      evidence += "costly path never enabled; ";
+    } else if (t.costly_enabled) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "costly enabled +%.2fs; ",
+                    to_seconds(t.first_costly_enable - t.start));
+      evidence += buf;
+    }
+    if (!t.closed()) evidence += "trace ended mid-flight; ";
+    if (t.status) evidence += std::string(t.status);
+    std::printf("%-5llu %-6d %8.3fs %8.3fs %-20s %s\n",
+                static_cast<unsigned long long>(t.span), t.chunk,
+                t.elapsed_s(), t.deadline_s, to_string(t.cause),
+                evidence.c_str());
+  }
+}
+
+// One bar per span: '.' = waiting for the scheduler/first byte, '=' =
+// bytes flowing, '#' = the tail after the last byte (playback handoff),
+// '!' marks the deadline column when it falls inside the bar.
+void print_waterfall(const SpanModel& model, int width) {
+  double max_elapsed = 0.0;
+  for (const ChunkTimeline& t : model.spans) {
+    max_elapsed = std::max(max_elapsed, t.elapsed_s());
+  }
+  if (max_elapsed <= 0.0) {
+    std::printf("\nno spans to render\n");
+    return;
+  }
+  std::printf("\nwaterfall (%.3fs full width):\n", max_elapsed);
+  std::printf("%-5s %-6s %-9s %-6s bar\n", "span", "chunk", "status",
+              "lvl");
+  for (const ChunkTimeline& t : model.spans) {
+    const double scale = static_cast<double>(width) / max_elapsed;
+    auto col = [&](TimePoint at) {
+      const double s = to_seconds(at - t.start);
+      return std::clamp(static_cast<int>(s * scale), 0, width - 1);
+    };
+    const int len =
+        std::max(1, std::clamp(static_cast<int>(t.elapsed_s() * scale), 1,
+                               width));
+    std::string bar(static_cast<std::size_t>(len), '.');
+    if (t.have_bytes) {
+      const int b0 = col(t.first_byte), b1 = col(t.last_byte);
+      for (int i = b0; i <= b1 && i < len; ++i) bar[i] = '=';
+      for (int i = b1 + 1; i < len; ++i) bar[i] = '#';
+    }
+    if (t.deadline_s > 0.0) {
+      const int d = static_cast<int>(t.deadline_s * scale);
+      if (d >= 0 && d < len) bar[d] = '!';
+    }
+    Bytes wifi = 0, other = 0;
+    for (const auto& [path, bytes] : t.bytes_by_path) {
+      (path == 0 ? wifi : other) += bytes;
+    }
+    std::printf("%-5llu %-6d %-9s %-6d %s",
+                static_cast<unsigned long long>(t.span), t.chunk,
+                t.status ? t.status : "open", t.level, bar.c_str());
+    if (other > 0) {
+      std::printf("  [%lld wifi / %lld costly]",
+                  static_cast<long long>(wifi),
+                  static_cast<long long>(other));
+    }
+    if (t.cause != MissCause::kNone) {
+      std::printf("  <- %s", to_string(t.cause));
+    }
+    std::printf("\n");
+  }
+}
+
+bool write_csv(const SpanModel& model, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f,
+               "span,name,chunk,level,start_s,end_s,elapsed_s,deadline_s,"
+               "status,missed,cause,requested_bytes,delivered_bytes,"
+               "preferred_bytes,costly_bytes,http_timeouts,http_retries,"
+               "backoff_s,chunk_retries,stalls\n");
+  for (const ChunkTimeline& t : model.spans) {
+    Bytes preferred = 0, costly = 0;
+    for (const auto& [p, bytes] : t.bytes_by_path) {
+      (p == 0 ? preferred : costly) += bytes;
+    }
+    std::fprintf(f,
+                 "%llu,%s,%d,%d,%.9f,%.9f,%.9f,%.9f,%s,%d,%s,%lld,%lld,"
+                 "%lld,%lld,%d,%d,%.9f,%d,%d\n",
+                 static_cast<unsigned long long>(t.span),
+                 t.name ? t.name : "", t.chunk, t.level,
+                 to_seconds(t.start), to_seconds(t.end), t.elapsed_s(),
+                 t.deadline_s, t.status ? t.status : "open",
+                 t.cause != MissCause::kNone ? 1 : 0, to_string(t.cause),
+                 static_cast<long long>(t.requested_bytes),
+                 static_cast<long long>(t.delivered_bytes),
+                 static_cast<long long>(preferred),
+                 static_cast<long long>(costly), t.http_timeouts,
+                 t.http_retries, t.backoff_s, t.chunk_retries,
+                 t.stalls_started);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  std::vector<TraceRecord> trace;
+  std::string err;
+  if (!load_trace_jsonl(args.trace_path, &trace, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+
+  SpanModel model = build_span_model(trace);
+  attribute_misses(&model, args.preferred_path);
+
+  print_summary(model, trace);
+  if (!model.spans.empty()) print_attribution(model);
+  if (args.waterfall) print_waterfall(model, args.width);
+  if (!args.csv_path.empty()) {
+    if (!write_csv(model, args.csv_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   args.csv_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu span rows to %s\n", model.spans.size(),
+                args.csv_path.c_str());
+  }
+  return 0;
+}
