@@ -28,6 +28,11 @@ struct AdaptationView {
   int next_chunk = 0;
   int total_chunks = 0;
   bool in_startup = true;  // before playback has begun
+  // Chunks already in flight when this view was built: 0 for a sequential
+  // player; a pipelined player issues view.next_chunk behind this many
+  // earlier requests, each of which credits the new chunk's deadline one
+  // chunk duration of playout slack.
+  int inflight_ahead = 0;
 
   // Average encoding bitrate per level, ascending.
   std::vector<DataRate> bitrates;

@@ -68,10 +68,14 @@ Duration MpDashAdapter::base_deadline(const AdaptationView& view, int level,
 }
 
 std::optional<Duration> MpDashAdapter::on_chunk_request(
-    const AdaptationView& view, int level, Bytes size) {
+    const AdaptationView& view, int level, Bytes size, int chunk,
+    SpanId span) {
   if (!should_engage(view)) {
     ++bypassed_;
-    if (socket_.active()) socket_.disable();
+    // Don't kill a scheduler still serving earlier engaged chunks (only
+    // possible with a prefetching player); sequentially the deque is
+    // always empty here, reproducing the unconditional disable.
+    if (outstanding_.empty() && socket_.active()) socket_.disable();
     return std::nullopt;
   }
   Duration deadline = base_deadline(view, level, size);
@@ -81,14 +85,89 @@ std::optional<Duration> MpDashAdapter::on_chunk_request(
   if (view.buffer_level_s > phi) {
     deadline += seconds(view.buffer_level_s - phi);
   }
+  // Pipelined slack: a prefetched chunk is not needed until every chunk
+  // ahead of it in flight has played out, so each one credits the window
+  // a chunk duration. Sequentially inflight_ahead is always 0.
+  if (view.inflight_ahead > 0) {
+    deadline += seconds(view.inflight_ahead * view.chunk_duration_s);
+  }
   ++engaged_;
-  socket_.enable(size, deadline);
+  settle_progress();
+  outstanding_.push_back({chunk, size, size, view.now + deadline, span});
+  rearm_socket(view.now);
   return deadline;
 }
 
-void MpDashAdapter::on_chunk_complete(const AdaptationView& view) {
-  (void)view;
-  if (socket_.active()) socket_.disable();
+void MpDashAdapter::on_chunk_complete(const AdaptationView& view, int chunk) {
+  settle_progress();
+  for (auto it = outstanding_.begin(); it != outstanding_.end(); ++it) {
+    if (it->chunk == chunk) {
+      outstanding_.erase(it);
+      break;
+    }
+  }
+  // Bypassed chunks have no entry; with nothing engaged left, release the
+  // scheduler (the sequential path: every completion lands here).
+  if (outstanding_.empty()) {
+    last_settle_transferred_ = -1;
+    if (socket_.active()) socket_.disable();
+    return;
+  }
+  rearm_socket(view.now);
+}
+
+void MpDashAdapter::settle_progress() {
+  // Connection bytes delivered since the last settle pay the outstanding
+  // FIFO down front-first — HTTP pipelining delivers responses in issue
+  // order, so progress belongs to the oldest open chunk. (Response
+  // headers ride along uncounted per chunk; the slight over-payment only
+  // makes the re-arm marginally optimistic.)
+  const Bytes transferred = socket_.transferred_bytes();
+  if (last_settle_transferred_ >= 0) {
+    Bytes delivered = std::max<Bytes>(0, transferred - last_settle_transferred_);
+    for (Outstanding& o : outstanding_) {
+      if (delivered == 0) break;
+      const Bytes d = std::min(o.remaining, delivered);
+      o.remaining -= d;
+      delivered -= d;
+    }
+  }
+  last_settle_transferred_ = transferred;
+}
+
+void MpDashAdapter::rearm_socket(TimePoint now) {
+  // One MP_DASH_ENABLE covers the outstanding FIFO via its *binding*
+  // cumulative requirement: finishing chunk i means delivering every
+  // still-missing byte of chunks 1..i (FIFO), so the constraint set is
+  // "cum_i bytes by deadline_i" and the scheduler is armed with the one
+  // demanding the highest rate. With a single outstanding chunk this is
+  // exactly enable(remaining, deadline, span); naively arming with total
+  // bytes against the earliest deadline would overstate the requirement
+  // and manufacture deadline misses under pipelining.
+  Bytes cum = 0;
+  Bytes best_bytes = 0;
+  Duration best_window = microseconds(1);
+  SpanId best_span = outstanding_.front().span;
+  double best_rate = -1.0;
+  for (const Outstanding& o : outstanding_) {
+    cum += o.remaining;
+    if (cum <= 0) continue;
+    // A re-arm can happen after a deadline already passed (a completion
+    // while an older chunk overran); the scheduler demands a positive
+    // window, and its next tick will record the miss.
+    const Duration window = std::max(o.abs_deadline - now, microseconds(1));
+    const double rate = static_cast<double>(cum) / to_seconds(window);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best_bytes = cum;
+      best_window = window;
+      best_span = o.span;
+    }
+  }
+  // Every outstanding byte already delivered (completions still in
+  // flight): leave the scheduler be; it self-completes on its next tick.
+  if (best_bytes <= 0) return;
+  socket_.enable(best_bytes, best_window, best_span);
 }
 
 }  // namespace mpdash

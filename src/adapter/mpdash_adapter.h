@@ -13,6 +13,7 @@
 // throughput-based algorithms see the capacity of *all* paths, including
 // the ones MP-DASH is deliberately keeping idle.
 
+#include <deque>
 #include <optional>
 
 #include "adapt/adaptation.h"
@@ -49,8 +50,9 @@ class MpDashAdapter final : public StreamingHooks {
 
   DataRate throughput_override(const AdaptationView& view) override;
   std::optional<Duration> on_chunk_request(const AdaptationView& view,
-                                           int level, Bytes size) override;
-  void on_chunk_complete(const AdaptationView& view) override;
+                                           int level, Bytes size, int chunk,
+                                           SpanId span) override;
+  void on_chunk_complete(const AdaptationView& view, int chunk) override;
 
   // Whether the scheduler would engage for this view (Ω rule); public for
   // tests and ablations.
@@ -65,9 +67,25 @@ class MpDashAdapter final : public StreamingHooks {
 
   int chunks_engaged() const { return engaged_; }
   int chunks_bypassed() const { return bypassed_; }
+  std::size_t outstanding_engaged() const { return outstanding_.size(); }
   const AdapterConfig& config() const { return config_; }
 
  private:
+  // An engaged chunk still in flight. A sequential player keeps at most
+  // one of these; a pipelined one accumulates a window's worth, and the
+  // single underlying MP_DASH_ENABLE transfer is re-armed to cover the
+  // binding cumulative requirement across the FIFO of outstanding chunks.
+  struct Outstanding {
+    int chunk = 0;
+    Bytes size = 0;
+    Bytes remaining = 0;  // not yet delivered (FIFO pay-down, see settle)
+    TimePoint abs_deadline = kTimeZero;
+    SpanId span = 0;
+  };
+
+  void settle_progress();
+  void rearm_socket(TimePoint now);
+
   MpDashSocket& socket_;
   RateAdaptation& adaptation_;
   AdapterConfig config_;
@@ -77,6 +95,11 @@ class MpDashAdapter final : public StreamingHooks {
   // tuned for chunk-granularity estimators (FESTIVE's harmonic window)
   // would overreact to the transport estimator's 100 ms dynamics.
   double override_ewma_bps_ = 0.0;
+  std::deque<Outstanding> outstanding_;  // issue order (front = oldest)
+  // Connection-level transferred_bytes() at the last settle; -1 = no
+  // baseline (nothing outstanding). Progress between settles pays the
+  // outstanding FIFO down front-first (HTTP pipelining delivers in order).
+  Bytes last_settle_transferred_ = -1;
 };
 
 }  // namespace mpdash

@@ -38,6 +38,99 @@ bool label_is(const TraceRecord& r, const char* name) {
   return r.label != nullptr && std::strcmp(r.label, name) == 0;
 }
 
+using Interval = std::pair<TimePoint, TimePoint>;
+
+// Sorted, merged union; empty pieces dropped.
+std::vector<Interval> merge_intervals(std::vector<Interval> iv) {
+  std::vector<Interval> out;
+  std::sort(iv.begin(), iv.end());
+  for (const Interval& i : iv) {
+    if (i.second <= i.first) continue;
+    if (!out.empty() && i.first <= out.back().second) {
+      out.back().second = std::max(out.back().second, i.second);
+    } else {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+// Seconds of [a, b) covered by the merged union.
+double union_overlap_s(const std::vector<Interval>& merged, TimePoint a,
+                       TimePoint b) {
+  double s = 0.0;
+  for (const Interval& i : merged) {
+    const TimePoint lo = std::max(i.first, a);
+    const TimePoint hi = std::min(i.second, b);
+    if (hi > lo) s += to_seconds(hi - lo);
+  }
+  return s;
+}
+
+// Fill the overlap-aware fields: per-span fault coverage by scope, plus
+// an apportioned share computed over the piecewise-constant count of
+// concurrently open spans (a blackout shared by three in-flight chunks
+// charges each one a third of it).
+void overlap_post_pass(SpanModel& model) {
+  std::vector<Interval> path_iv, server_iv, all_iv;
+  for (const FaultWindow& w : model.faults) {
+    (w.server_scoped() ? server_iv : path_iv).push_back({w.start, w.end});
+    all_iv.push_back({w.start, w.end});
+  }
+  const auto path_u = merge_intervals(std::move(path_iv));
+  const auto server_u = merge_intervals(std::move(server_iv));
+  const auto all_u = merge_intervals(std::move(all_iv));
+
+  struct Edge {
+    TimePoint at;
+    int delta;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(model.spans.size() * 2);
+  for (const ChunkTimeline& t : model.spans) {
+    if (t.end <= t.start) continue;
+    edges.push_back({t.start, +1});
+    edges.push_back({t.end, -1});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.delta < b.delta;  // close before open at the same instant
+  });
+  struct Piece {
+    TimePoint start;
+    TimePoint end;
+    int count;
+  };
+  std::vector<Piece> pieces;
+  int count = 0;
+  TimePoint prev = kTimeZero;
+  bool have_prev = false;
+  for (const Edge& e : edges) {
+    if (have_prev && e.at > prev && count > 0) {
+      pieces.push_back({prev, e.at, count});
+    }
+    count += e.delta;
+    prev = e.at;
+    have_prev = true;
+  }
+
+  for (ChunkTimeline& t : model.spans) {
+    t.path_fault_overlap_s = union_overlap_s(path_u, t.start, t.end);
+    t.server_fault_overlap_s = union_overlap_s(server_u, t.start, t.end);
+    t.fault_overlap_share_s = 0.0;
+    int peak = 0;
+    for (const Piece& p : pieces) {
+      const TimePoint lo = std::max(p.start, t.start);
+      const TimePoint hi = std::min(p.end, t.end);
+      if (hi <= lo) continue;
+      peak = std::max(peak, p.count);
+      const double covered = union_overlap_s(all_u, lo, hi);
+      if (covered > 0.0) t.fault_overlap_share_s += covered / p.count;
+    }
+    t.max_concurrent_spans = std::max(peak, 1);
+  }
+}
+
 }  // namespace
 
 SpanModel build_span_model(const std::vector<TraceRecord>& trace) {
@@ -153,6 +246,7 @@ SpanModel build_span_model(const std::vector<TraceRecord>& trace) {
   for (FaultWindow& w : model.faults) {
     if (!w.closed) w.end = model.trace_end;
   }
+  overlap_post_pass(model);
   return model;
 }
 
@@ -174,14 +268,11 @@ void attribute_misses(SpanModel* model, int preferred_path) {
       continue;
     }
 
-    const auto overlaps = [&t](const FaultWindow& w) {
-      return w.start < t.end && w.end > t.start;
-    };
-    bool path_fault = false, server_fault = false;
-    for (const FaultWindow& w : model->faults) {
-      if (!overlaps(w)) continue;
-      (w.server_scoped() ? server_fault : path_fault) = true;
-    }
+    // Overlap-aware: the post-pass already intersected every fault window
+    // with this span, so pipelined traces (several spans sharing one
+    // blackout) attribute each affected span independently.
+    const bool path_fault = t.path_fault_overlap_s > 0.0;
+    const bool server_fault = t.server_fault_overlap_s > 0.0;
 
     // Precedence: an injected link fault is the root cause even when the
     // recovery stack also burned budget reacting to it; retry backoff

@@ -82,6 +82,18 @@ struct ChunkTimeline {
   int chunk_retries = 0;    // player-level downshift retries
   int stalls_started = 0;   // playback stalled while this span in flight
 
+  // Overlap-aware accounting (post-pass in build_span_model). A pipelined
+  // player keeps several spans open at once, so one fault window can
+  // overlap them all; these fields total the wall time each fault scope
+  // covered this span (union, so stacked windows don't double count) and
+  // apportion intervals shared between concurrently open spans, making
+  // per-span waterfalls sum to the trace-level blackout time instead of
+  // multiply counting it.
+  double path_fault_overlap_s = 0.0;    // link-fault windows ∩ this span
+  double server_fault_overlap_s = 0.0;  // server-fault windows ∩ this span
+  double fault_overlap_share_s = 0.0;   // overlap ÷ concurrently open spans
+  int max_concurrent_spans = 1;         // peak open spans while in flight
+
   MissCause cause = MissCause::kNone;
 
   double elapsed_s() const { return to_seconds(end - start); }

@@ -44,13 +44,18 @@ void DeadlineScheduler::emit_decision(TimePoint now, const char* label,
   r.budget_s = budget_s;
   r.deliverable_bytes = deliverable;
   r.remaining_bytes = remaining_bytes;
+  // 0 falls through to ambient stamping in emit() (legacy single-span
+  // callers); the sequential player passes the same id either way.
+  r.span = owner_span_;
   telemetry_->emit(r);
 }
 
-void DeadlineScheduler::begin(TimePoint now, Bytes size, Duration window) {
+void DeadlineScheduler::begin(TimePoint now, Bytes size, Duration window,
+                              SpanId span) {
   if (size <= 0 || window <= kDurationZero) {
     throw std::invalid_argument("size and window must be positive");
   }
+  owner_span_ = span;
   active_ = true;
   deadline_missed_ = false;
   start_ = now;

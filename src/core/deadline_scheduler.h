@@ -43,7 +43,11 @@ class DeadlineScheduler {
   // Activates MP-DASH for the next `size` bytes due at now + `window`
   // (the MP_DASH_ENABLE socket option). Cheapest path(s) are enabled,
   // all costlier paths disabled, matching Algorithm 1's initialization.
-  void begin(TimePoint now, Bytes size, Duration window);
+  // A nonzero `span` marks the chunk span owning this transfer: every
+  // kSchedDecision record is stamped with it, which keeps decisions
+  // attributable when a pipelined player has several spans open (ambient
+  // stamping would pick whichever span is top of stack at update time).
+  void begin(TimePoint now, Bytes size, Duration window, SpanId span = 0);
 
   // Re-evaluates path states (the body of Algorithm 1's loop). Call on a
   // timer or after delivery progress. No-op when inactive.
@@ -88,6 +92,7 @@ class DeadlineScheduler {
   int activations_ = 0;
   int enable_streak_ = 0;
   TimePoint last_update_ = kTimeZero;
+  SpanId owner_span_ = 0;  // stamped onto every decision record
 
   Telemetry* telemetry_ = nullptr;
   Counter activations_counter_;

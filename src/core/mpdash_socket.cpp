@@ -15,10 +15,10 @@ MpDashSocket::MpDashSocket(EventLoop& loop, MptcpConnection& conn,
 
 MpDashSocket::~MpDashSocket() { stop_timer(); }
 
-void MpDashSocket::enable(Bytes size, Duration window) {
+void MpDashSocket::enable(Bytes size, Duration window, SpanId span) {
   if (scheduler_.active()) scheduler_.end();
   conn_.client().set_sampling_active(true);
-  scheduler_.begin(loop_.now(), size, window);
+  scheduler_.begin(loop_.now(), size, window, span);
   stop_timer();
   timer_ = loop_.schedule_in(config_.check_interval, [this] { tick(); });
 }

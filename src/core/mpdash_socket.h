@@ -40,8 +40,9 @@ class MpDashSocket : public MultipathControl {
   MpDashSocket& operator=(const MpDashSocket&) = delete;
 
   // MP_DASH_ENABLE: activates the scheduler for the next `size` bytes with
-  // deadline window `window`.
-  void enable(Bytes size, Duration window);
+  // deadline window `window`. `span` tags the owning chunk span onto
+  // every scheduler decision record (0 = ambient stamping).
+  void enable(Bytes size, Duration window, SpanId span = 0);
   // MP_DASH_DISABLE.
   void disable();
 

@@ -61,7 +61,11 @@ AdaptationView DashPlayer::make_view() const {
   v.buffer_level_s = to_seconds(buffer_->level(loop_.now()));
   v.buffer_capacity_s = to_seconds(buffer_->capacity());
   v.chunk_duration_s = to_seconds(video_->chunk_duration());
-  v.last_level = last_level_;
+  // With prefetch the newest in-flight chunk is the adaptation's
+  // reference level (it is the most recent decision); sequentially the
+  // deque is empty whenever a view is built, so this is last_level_.
+  v.last_level = inflight_.empty() ? last_level_ : inflight_.back().level;
+  v.inflight_ahead = static_cast<int>(inflight_.size());
   v.next_chunk = next_chunk_;
   v.total_chunks = video_->chunk_count();
   v.in_startup = !playing_started_;
@@ -77,11 +81,12 @@ AdaptationView DashPlayer::make_view() const {
   return v;
 }
 
-void DashPlayer::schedule_fetch() {
-  // Wait until the buffer has room for one more chunk.
+void DashPlayer::schedule_fetch(int lookahead) {
+  // Wait until the buffer has room for `lookahead` more chunks (every
+  // in-flight one plus the next issue).
   const Duration level = buffer_->level(loop_.now());
   const Duration room_at =
-      level + video_->chunk_duration() - buffer_->capacity();
+      level + lookahead * video_->chunk_duration() - buffer_->capacity();
   loop_.cancel(fetch_timer_);
   fetch_timer_ = loop_.schedule_in(std::max(room_at, kDurationZero) +
                                        microseconds(1),
@@ -91,128 +96,179 @@ void DashPlayer::schedule_fetch() {
 void DashPlayer::fetch_next_chunk() {
   fetch_timer_ = EventId{};
   if (done_ || all_fetched_) return;
-  if (next_chunk_ >= video_->chunk_count()) {
-    all_fetched_ = true;
-    return;
+  // Issue as many requests as the lookahead window and guards allow.
+  // Every decline path below has a wake-up: buffer-room waits arm the
+  // fetch timer, and the prefetch guards are re-evaluated at each chunk
+  // completion (which calls back into this function).
+  while (!done_) {
+    if (next_chunk_ >= video_->chunk_count()) {
+      all_fetched_ = true;
+      return;
+    }
+    const int n = static_cast<int>(inflight_.size());
+    if (n >= std::max(1, config_.max_inflight_chunks)) return;
+    if (n > 0) {
+      // Prefetch guards: while stalled, every byte should serve the
+      // chunk the stall is waiting on; and once the oldest in-flight
+      // chunk is past its deadline, adding competition for bandwidth
+      // only deepens the miss.
+      if (stalled_) return;
+      if (loop_.now() > inflight_.front().abs_deadline) return;
+    }
+    if (!buffer_->has_room(loop_.now(), (n + 1) * video_->chunk_duration())) {
+      schedule_fetch(n + 1);
+      return;
+    }
+    issue_chunk();
   }
-  if (!buffer_->has_room(loop_.now(), video_->chunk_duration())) {
-    schedule_fetch();
-    return;
-  }
+}
 
-  // Activate the span before level selection so the kQualitySwitch,
+void DashPlayer::issue_chunk() {
+  InflightChunk e;
+  e.chunk = next_chunk_;
+
+  // Open the span before level selection so the kQualitySwitch,
   // kChunkRequest, and Algorithm-1 "begin" records it triggers are all
   // stamped with this chunk's id.
-  activate_span(&chunk_span_);
+  if (telemetry_ && telemetry_->tracing()) {
+    e.span = telemetry_->open_span();
+    e.span_opened = loop_.now();
+    telemetry_->push_span(e.span);
+  }
 
   AdaptationView view = make_view();
   int level = adaptation_.select_level(view);
   level = std::clamp(level, 0, video_->highest_level());
 
-  if (last_level_ >= 0 && level != last_level_) {
+  const int prev_level = view.last_level;
+  if (prev_level >= 0 && level != prev_level) {
     ++switches_;
-    log(PlayerEventType::kQualitySwitch, level, next_chunk_, 0,
-        static_cast<double>(last_level_));
+    log(PlayerEventType::kQualitySwitch, level, e.chunk, 0,
+        static_cast<double>(prev_level), e.span);
   }
 
-  const Bytes size = video_->chunk_size(level, next_chunk_);
-  pending_deadline_.reset();
-  if (hooks_) pending_deadline_ = hooks_->on_chunk_request(view, level, size);
-  pending_request_time_ = loop_.now();
-  pending_level_ = level;
+  const Bytes size = video_->chunk_size(level, e.chunk);
+  if (hooks_) {
+    e.deadline = hooks_->on_chunk_request(view, level, size, e.chunk, e.span);
+  }
+  e.requested = loop_.now();
+  e.level = level;
+  e.buffer_at_request_s = to_seconds(buffer_->level(loop_.now()));
+  if (e.deadline) e.abs_deadline = loop_.now() + *e.deadline;
 
-  log(PlayerEventType::kChunkRequest, level, next_chunk_, size,
-      pending_deadline_ ? to_seconds(*pending_deadline_) : 0.0);
-  open_span_record(chunk_span_, "chunk", level, next_chunk_, size,
-                   pending_deadline_ ? to_seconds(*pending_deadline_) : 0.0);
+  log(PlayerEventType::kChunkRequest, level, e.chunk, size,
+      e.deadline ? to_seconds(*e.deadline) : 0.0, e.span);
+  open_span_record(e.span, "chunk", level, e.chunk, size,
+                   e.deadline ? to_seconds(*e.deadline) : 0.0);
 
-  client_.get(chunk_url(level, next_chunk_),
-              [this](const HttpTransfer& t) { on_chunk_done(t); });
+  const int chunk = e.chunk;
+  const SpanId span = e.span;
+  inflight_.push_back(std::move(e));
+  ++next_chunk_;
+  client_.get(
+      chunk_url(level, chunk),
+      [this, chunk](const HttpTransfer& t) { on_chunk_done(chunk, t); },
+      nullptr, span);
 }
 
-void DashPlayer::on_chunk_done(const HttpTransfer& transfer) {
+DashPlayer::InflightIter DashPlayer::find_inflight(int chunk) {
+  return std::find_if(
+      inflight_.begin(), inflight_.end(),
+      [chunk](const InflightChunk& e) { return e.chunk == chunk; });
+}
+
+void DashPlayer::on_chunk_done(int chunk, const HttpTransfer& transfer) {
+  InflightIter it = find_inflight(chunk);
+  assert(it != inflight_.end());
+  if (it == inflight_.end()) return;
   if (!transfer.ok()) {
-    on_chunk_failed(transfer);
+    on_chunk_failed(it);
     return;
   }
   if (transfer.response.status != 200) {
     throw std::runtime_error("chunk fetch failed");
   }
-  fetch_attempt_ = 0;
   const TimePoint now = loop_.now();
+  const InflightChunk e = *it;
 
   ChunkRecord rec;
-  rec.chunk = next_chunk_;
-  rec.level = pending_level_;
-  rec.span = chunk_span_;
+  rec.chunk = e.chunk;
+  rec.level = e.level;
+  rec.span = e.span;
   rec.bytes = transfer.body_bytes;
-  rec.requested = pending_request_time_;
+  rec.requested = e.requested;
   rec.completed = now;
-  rec.deadline = pending_deadline_;
-  rec.buffer_at_request_s = to_seconds(buffer_->level(pending_request_time_));
+  rec.deadline = e.deadline;
+  rec.buffer_at_request_s = e.buffer_at_request_s;
   chunk_log_.push_back(rec);
 
-  last_chunk_throughput_ =
-      rate_of(transfer.body_bytes, now - pending_request_time_);
-  adaptation_.on_chunk_downloaded(pending_level_, transfer.body_bytes,
-                                  now - pending_request_time_);
+  last_chunk_throughput_ = rate_of(transfer.body_bytes, now - e.requested);
+  adaptation_.on_chunk_downloaded(e.level, transfer.body_bytes,
+                                  now - e.requested);
 
   buffer_->add(now, video_->chunk_duration());
-  log(PlayerEventType::kChunkComplete, pending_level_, next_chunk_,
-      transfer.body_bytes);
-  last_level_ = pending_level_;
-  ++next_chunk_;
+  log(PlayerEventType::kChunkComplete, e.level, e.chunk, transfer.body_bytes,
+      0.0, e.span);
+  last_level_ = e.level;
+  inflight_.erase(it);
 
-  if (hooks_) hooks_->on_chunk_complete(make_view());
+  if (hooks_) hooks_->on_chunk_complete(make_view(), e.chunk);
 
   maybe_start_playback();
+  // End-of-stream: nothing will ever refill the buffer again, so resume
+  // with whatever is buffered rather than waiting for a threshold no
+  // future delivery can reach (mirrors maybe_start_playback).
   if (stalled_ &&
-      buffer_->level(now) >= std::min(config_.startup_buffer,
-                                      buffer_->capacity() / 2)) {
+      (no_more_chunks() ||
+       buffer_->level(now) >= std::min(config_.startup_buffer,
+                                       buffer_->capacity() / 2))) {
     stalled_ = false;
     buffer_->set_playing(now, true);
     total_stall_ += now - stall_started_;
+    // The stall ended because this chunk landed; keep the record inside
+    // its span.
     log(PlayerEventType::kStallEnd, -1, -1, 0,
-        to_seconds(now - stall_started_));
+        to_seconds(now - stall_started_), e.span);
   }
   arm_depletion_watch();
-  // next_chunk_ already advanced; close the span under the chunk number
-  // it served. Stall-end above stays inside the span: the stall ended
-  // because this chunk landed.
-  close_span(&chunk_span_, "delivered", last_level_, next_chunk_ - 1,
-             transfer.body_bytes);
+  emit_span_end(e.span, e.span_opened, "delivered", e.level, e.chunk,
+                transfer.body_bytes);
   fetch_next_chunk();
 }
 
-void DashPlayer::on_chunk_failed(const HttpTransfer& transfer) {
-  (void)transfer;
-  ++fetch_attempt_;
-  if (fetch_attempt_ >= config_.max_chunk_attempts) {
-    abandon_chunk();
+void DashPlayer::on_chunk_failed(InflightIter it) {
+  InflightChunk& e = *it;
+  ++e.attempt;
+  if (e.attempt >= config_.max_chunk_attempts) {
+    abandon_chunk(it);
     return;
   }
   // Downshift-and-retry: a lower level is fewer bytes, which is the best
   // bet on whatever is left of the network.
-  const int level = std::max(0, pending_level_ - 1);
+  const int level = std::max(0, e.level - 1);
   ++chunk_retries_;
-  log(PlayerEventType::kChunkRetry, level, next_chunk_, 0,
-      static_cast<double>(fetch_attempt_));
-  pending_level_ = level;
-  pending_request_time_ = loop_.now();
-  client_.get(chunk_url(level, next_chunk_),
-              [this](const HttpTransfer& t) { on_chunk_done(t); });
+  log(PlayerEventType::kChunkRetry, level, e.chunk, 0,
+      static_cast<double>(e.attempt), e.span);
+  e.level = level;
+  e.requested = loop_.now();
+  e.buffer_at_request_s = to_seconds(buffer_->level(loop_.now()));
+  const int chunk = e.chunk;
+  client_.get(
+      chunk_url(level, chunk),
+      [this, chunk](const HttpTransfer& t) { on_chunk_done(chunk, t); },
+      nullptr, e.span);
 }
 
-void DashPlayer::abandon_chunk() {
+void DashPlayer::abandon_chunk(InflightIter it) {
   // The paper's graceful-degradation endpoint: give up on this chunk so
   // the session as a whole survives. Playback will skip the gap.
+  const InflightChunk e = *it;
   ++chunks_abandoned_;
-  log(PlayerEventType::kChunkAbandoned, pending_level_, next_chunk_);
-  close_span(&chunk_span_, "abandoned", pending_level_, next_chunk_, 0);
-  fetch_attempt_ = 0;
-  ++next_chunk_;
-  if (hooks_) hooks_->on_chunk_complete(make_view());
-  if (next_chunk_ >= video_->chunk_count() && stalled_) {
+  log(PlayerEventType::kChunkAbandoned, e.level, e.chunk, 0, 0.0, e.span);
+  emit_span_end(e.span, e.span_opened, "abandoned", e.level, e.chunk, 0);
+  inflight_.erase(it);
+  if (hooks_) hooks_->on_chunk_complete(make_view(), e.chunk);
+  if (no_more_chunks() && stalled_) {
     // The chunk this stall was waiting for (and everything after it) is
     // gone; nothing will ever refill the buffer. Close the stall and end
     // the session instead of hanging.
@@ -232,8 +288,8 @@ void DashPlayer::abandon_chunk() {
 void DashPlayer::maybe_start_playback() {
   if (playing_started_) return;
   const TimePoint now = loop_.now();
-  const bool enough = buffer_->level(now) >= config_.startup_buffer ||
-                      next_chunk_ >= video_->chunk_count();
+  const bool enough =
+      buffer_->level(now) >= config_.startup_buffer || no_more_chunks();
   if (!enough) return;
   playing_started_ = true;
   buffer_->set_playing(now, true);
@@ -257,16 +313,18 @@ void DashPlayer::on_depleted() {
     arm_depletion_watch();  // chunk arrived between scheduling and firing
     return;
   }
-  if (next_chunk_ >= video_->chunk_count()) {
+  if (no_more_chunks()) {
     finish();
     return;
   }
-  // Mid-stream empty buffer: a stall.
+  // Mid-stream empty buffer: a stall. Attributed to the oldest in-flight
+  // chunk — the one playback is waiting on.
   stalled_ = true;
   stall_started_ = now;
   ++stall_count_;
   buffer_->set_playing(now, false);
-  log(PlayerEventType::kStallStart);
+  log(PlayerEventType::kStallStart, -1, -1, 0, 0.0,
+      inflight_.empty() ? 0 : inflight_.front().span);
 }
 
 void DashPlayer::sample_buffer() {
@@ -315,7 +373,7 @@ void DashPlayer::activate_span(std::uint64_t* slot) {
   if (!telemetry_ || !telemetry_->tracing()) return;
   *slot = telemetry_->open_span();
   span_opened_ = loop_.now();
-  telemetry_->set_active_span(*slot);
+  telemetry_->push_span(*slot);
 }
 
 void DashPlayer::open_span_record(std::uint64_t id, const char* name,
@@ -337,22 +395,29 @@ void DashPlayer::open_span_record(std::uint64_t id, const char* name,
 void DashPlayer::close_span(std::uint64_t* slot, const char* status,
                             int level, int chunk, Bytes bytes) {
   if (*slot == 0) return;
+  emit_span_end(*slot, span_opened_, status, level, chunk, bytes);
+  *slot = 0;
+}
+
+void DashPlayer::emit_span_end(SpanId id, TimePoint opened,
+                               const char* status, int level, int chunk,
+                               Bytes bytes) {
+  if (id == 0) return;
   TraceRecord r;
   r.at = loop_.now();
   r.type = TraceType::kSpanEnd;
-  r.span = *slot;
+  r.span = id;
   r.label = status;
   r.level = level;
   r.chunk = chunk;
   r.bytes = bytes;
-  r.value = to_seconds(loop_.now() - span_opened_);
+  r.value = to_seconds(loop_.now() - opened);
   telemetry_->emit(r);
-  telemetry_->set_active_span(0);
-  *slot = 0;
+  telemetry_->pop_span(id);
 }
 
 void DashPlayer::log(PlayerEventType type, int level, int chunk, Bytes bytes,
-                     double extra) {
+                     double extra, SpanId span) {
   events_.push_back({loop_.now(), type, level, chunk, bytes, extra});
   if (!telemetry_) return;
   switch (type) {
@@ -387,6 +452,7 @@ void DashPlayer::log(PlayerEventType type, int level, int chunk, Bytes bytes,
     r.chunk = chunk;
     r.bytes = bytes;
     r.value = extra;
+    r.span = span;
     telemetry_->emit(r);
   }
 }

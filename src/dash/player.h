@@ -9,6 +9,7 @@
 // event log and per-chunk records consumed by the analysis + experiment
 // layers.
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -35,15 +36,22 @@ class StreamingHooks {
     (void)view;
     return DataRate::bits_per_second(0);
   }
-  // About to request `size` bytes of chunk at `level`; the adapter may
-  // activate the deadline scheduler here. Returns the deadline it set, if
-  // any (recorded in the chunk log).
+  // About to request `size` bytes of chunk `chunk` at `level`; the
+  // adapter may activate the deadline scheduler here. `span` is the
+  // chunk's causal span (0 when tracing is off) so scheduler records can
+  // be tagged with their owner even when several chunks are in flight.
+  // Returns the deadline it set, if any (recorded in the chunk log).
   virtual std::optional<Duration> on_chunk_request(const AdaptationView& view,
-                                                   int level, Bytes size) {
-    (void)view; (void)level; (void)size;
+                                                   int level, Bytes size,
+                                                   int chunk, SpanId span) {
+    (void)view; (void)level; (void)size; (void)chunk; (void)span;
     return std::nullopt;
   }
-  virtual void on_chunk_complete(const AdaptationView& view) { (void)view; }
+  // Chunk `chunk` finished (delivered or abandoned). With pipelining,
+  // completions can arrive while other chunks are still in flight.
+  virtual void on_chunk_complete(const AdaptationView& view, int chunk) {
+    (void)view; (void)chunk;
+  }
 };
 
 struct PlayerConfig {
@@ -59,6 +67,15 @@ struct PlayerConfig {
   // on); with the default client a chunk fetch never completes with an
   // error and these settings are inert.
   int max_chunk_attempts = 3;
+  // Prefetch lookahead: maximum chunk requests in flight at once. 1 =
+  // strict sequential fetching (seed behavior). Larger values issue the
+  // next request while earlier ones download — guarded by buffer room
+  // for every outstanding chunk, suppressed while stalled, and paused
+  // when the oldest in-flight chunk has blown past its deadline — with
+  // the adaptation decision re-evaluated at each issue time. Pair with
+  // HttpClientConfig::max_pipeline >= this so prefetched requests
+  // actually reach the wire.
+  int max_inflight_chunks = 1;
 };
 
 struct ChunkRecord {
@@ -107,29 +124,57 @@ class DashPlayer {
   void set_telemetry(Telemetry* telemetry);
 
  private:
+  // One outstanding chunk request. The player keeps up to
+  // max_inflight_chunks of these; with the default of 1 the deque never
+  // holds more than one entry and the control flow is exactly the old
+  // sequential player's.
+  struct InflightChunk {
+    int chunk = 0;
+    int level = 0;              // current attempt's level (retries downshift)
+    int attempt = 0;            // failed attempts so far
+    SpanId span = 0;            // 0 when tracing is off
+    TimePoint span_opened = kTimeZero;
+    TimePoint requested = kTimeZero;  // latest attempt's request time
+    std::optional<Duration> deadline;  // adapter-set, relative to issue
+    TimePoint abs_deadline = TimePoint::max();
+    double buffer_at_request_s = 0.0;
+  };
+  using InflightIter = std::deque<InflightChunk>::iterator;
+
   void on_manifest(const HttpTransfer& transfer);
-  void schedule_fetch();
+  void schedule_fetch(int lookahead);
   void fetch_next_chunk();
-  void on_chunk_done(const HttpTransfer& transfer);
-  void on_chunk_failed(const HttpTransfer& transfer);
-  void abandon_chunk();
+  void issue_chunk();
+  InflightIter find_inflight(int chunk);
+  void on_chunk_done(int chunk, const HttpTransfer& transfer);
+  void on_chunk_failed(InflightIter it);
+  void abandon_chunk(InflightIter it);
+  // True once every chunk has been issued AND delivered/abandoned:
+  // nothing will ever refill the buffer again.
+  bool no_more_chunks() const {
+    return next_chunk_ >= video_->chunk_count() && inflight_.empty();
+  }
   AdaptationView make_view() const;
   void maybe_start_playback();
   void arm_depletion_watch();
   void on_depleted();
   void sample_buffer();
+  // `span` stamps the kPlayer record explicitly (0 = ambient top-of-stack
+  // stamping, which is only unambiguous while at most one span is open).
   void log(PlayerEventType type, int level = -1, int chunk = -1,
-           Bytes bytes = 0, double extra = 0.0);
+           Bytes bytes = 0, double extra = 0.0, SpanId span = 0);
   void finish();
   // Span lifecycle: one causal span per chunk request (and one for the
-  // manifest). open_span_record emits kSpanStart for an already-activated
-  // id; close_span emits kSpanEnd and deactivates. Retries stay inside
-  // the span that opened the request.
+  // manifest), pushed onto the telemetry span stack while open. Retries
+  // stay inside the span that opened the request; closes pop their own
+  // id, so out-of-order completions never disturb sibling spans.
   void activate_span(std::uint64_t* slot);
   void open_span_record(std::uint64_t id, const char* name, int level,
                         int chunk, Bytes bytes, double deadline_s);
   void close_span(std::uint64_t* slot, const char* status, int level,
                   int chunk, Bytes bytes);
+  void emit_span_end(SpanId id, TimePoint opened, const char* status,
+                     int level, int chunk, Bytes bytes);
 
   EventLoop& loop_;
   HttpClient& client_;
@@ -141,9 +186,8 @@ class DashPlayer {
   std::optional<PlaybackBuffer> buffer_;
   std::function<void()> on_done_;
 
-  int next_chunk_ = 0;
-  int last_level_ = -1;
-  int fetch_attempt_ = 0;       // attempts made for the current chunk
+  int next_chunk_ = 0;  // next chunk to ISSUE (advances at request time)
+  int last_level_ = -1;  // level of the last DELIVERED chunk
   int manifest_attempt_ = 0;
   bool manifest_failed_ = false;
   bool playing_started_ = false;
@@ -153,12 +197,9 @@ class DashPlayer {
   bool done_ = false;
 
   DataRate last_chunk_throughput_;
-  std::optional<Duration> pending_deadline_;
-  TimePoint pending_request_time_ = kTimeZero;
-  int pending_level_ = 0;
+  std::deque<InflightChunk> inflight_;  // issue order (front = oldest)
   std::uint64_t manifest_span_ = 0;
-  std::uint64_t chunk_span_ = 0;
-  TimePoint span_opened_ = kTimeZero;  // spans never overlap; one clock
+  TimePoint span_opened_ = kTimeZero;  // manifest span only
 
   EventId fetch_timer_;
   EventId depletion_timer_;

@@ -1,7 +1,11 @@
 #include "exp/chaos.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <iterator>
 #include <memory>
+#include <set>
 #include <utility>
 
 namespace mpdash {
@@ -110,6 +114,44 @@ std::vector<std::string> check_chaos_invariants(const SessionResult& res,
   return v;
 }
 
+std::vector<std::string> check_pipeline_invariants(
+    const std::vector<TraceRecord>& trace, int max_retries) {
+  std::vector<std::string> v;
+  std::set<SpanId> closed;
+  for (const TraceRecord& r : trace) {
+    if (r.type == TraceType::kSpanStart) {
+      if (r.span != 0 && closed.count(r.span) > 0) {
+        v.push_back("span " + std::to_string(r.span) +
+                    " reopened after close at t=" +
+                    std::to_string(to_seconds(r.at)));
+      }
+      continue;
+    }
+    if (r.type == TraceType::kSpanEnd) {
+      closed.insert(r.span);
+      continue;
+    }
+    if (r.type != TraceType::kHttp || r.label == nullptr) continue;
+    if (std::strcmp(r.label, "response") == 0) {
+      if (r.span != 0 && closed.count(r.span) > 0) {
+        v.push_back("response delivered to dead span " +
+                    std::to_string(r.span) + " at t=" +
+                    std::to_string(to_seconds(r.at)));
+      }
+    } else if (std::strcmp(r.label, "retry") == 0) {
+      // Retry records carry the attempt number after increment, so a
+      // budget-honoring client never logs one above max_retries.
+      if (r.level > max_retries) {
+        v.push_back("retry budget exceeded: attempt " +
+                    std::to_string(r.level) + " > " +
+                    std::to_string(max_retries) + " on span " +
+                    std::to_string(r.span));
+      }
+    }
+  }
+  return v;
+}
+
 ScenarioConfig chaos_scenario_config(std::uint64_t run_seed) {
   ScenarioConfig net = constant_scenario(DataRate::mbps(5.0),
                                          DataRate::mbps(4.0));
@@ -133,6 +175,7 @@ SessionConfig chaos_session_config(const ChaosConfig& cfg,
   s.mptcp_scheduler = cfg.mptcp_scheduler;
   s.time_limit = cfg.time_limit;
   s.player.max_chunk_attempts = 3;
+  s.player.max_inflight_chunks = std::max(1, cfg.inflight);
   if (cfg.recovery) {
     s.mptcp_recovery.max_consecutive_rtos = 4;
     s.mptcp_recovery.reprobe_interval = seconds(2.0);
@@ -159,6 +202,17 @@ ChaosRunResult run_one(const ChaosConfig& cfg, const Video& video,
     scfg.metrics_interval = cfg.series_interval;
   }
 
+  // Always-on request-lifecycle capture for the pipelined audit. Sinks are
+  // pure observers, so attaching one never perturbs the simulation or the
+  // campaign digest.
+  TraceCollector pipeline_capture;
+  TypeFilterSink pipeline_filter(
+      &pipeline_capture,
+      (1u << static_cast<unsigned>(TraceType::kHttp)) |
+          (1u << static_cast<unsigned>(TraceType::kSpanStart)) |
+          (1u << static_cast<unsigned>(TraceType::kSpanEnd)));
+  ctx.telemetry.add_sink(&pipeline_filter);
+
   // Per-run trace capture: sinks attach to the run-private telemetry, so
   // any --jobs interleaving writes each file from exactly one thread.
   std::unique_ptr<JsonlSink> jsonl;
@@ -177,6 +231,7 @@ ChaosRunResult run_one(const ChaosConfig& cfg, const Video& video,
 
   const SessionResult res = run_streaming_session(scenario, video, scfg);
 
+  ctx.telemetry.remove_sink(&pipeline_filter);
   if (filter) {
     ctx.telemetry.remove_sink(filter.get());
   } else if (jsonl) {
@@ -200,6 +255,13 @@ ChaosRunResult run_one(const ChaosConfig& cfg, const Video& video,
   out.faults_skipped = res.faults_skipped;
   out.manifest_failed = res.manifest_failed;
   out.violations = check_chaos_invariants(res, video.chunk_count());
+  {
+    std::vector<std::string> pv = check_pipeline_invariants(
+        pipeline_capture.records(), scfg.http_recovery.max_retries);
+    out.violations.insert(out.violations.end(),
+                          std::make_move_iterator(pv.begin()),
+                          std::make_move_iterator(pv.end()));
+  }
   if (cfg.series_interval > kDurationZero) {
     out.series_csv = qoe_series_csv(timeline, ctx.seed);
   }

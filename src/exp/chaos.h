@@ -35,6 +35,10 @@ struct ChaosConfig {
   std::string mptcp_scheduler = "minrtt";
   // Short synthetic video (chunk_count × 2 s) keeps one run ~seconds.
   int chunk_count = 30;
+  // Player prefetch window (PlayerConfig::max_inflight_chunks); 1 = the
+  // sequential seed behavior, >1 exercises the pipelined request path
+  // under faults (`mpdash_sim chaos --inflight N`).
+  int inflight = 1;
   // Faults are generated inside [start_margin, fault_horizon - end_margin]
   // (see RandomPlanConfig); the session gets until `time_limit` to finish.
   RandomPlanConfig plan;
@@ -93,6 +97,14 @@ struct ChaosCampaignResult {
 // tests can run single sessions through the same checks.
 std::vector<std::string> check_chaos_invariants(const SessionResult& res,
                                                 int chunk_count);
+
+// Audits the pipelined request lifecycle from a (kHttp | kSpanStart |
+// kSpanEnd)-filtered trace: no HTTP response may be delivered to a span
+// that already closed (a stale late response must be discarded, never
+// surfaced), no span reopens, and no request exceeds its retry budget.
+// Holds for sequential runs too (the sequential player is inflight = 1).
+std::vector<std::string> check_pipeline_invariants(
+    const std::vector<TraceRecord>& trace, int max_retries);
 
 // Builds the per-seed SessionConfig (recovery knobs, jitter seed) — shared
 // by the campaign, the CLI, and the acceptance tests.

@@ -139,7 +139,12 @@ SessionResult run_streaming_session(Scenario& scenario, const Video& video,
   }
 
   DashServer server(conn.server(), video);
-  HttpClient client(loop, conn.client(), config.http_recovery);
+  HttpClientConfig hcfg = config.http_recovery;
+  // A prefetching player needs the transport to pipeline as deep as the
+  // player's in-flight window; never shrink an explicit wider setting.
+  hcfg.max_pipeline = std::max(hcfg.max_pipeline,
+                               config.player.max_inflight_chunks);
+  HttpClient client(loop, conn.client(), hcfg);
   if (telemetry) client.set_telemetry(telemetry);
 
   std::unique_ptr<FaultInjector> injector;

@@ -177,7 +177,10 @@ void FaultInjector::emit(const FaultEvent& e, bool starting) {
   r.enabled = starting;
   r.value = e.value;
   if (!is_server_fault(e.kind)) r.path_id = e.path_id;
-  telemetry_->emit(r);
+  // Fault windows are trace-global, not owned by whichever chunk span
+  // happens to be open when the fault fires — skip ambient stamping so
+  // the analysis layer joins them against *all* overlapping spans.
+  telemetry_->emit_unspanned(r);
 }
 
 }  // namespace mpdash

@@ -1,20 +1,25 @@
 #pragma once
-// Sequential HTTP/1.1 client over an MPTCP endpoint: one request in
-// flight at a time (DASH players fetch chunks back to back). Completion
+// Pipelined HTTP/1.1 client over an MPTCP endpoint. By default one
+// request is in flight at a time (seed behavior: DASH players fetch
+// chunks back to back); HttpClientConfig::max_pipeline > 1 lets up to N
+// requests share the persistent connection, each carrying its own causal
+// span so interleaved transfers stay attributable end to end. Completion
 // callbacks carry the parsed response, any real body bytes (manifests),
-// and transfer timing.
+// and transfer timing; with pipelining they can fire out of request
+// order when retries reshuffle responses.
 //
 // Optional robustness layer (HttpClientConfig::request_timeout > 0): each
-// request is watched by a timer; on expiry it is retried with capped
-// exponential backoff and deterministic jitter, up to a bounded retry
-// budget, after which the transfer completes with a typed error. Retried
-// requests carry a monotonically increasing id header the server echoes,
-// so a late response to an abandoned attempt is recognized and discarded
-// instead of desynchronizing response framing.
+// request is watched by its own timer; on expiry it is retried with
+// capped exponential backoff and deterministic jitter, up to a bounded
+// per-request retry budget, after which the transfer completes with a
+// typed error. Retried requests carry a monotonically increasing id
+// header the server echoes; responses are matched to their owning
+// request by that id, so a late response to an abandoned attempt is
+// recognized and discarded instead of desynchronizing response framing.
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <list>
 #include <string>
 
 #include "http/message.h"
@@ -64,6 +69,10 @@ struct HttpClientConfig {
   // Deterministic jitter stream: each backoff is scaled by a uniform
   // factor in [1, 1.25) drawn from this seed.
   std::uint64_t jitter_seed = 0;
+  // Maximum requests in flight on the persistent connection. 1 = strict
+  // sequential (seed behavior); a pipelined player raises it to its
+  // chunk lookahead so prefetch requests actually reach the wire.
+  int max_pipeline = 1;
 };
 
 class HttpClient {
@@ -78,12 +87,16 @@ class HttpClient {
 
   // Enqueues a GET. `on_done` fires when the full body has arrived — or,
   // with the retry layer active, when the retry budget is exhausted
-  // (transfer.error != kNone, response fields undefined).
+  // (transfer.error != kNone, response fields undefined). A nonzero
+  // `span` stamps the request's wire segments and every kHttp record for
+  // this transfer with the owning chunk span (0 = legacy ambient
+  // stamping, seed behavior).
   void get(std::string target, CompletionHandler on_done,
-           ProgressHandler on_progress = nullptr);
+           ProgressHandler on_progress = nullptr, SpanId span = 0);
 
   std::size_t outstanding() const { return pending_.size(); }
-  bool busy() const { return in_flight_; }
+  std::size_t inflight() const { return inflight_; }
+  bool busy() const { return inflight_ > 0; }
   std::size_t timeouts() const { return timeouts_; }
   std::size_t retries_sent() const { return retries_sent_; }
   const HttpClientConfig& config() const { return config_; }
@@ -97,32 +110,39 @@ class HttpClient {
     std::string target;
     CompletionHandler on_done;
     ProgressHandler on_progress;
+    SpanId span = 0;
+    bool sent = false;         // request bytes are on the wire
+    int attempt = 0;           // 0 = first send
+    std::uint64_t rid = 0;     // id the current attempt awaits
+    HttpTransfer transfer;
+    EventId timeout_timer;
+    EventId retry_timer;
   };
+  // std::list: stable node addresses for timer lambdas and the receiving
+  // pointer across queue/completion churn, plus mid-list erase for
+  // out-of-order completions.
+  using PendingList = std::list<Pending>;
 
   void maybe_send_next();
-  void send_attempt();
+  void send_attempt(Pending& p);
   void on_stream_data(const WireData& data);
-  void on_timeout();
-  void complete_with_error(TransferError error);
+  void on_timeout(Pending* p);
+  void complete_with_error(PendingList::iterator it, TransferError error);
+  PendingList::iterator iter_of(Pending* p);
   Duration backoff_delay(int attempt);
-  void emit_http(const char* event, int attempt, double value);
+  void emit_http(const char* event, int attempt, double value, SpanId span);
 
   EventLoop& loop_;
   MptcpEndpoint& endpoint_;
   HttpClientConfig config_;
   HttpStreamParser parser_;
-  std::deque<Pending> pending_;
-  bool in_flight_ = false;
+  PendingList pending_;            // sent entries first, then queued
+  std::size_t inflight_ = 0;       // entries with sent == true
   bool parser_dead_ = false;  // response stream poisoned; fail everything
-  HttpTransfer current_;
-
-  // retry state for the in-flight request
-  std::uint64_t next_rid_ = 1;     // id stamped on the next attempt
-  std::uint64_t expected_rid_ = 0; // id the current attempt awaits
+  Pending* receiving_ = nullptr;  // entry the parser is mid-message on
   bool discarding_stale_ = false;  // response matches an abandoned attempt
-  int attempt_ = 0;                // 0 = first send
-  EventId timeout_timer_;
-  EventId retry_timer_;
+
+  std::uint64_t next_rid_ = 1;     // id stamped on the next attempt
   Rng jitter_rng_;
   std::size_t timeouts_ = 0;
   std::size_t retries_sent_ = 0;

@@ -17,8 +17,16 @@ HttpServer::HttpServer(MptcpEndpoint& endpoint, Handler handler)
                   .on_body = nullptr,
                   .on_message_complete = nullptr,
                   .on_error = nullptr}) {
-  endpoint_.set_receive_handler(
-      [this](const WireData& data) { parser_.consume(data); });
+  endpoint_.set_receive_handler([this](const WireData& data) {
+    // Feed segment-by-segment so on_request sees the span of the bytes
+    // that formed the request (parsing is fragmentation-independent, so
+    // results are identical to feeding the whole batch at once).
+    for (const SegmentRef& seg : data) {
+      rx_span_ = seg.span;
+      parser_.consume(WireData{seg});
+    }
+    rx_span_ = 0;
+  });
 }
 
 void HttpServer::on_request(const HttpRequest& req) {
@@ -35,17 +43,18 @@ void HttpServer::on_request(const HttpRequest& req) {
   }
   ++served_;
   if (stalled_) {
-    stalled_responses_.push_back(resp.to_wire());
+    stalled_responses_.push_back({resp.to_wire(), rx_span_});
     return;
   }
-  endpoint_.send(resp.to_wire());
+  endpoint_.send(resp.to_wire(), rx_span_);
 }
 
 void HttpServer::set_stalled(bool stalled) {
   stalled_ = stalled;
   if (stalled_) return;
   while (!stalled_responses_.empty()) {
-    endpoint_.send(std::move(stalled_responses_.front()));
+    StalledResponse& r = stalled_responses_.front();
+    endpoint_.send(std::move(r.wire), r.span);
     stalled_responses_.pop_front();
   }
 }

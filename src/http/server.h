@@ -49,7 +49,18 @@ class HttpServer {
   std::size_t dropped_ = 0;
   bool stalled_ = false;
   bool dropping_ = false;
-  std::deque<WireData> stalled_responses_;
+  // Span carried by the request bytes currently being fed to the parser.
+  // Pipelined clients tag each request's segments with its span; a
+  // request's bytes are a contiguous single-span run, so feeding the
+  // parser one segment at a time makes on_request fire while rx_span_
+  // still holds the owning request's span — even when two pipelined
+  // requests share one packet.
+  SpanId rx_span_ = 0;
+  struct StalledResponse {
+    WireData wire;
+    SpanId span = 0;
+  };
+  std::deque<StalledResponse> stalled_responses_;
 };
 
 // Convenience 404.

@@ -22,6 +22,11 @@ struct SegmentRef {
   std::shared_ptr<const std::string> real;  // null => virtual bytes
   std::size_t offset = 0;                   // into *real when real != null
   std::size_t len = 0;
+  // Causal span of the request/response these bytes belong to (0 = none).
+  // Out-of-band metadata only — never serialized, never sized — so a
+  // pipelined sender can attribute interleaved byte runs per request
+  // without changing the wire format.
+  std::uint64_t span = 0;
 
   bool is_virtual() const { return real == nullptr; }
 };

@@ -120,7 +120,10 @@ void MptcpEndpoint::set_scheduler(std::unique_ptr<MptcpScheduler> scheduler) {
   scheduler_ = std::move(scheduler);
 }
 
-void MptcpEndpoint::send(WireData data) {
+void MptcpEndpoint::send(WireData data, SpanId span) {
+  if (span != 0) {
+    for (SegmentRef& seg : data) seg.span = span;
+  }
   send_buffer_.append(std::move(data));
   try_send();
 }

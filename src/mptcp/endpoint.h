@@ -71,8 +71,11 @@ class MptcpEndpoint {
   // without trace records. nullptr detaches.
   void set_telemetry(Telemetry* telemetry);
 
-  // Appends application data to the outgoing stream.
-  void send(WireData data);
+  // Appends application data to the outgoing stream. A nonzero `span`
+  // stamps every segment with the owning request's span before queueing,
+  // so interleaved pipelined transfers keep per-request attribution all
+  // the way down to packets (StreamBuffer slices never merge segments).
+  void send(WireData data, SpanId span = 0);
 
   // Network ingress: data packets feed reassembly (and are acked); ACK
   // packets feed the owning subflow sender and, on a server endpoint,

@@ -22,6 +22,7 @@ WireData StreamBuffer::pull(Bytes max_len) {
     piece.real = head.real;
     piece.offset = head.offset;
     piece.len = static_cast<std::size_t>(take);
+    piece.span = head.span;
     out.push_back(std::move(piece));
     size_ -= take;
     remaining -= take;

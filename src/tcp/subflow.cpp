@@ -80,8 +80,18 @@ void SubflowSender::send_data(std::uint64_t data_seq, Bytes len,
   last_send_ = loop_.now();
   const std::uint64_t seq = next_seq_++;
   // Retransmits reuse this SentPacket, so the span sticks to the chunk
-  // request that originally queued the bytes.
-  const std::uint64_t span = telemetry_ ? telemetry_->active_span() : 0;
+  // request that originally queued the bytes. Pipelined senders stamp the
+  // owning span onto segments at enqueue time; segment tags therefore take
+  // precedence over the ambient active span (a packet can only carry bytes
+  // from one request — StreamBuffer never merges segments).
+  std::uint64_t span = 0;
+  for (const SegmentRef& seg : segments) {
+    if (seg.span != 0) {
+      span = seg.span;
+      break;
+    }
+  }
+  if (span == 0) span = telemetry_ ? telemetry_->active_span() : 0;
   auto [it, inserted] = inflight_.emplace(
       seq, SentPacket{data_seq, len, std::move(segments), loop_.now(), span});
   assert(inserted);

@@ -1,0 +1,53 @@
+#pragma once
+// Prometheus text-exposition (format 0.0.4) export for MetricsSnapshot:
+// the bridge from the simulator's metrics registry to anything that can
+// scrape or ingest the standard text format (promtool, Prometheus's
+// textfile collector, Grafana Agent).
+//
+// Mapping:
+//   * dot-separated registry names become underscore-separated metric
+//     names (`player.buffer_s` → `player_buffer_s`); any character
+//     outside [a-zA-Z0-9_:] is replaced with '_', and a leading digit is
+//     prefixed with '_';
+//   * every family gets `# HELP` (citing the original registry name) and
+//     `# TYPE` lines;
+//   * counters and gauges emit one sample; histograms emit cumulative
+//     `_bucket{le="..."}` samples (inclusive upper edges, matching the
+//     registry's recording convention) ending with `le="+Inf"`, plus
+//     `_sum` and `_count`;
+//   * optional caller-supplied labels are attached to every sample with
+//     label-value escaping per the exposition format (backslash, double
+//     quote, newline).
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace mpdash {
+
+struct PrometheusOptions {
+  // Attached to every sample, in the given order, e.g.
+  // {{"run", "chaos/3"}, {"scheme", "mpdash-rate"}}. Values are escaped;
+  // names are sanitized like metric names.
+  std::vector<std::pair<std::string, std::string>> labels;
+  // Append the snapshot's simulated time as a millisecond timestamp to
+  // every sample line (off by default: simulated clocks start at 0, which
+  // real scrapers would read as 1970).
+  bool timestamps = false;
+};
+
+// Sanitizes one metric or label name to [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string prometheus_name(std::string_view name);
+
+// Escapes a label value (backslash, double quote, newline → \\, \", \n).
+std::string prometheus_escape_label(std::string_view value);
+
+// Renders the whole snapshot as exposition text, families in snapshot
+// (name-sorted) order. Deterministic: equal snapshots render equal text.
+std::string to_prometheus(const MetricsSnapshot& snap,
+                          const PrometheusOptions& opts = {});
+
+}  // namespace mpdash

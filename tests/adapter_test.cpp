@@ -57,7 +57,7 @@ TEST_F(AdapterFixture, DeadlineExtensionAbovePhi) {
   EXPECT_NEAR(adapter.phi_seconds(view_with(20)), 32.0, 1e-9);
   // Buffer at 36 s: extension of 4 s on top of the 4 s base.
   AdaptationView v = view_with(36);
-  const auto d = adapter.on_chunk_request(v, 2, 500'000);
+  const auto d = adapter.on_chunk_request(v, 2, 500'000, 0, 0);
   ASSERT_TRUE(d.has_value());
   EXPECT_NEAR(to_seconds(*d), 8.0, 0.01);
   socket.disable();
@@ -100,7 +100,7 @@ TEST_F(AdapterFixture, StartupNeverEngages) {
   AdaptationView v = view_with(39);
   v.in_startup = true;
   EXPECT_FALSE(adapter.should_engage(v));
-  EXPECT_FALSE(adapter.on_chunk_request(v, 2, 500'000).has_value());
+  EXPECT_FALSE(adapter.on_chunk_request(v, 2, 500'000, 0, 0).has_value());
   EXPECT_EQ(adapter.chunks_bypassed(), 1);
 }
 
@@ -108,23 +108,67 @@ TEST_F(AdapterFixture, EngageActivatesSocketAndCompleteReleasesIt) {
   FestiveAdaptation festive;
   MpDashAdapter adapter(socket, festive, {});
   AdaptationView v = view_with(25);
-  const auto d = adapter.on_chunk_request(v, 3, 1'000'000);
+  const auto d = adapter.on_chunk_request(v, 3, 1'000'000, 0, 0);
   ASSERT_TRUE(d.has_value());
   EXPECT_TRUE(socket.active());
   EXPECT_EQ(adapter.chunks_engaged(), 1);
-  adapter.on_chunk_complete(v);
+  EXPECT_EQ(adapter.outstanding_engaged(), 1u);
+  adapter.on_chunk_complete(v, 0);
   EXPECT_FALSE(socket.active());
+  EXPECT_EQ(adapter.outstanding_engaged(), 0u);
 }
 
 TEST_F(AdapterFixture, LowBufferDisablesActiveSocket) {
   FestiveAdaptation festive;
   MpDashAdapter adapter(socket, festive, {});
-  adapter.on_chunk_request(view_with(25), 3, 1'000'000);
+  adapter.on_chunk_request(view_with(25), 3, 1'000'000, 0, 0);
   EXPECT_TRUE(socket.active());
-  // Next chunk arrives with the buffer under Ω: the adapter bypasses and
-  // shuts the scheduler down (vanilla MPTCP for this chunk).
-  const auto d = adapter.on_chunk_request(view_with(5), 3, 1'000'000);
+  adapter.on_chunk_complete(view_with(25), 0);
+  socket.enable(1, seconds(1.0));  // leave the socket armed out-of-band
+  // Next chunk arrives with the buffer under Ω and nothing engaged: the
+  // adapter bypasses and shuts the scheduler down (vanilla MPTCP for
+  // this chunk).
+  const auto d = adapter.on_chunk_request(view_with(5), 3, 1'000'000, 1, 0);
   EXPECT_FALSE(d.has_value());
+  EXPECT_FALSE(socket.active());
+}
+
+TEST_F(AdapterFixture, BypassKeepsSocketServingOutstandingChunks) {
+  FestiveAdaptation festive;
+  MpDashAdapter adapter(socket, festive, {});
+  // A pipelined player can issue a bypassed chunk while an earlier
+  // engaged one is still in flight; the scheduler must keep serving it.
+  ASSERT_TRUE(adapter.on_chunk_request(view_with(25), 3, 1'000'000, 0, 0)
+                  .has_value());
+  EXPECT_TRUE(socket.active());
+  EXPECT_FALSE(
+      adapter.on_chunk_request(view_with(5), 3, 1'000'000, 1, 0).has_value());
+  EXPECT_TRUE(socket.active());
+  EXPECT_EQ(adapter.outstanding_engaged(), 1u);
+  // Completion order: the bypassed chunk has no entry to erase, and the
+  // engaged one still holds the socket until it lands.
+  adapter.on_chunk_complete(view_with(5), 1);
+  EXPECT_TRUE(socket.active());
+  adapter.on_chunk_complete(view_with(25), 0);
+  EXPECT_FALSE(socket.active());
+}
+
+TEST_F(AdapterFixture, PipelinedEngagementsRearmForCombinedBytes) {
+  FestiveAdaptation festive;
+  MpDashAdapter adapter(socket, festive,
+                        {.policy = DeadlinePolicy::kDurationBased});
+  ASSERT_TRUE(adapter.on_chunk_request(view_with(25), 3, 1'000'000, 0, 0)
+                  .has_value());
+  ASSERT_TRUE(adapter.on_chunk_request(view_with(25), 3, 1'000'000, 1, 0)
+                  .has_value());
+  EXPECT_EQ(adapter.outstanding_engaged(), 2u);
+  EXPECT_TRUE(socket.active());
+  // One MP_DASH_ENABLE covers both outstanding chunks' bytes.
+  EXPECT_EQ(socket.scheduler().target_bytes(), 2'000'000);
+  adapter.on_chunk_complete(view_with(25), 0);
+  EXPECT_TRUE(socket.active());  // re-armed for the survivor
+  EXPECT_EQ(socket.scheduler().target_bytes(), 1'000'000);
+  adapter.on_chunk_complete(view_with(25), 1);
   EXPECT_FALSE(socket.active());
 }
 

@@ -251,6 +251,98 @@ TEST(Attribution, SlowPathsReadAsBandwidthShortfall) {
   }
 }
 
+// --- overlap math on synthetic records: exact analytic values -----------
+
+TEST(Attribution, OverlapFieldsMatchHandComputedValues) {
+  // Three staggered spans and one path fault with known geometry:
+  //   span 1 = [0, 6), span 2 = [2, 8), span 3 = [4, 10), fault = [3, 9).
+  // Concurrency pieces: [0,2)=1, [2,4)=2, [4,6)=3, [6,8)=2, [8,10)=1.
+  std::vector<TraceRecord> trace;
+  auto rec = [&trace](double at_s, TraceType type, SpanId span,
+                      const char* label, int path = -1, bool enabled = false) {
+    TraceRecord r;
+    r.at = kTimeZero + seconds(at_s);
+    r.type = type;
+    r.span = span;
+    r.label = label;
+    r.path_id = path;
+    r.enabled = enabled;
+    trace.push_back(r);
+  };
+  rec(0.0, TraceType::kSpanStart, 1, "chunk");
+  rec(2.0, TraceType::kSpanStart, 2, "chunk");
+  rec(3.0, TraceType::kFault, 0, "blackout", 0, true);
+  rec(4.0, TraceType::kSpanStart, 3, "chunk");
+  rec(6.0, TraceType::kSpanEnd, 1, "delivered");
+  rec(8.0, TraceType::kSpanEnd, 2, "delivered");
+  rec(9.0, TraceType::kFault, 0, "blackout", 0, false);
+  rec(10.0, TraceType::kSpanEnd, 3, "delivered");
+
+  const SpanModel model = build_span_model(trace);
+  ASSERT_EQ(model.spans.size(), 3u);
+  ASSERT_EQ(model.faults.size(), 1u);
+
+  const ChunkTimeline* s1 = model.find(1);
+  const ChunkTimeline* s2 = model.find(2);
+  const ChunkTimeline* s3 = model.find(3);
+  ASSERT_TRUE(s1 && s2 && s3);
+
+  // Raw fault ∩ span coverage.
+  EXPECT_NEAR(s1->path_fault_overlap_s, 3.0, 1e-9);  // [3, 6)
+  EXPECT_NEAR(s2->path_fault_overlap_s, 5.0, 1e-9);  // [3, 8)
+  EXPECT_NEAR(s3->path_fault_overlap_s, 5.0, 1e-9);  // [4, 9)
+  EXPECT_NEAR(s1->server_fault_overlap_s, 0.0, 1e-9);
+  EXPECT_NEAR(s2->server_fault_overlap_s, 0.0, 1e-9);
+  EXPECT_NEAR(s3->server_fault_overlap_s, 0.0, 1e-9);
+
+  // Apportioned shares: each covered piece divided by its span count.
+  //   s1: [3,4)/2 + [4,6)/3                = 0.5 + 2/3
+  //   s2: [3,4)/2 + [4,6)/3 + [6,8)/2      = 0.5 + 2/3 + 1.0
+  //   s3: [4,6)/3 + [6,8)/2 + [8,9)/1      = 2/3 + 1.0 + 1.0
+  EXPECT_NEAR(s1->fault_overlap_share_s, 0.5 + 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s2->fault_overlap_share_s, 1.5 + 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s3->fault_overlap_share_s, 2.0 + 2.0 / 3.0, 1e-9);
+  // Shares partition the fault window exactly: Σ = 6 s = |[3, 9)|.
+  EXPECT_NEAR(s1->fault_overlap_share_s + s2->fault_overlap_share_s +
+                  s3->fault_overlap_share_s,
+              6.0, 1e-9);
+
+  // All three spans see the triple-overlap piece [4, 6).
+  EXPECT_EQ(s1->max_concurrent_spans, 3);
+  EXPECT_EQ(s2->max_concurrent_spans, 3);
+  EXPECT_EQ(s3->max_concurrent_spans, 3);
+}
+
+TEST(Attribution, StackedFaultWindowsDoNotDoubleCount) {
+  // Two faults on different paths covering [2, 5) and [4, 7): the union
+  // [2, 7) is what a single span [0, 10) is charged — 5 s, not 6.
+  std::vector<TraceRecord> trace;
+  auto rec = [&trace](double at_s, TraceType type, SpanId span,
+                      const char* label, int path = -1, bool enabled = false) {
+    TraceRecord r;
+    r.at = kTimeZero + seconds(at_s);
+    r.type = type;
+    r.span = span;
+    r.label = label;
+    r.path_id = path;
+    r.enabled = enabled;
+    trace.push_back(r);
+  };
+  rec(0.0, TraceType::kSpanStart, 1, "chunk");
+  rec(2.0, TraceType::kFault, 0, "blackout", 0, true);
+  rec(4.0, TraceType::kFault, 0, "blackout", 1, true);
+  rec(5.0, TraceType::kFault, 0, "blackout", 0, false);
+  rec(7.0, TraceType::kFault, 0, "blackout", 1, false);
+  rec(10.0, TraceType::kSpanEnd, 1, "delivered");
+
+  const SpanModel model = build_span_model(trace);
+  const ChunkTimeline* s1 = model.find(1);
+  ASSERT_TRUE(s1);
+  EXPECT_NEAR(s1->path_fault_overlap_s, 5.0, 1e-9);
+  EXPECT_NEAR(s1->fault_overlap_share_s, 5.0, 1e-9);  // alone: share = union
+  EXPECT_EQ(s1->max_concurrent_spans, 1);
+}
+
 // --- campaign-level determinism with spans + series enabled -------------
 
 TEST(Attribution, ChaosTracesAndSeriesAreJobsInvariant) {

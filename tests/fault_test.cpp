@@ -227,6 +227,60 @@ TEST(FaultInjector, UnattachedTargetsAreSkippedNotFatal) {
   EXPECT_TRUE(injector.quiescent());
 }
 
+TEST(FaultInjector, FaultRecordsStayUnspannedWhileChunkSpansOpen) {
+  // Latent-assumption regression: fault windows are trace-global, so
+  // kFault records must never inherit an ambient chunk span — even in a
+  // pipelined session where several spans sit on the telemetry stack
+  // whenever the injector's timer fires.
+  ScenarioConfig net =
+      constant_scenario(DataRate::mbps(2.0), DataRate::mbps(2.0));
+  net.seed = 5;
+  Scenario scenario(net);
+
+  FaultPlan plan;
+  plan.events.push_back(
+      make_event(FaultKind::kLossBurst, 6.0, 2.0, kWifiPathId));
+  plan.events.push_back(
+      make_event(FaultKind::kLossBurst, 10.0, 2.0, kCellularPathId));
+
+  Telemetry telemetry;
+  TraceCollector collector;
+  telemetry.add_sink(&collector);
+
+  SessionConfig cfg;
+  cfg.scheme = Scheme::kMpDashRate;
+  cfg.adaptation = "festive";
+  cfg.player.max_inflight_chunks = 3;
+  cfg.telemetry = &telemetry;
+  cfg.faults = &plan;
+  cfg.http_recovery.request_timeout = seconds(4.0);
+  cfg.http_recovery.max_retries = 4;
+  cfg.http_recovery.jitter_seed = 11;
+  const Video video("clip", seconds(2.0), 14,
+                    {DataRate::mbps(0.6), DataRate::mbps(1.2)}, 0.1, 3);
+  const SessionResult res = run_streaming_session(scenario, video, cfg);
+  ASSERT_TRUE(res.completed);
+  ASSERT_TRUE(res.faults_quiescent);
+
+  int fault_records = 0;
+  int open_spans = 0;
+  int faults_with_spans_open = 0;
+  for (const TraceRecord& r : collector.records()) {
+    if (r.type == TraceType::kSpanStart) ++open_spans;
+    if (r.type == TraceType::kSpanEnd) --open_spans;
+    if (r.type != TraceType::kFault) continue;
+    ++fault_records;
+    if (open_spans > 0) ++faults_with_spans_open;
+    EXPECT_EQ(r.span, 0u) << r.label << " fault record at "
+                          << to_seconds(r.at) << " inherited span "
+                          << r.span;
+  }
+  EXPECT_EQ(fault_records, 4);  // start + end per event
+  // The regression only bites if a span was actually open when the
+  // injector fired; make sure the scenario exercises that.
+  EXPECT_GT(faults_with_spans_open, 0);
+}
+
 // --- recovery acceptance: subflow death -> reinjection -> completion ----
 
 class RecoveryAcceptance : public ::testing::Test {
@@ -310,6 +364,96 @@ TEST(ChaosCampaign, InvariantsHoldAcrossSeeds) {
 
 TEST(ChaosCampaign, DigestIsIdenticalForAnyJobCount) {
   ChaosConfig cfg = small_chaos(6);
+  cfg.jobs = 1;
+  const std::string serial = run_chaos_campaign(cfg).digest();
+  cfg.jobs = 4;
+  const std::string parallel = run_chaos_campaign(cfg).digest();
+  EXPECT_EQ(serial, parallel);
+  EXPECT_FALSE(serial.empty());
+}
+
+// --- pipelined chaos ----------------------------------------------------
+
+TraceRecord http_rec(double at_s, TraceType type, SpanId span,
+                     const char* label, int level = -1) {
+  TraceRecord r;
+  r.at = TimePoint(seconds(at_s));
+  r.type = type;
+  r.span = span;
+  r.label = label;
+  r.level = level;
+  return r;
+}
+
+TEST(PipelineInvariants, OverlappingCleanLifecyclePasses) {
+  // Two requests pipelined: span 2 opens before span 1 closes, each gets
+  // its response while open, one retry inside the budget.
+  const std::vector<TraceRecord> trace = {
+      http_rec(0.0, TraceType::kSpanStart, 1, "chunk"),
+      http_rec(0.1, TraceType::kHttp, 1, "request", 0),
+      http_rec(0.2, TraceType::kSpanStart, 2, "chunk"),
+      http_rec(0.3, TraceType::kHttp, 2, "request", 0),
+      http_rec(0.5, TraceType::kHttp, 1, "retry", 1),
+      http_rec(0.9, TraceType::kHttp, 1, "response", 1),
+      http_rec(1.0, TraceType::kSpanEnd, 1, "delivered"),
+      http_rec(1.2, TraceType::kHttp, 2, "response", 0),
+      http_rec(1.3, TraceType::kSpanEnd, 2, "delivered"),
+  };
+  EXPECT_TRUE(check_pipeline_invariants(trace, 4).empty());
+}
+
+TEST(PipelineInvariants, ResponseToClosedSpanFlagged) {
+  const std::vector<TraceRecord> trace = {
+      http_rec(0.0, TraceType::kSpanStart, 1, "chunk"),
+      http_rec(0.5, TraceType::kSpanEnd, 1, "abandoned"),
+      http_rec(0.9, TraceType::kHttp, 1, "response", 0),
+  };
+  const auto v = check_pipeline_invariants(trace, 4);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("dead span 1"), std::string::npos) << v[0];
+}
+
+TEST(PipelineInvariants, SpanReopenFlagged) {
+  const std::vector<TraceRecord> trace = {
+      http_rec(0.0, TraceType::kSpanStart, 1, "chunk"),
+      http_rec(0.5, TraceType::kSpanEnd, 1, "delivered"),
+      http_rec(0.6, TraceType::kSpanStart, 1, "chunk"),
+  };
+  const auto v = check_pipeline_invariants(trace, 4);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("reopened"), std::string::npos) << v[0];
+}
+
+TEST(PipelineInvariants, RetryBudgetOverrunFlagged) {
+  const std::vector<TraceRecord> trace = {
+      http_rec(0.0, TraceType::kSpanStart, 1, "chunk"),
+      http_rec(0.5, TraceType::kHttp, 1, "retry", 5),
+  };
+  const auto v = check_pipeline_invariants(trace, 4);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("retry budget exceeded"), std::string::npos) << v[0];
+}
+
+TEST(ChaosCampaign, PipelinedInvariantsHoldAcrossSeeds) {
+  // The same fault gauntlet with a 3-deep prefetch window: every chunk
+  // still delivered or cleanly abandoned, no stale response surfaces to a
+  // dead span, retry budgets honored, counters consistent.
+  ChaosConfig cfg = small_chaos(8);
+  cfg.inflight = 3;
+  const ChaosCampaignResult res = run_chaos_campaign(cfg);
+  ASSERT_EQ(res.runs.size(), 8u);
+  for (const ChaosRunResult& r : res.runs) {
+    for (const std::string& v : r.violations) {
+      ADD_FAILURE() << "seed " << r.seed << ": " << v;
+    }
+    EXPECT_TRUE(r.completed) << "seed " << r.seed;
+  }
+  EXPECT_EQ(res.violation_count(), 0);
+}
+
+TEST(ChaosCampaign, PipelinedDigestIsIdenticalForAnyJobCount) {
+  ChaosConfig cfg = small_chaos(6);
+  cfg.inflight = 3;
   cfg.jobs = 1;
   const std::string serial = run_chaos_campaign(cfg).digest();
   cfg.jobs = 4;

@@ -176,3 +176,51 @@ TEST(GoldenTrace, BlackoutSchedulerDecisions) {
   }
   check_golden("blackout_sched_decisions.jsonl", out);
 }
+
+// The streaming scenario again with a 3-deep prefetch window: the fixture
+// pins the scheduler's decisions *and* the span lifecycle (kSpanStart /
+// kSpanEnd records), so it regression-locks overlapping chunk spans —
+// up to three open at once — and the deadline-slack credit prefetched
+// requests receive.
+TEST(GoldenTrace, PipelinedSchedulerDecisions) {
+  const Video video("golden-clip", seconds(4.0), 10,
+                    {DataRate::mbps(0.58), DataRate::mbps(1.01),
+                     DataRate::mbps(1.47), DataRate::mbps(2.41),
+                     DataRate::mbps(3.94)},
+                    0.12, 42);
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(2.8), DataRate::mbps(3.0)));
+  Telemetry telemetry;
+  TraceCollector collector;
+  telemetry.add_sink(&collector);
+
+  SessionConfig cfg;
+  cfg.scheme = Scheme::kMpDashRate;
+  cfg.adaptation = "festive";
+  cfg.player.max_inflight_chunks = 3;
+  cfg.telemetry = &telemetry;
+  const SessionResult res = run_streaming_session(scenario, video, cfg);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.chunks, 10);
+
+  std::string out;
+  int max_open = 0;
+  int open = 0;
+  for (const TraceRecord& r : collector.records()) {
+    if (r.type == TraceType::kSpanStart) {
+      ++open;
+      if (open > max_open) max_open = open;
+    } else if (r.type == TraceType::kSpanEnd) {
+      --open;
+    } else if (r.type != TraceType::kSchedDecision &&
+               r.type != TraceType::kPathMask) {
+      continue;
+    }
+    out += trace_record_to_json(r);
+    out += '\n';
+  }
+  // The fixture is only worth pinning if spans genuinely overlapped.
+  EXPECT_GE(max_open, 2);
+  EXPECT_LE(max_open, 3);
+  check_golden("pipelined_sched_decisions.jsonl", out);
+}

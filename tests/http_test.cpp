@@ -6,6 +6,7 @@
 #include "http/parser.h"
 #include "http/server.h"
 #include "mptcp/connection.h"
+#include "telemetry/telemetry.h"
 
 namespace mpdash {
 namespace {
@@ -367,6 +368,69 @@ TEST(HttpRecovery, StalledServerFlushesQueuedResponsesOnResume) {
   EXPECT_EQ(done.retries, 0);
   EXPECT_GT(to_seconds(done.completed), 2.0);  // held until the flush
   EXPECT_EQ(client.timeouts(), 0u);
+}
+
+TEST(HttpRecovery, RetryTimerRecordsStampOwningSpanNotAmbient) {
+  // Latent-assumption regression: retry and timeout records are emitted
+  // from timer callbacks, where the ambient active span is whatever
+  // happens to sit on the telemetry stack — under pipelining that is NOT
+  // necessarily the owning transfer's span. The client must stamp each
+  // record with its transfer's span explicitly.
+  Scenario scenario(
+      constant_scenario(DataRate::mbps(10.0), DataRate::mbps(10.0)));
+  MptcpConnection conn(scenario.loop(), scenario.paths());
+  HttpServer server(conn.server(), [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "payload";
+    return resp;
+  });
+  server.set_dropping(true);
+  scenario.loop().schedule_at(TimePoint(seconds(1.4)),
+                              [&server] { server.set_dropping(false); });
+
+  Telemetry telemetry;
+  TraceCollector collector;
+  telemetry.add_sink(&collector);
+  // A foreign span squats on the ambient stack for the whole run; if any
+  // HTTP record leaked through emit()'s ambient stamping with span == 0,
+  // it would show up as 999.
+  telemetry.push_span(999);
+
+  HttpClientConfig cfg;
+  cfg.request_timeout = milliseconds(500);
+  cfg.max_retries = 5;
+  cfg.jitter_seed = 7;
+  cfg.max_pipeline = 2;  // both requests on the wire inside the outage
+  HttpClient client(scenario.loop(), conn.client(), cfg);
+  client.set_telemetry(&telemetry);
+
+  int done = 0;
+  client.get("/a", [&](const HttpTransfer& t) {
+    EXPECT_TRUE(t.ok());
+    ++done;
+  }, nullptr, 101);
+  client.get("/b", [&](const HttpTransfer& t) {
+    EXPECT_TRUE(t.ok());
+    ++done;
+  }, nullptr, 202);
+  scenario.loop().run();
+  ASSERT_EQ(done, 2);
+
+  int retries_101 = 0, retries_202 = 0, responses = 0;
+  for (const TraceRecord& r : collector.records()) {
+    if (r.type != TraceType::kHttp) continue;
+    EXPECT_TRUE(r.span == 101 || r.span == 202)
+        << r.label << " record carries span " << r.span;
+    if (std::string_view(r.label) == "retry") {
+      (r.span == 101 ? retries_101 : retries_202)++;
+    } else if (std::string_view(r.label) == "response") {
+      ++responses;
+    }
+  }
+  // Both transfers hit the dropping window and retried at least once.
+  EXPECT_GE(retries_101, 1);
+  EXPECT_GE(retries_202, 1);
+  EXPECT_EQ(responses, 2);
 }
 
 TEST(HttpRecovery, ResponseFlushedAfterBudgetExhaustionIsDiscarded) {

@@ -1,0 +1,386 @@
+// Differential + property harness for the prefetching pipeline.
+//
+// Differential: pipelined (max_inflight_chunks = 3) vs sequential runs of
+// the same fault-free scenarios must not regress QoE — stall time no
+// worse, no new deadline misses, same chunks delivered.
+//
+// Property (≥ 100 seeds): pipelined runs uphold the pipeline invariants —
+// never more than max_inflight_chunks chunk spans open, spans close in
+// issue order (or with a recorded abandonment), the playback buffer never
+// exceeds capacity, and no record is ever stamped with a span that has
+// already closed.
+//
+// Attribution: multi-span chaos fixtures (a blackout overlapping several
+// in-flight chunks) must attribute every miss to the fault with zero
+// misclassifications, and the overlap-aware fields must apportion the
+// shared window consistently.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/spans.h"
+#include "dash/video.h"
+#include "exp/scenario.h"
+#include "exp/session.h"
+#include "fault/fault.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_sink.h"
+#include "util/rng.h"
+
+namespace mpdash {
+namespace {
+
+Video pipeline_video(std::uint32_t seed = 42, int chunks = 16) {
+  return Video("pipe-clip", seconds(4.0), chunks,
+               {DataRate::mbps(0.58), DataRate::mbps(1.01),
+                DataRate::mbps(1.47), DataRate::mbps(2.41),
+                DataRate::mbps(3.94)},
+               0.12, seed);
+}
+
+struct RunOutput {
+  SessionResult result;
+  std::vector<TraceRecord> trace;
+};
+
+RunOutput run_session(const ScenarioConfig& net, const Video& video,
+                      Scheme scheme, const std::string& adaptation,
+                      int inflight, const FaultPlan* faults = nullptr,
+                      bool recovery = false,
+                      Duration buffer_capacity = kDurationZero) {
+  Scenario scenario(net);
+  Telemetry telemetry;
+  TraceCollector collector;
+  telemetry.add_sink(&collector);
+
+  SessionConfig cfg;
+  cfg.scheme = scheme;
+  cfg.adaptation = adaptation;
+  cfg.telemetry = &telemetry;
+  cfg.player.max_inflight_chunks = inflight;
+  if (buffer_capacity > kDurationZero) {
+    cfg.player.buffer_capacity = buffer_capacity;
+  }
+  cfg.faults = faults;
+  if (recovery) {
+    cfg.mptcp_recovery.max_consecutive_rtos = 4;
+    cfg.mptcp_recovery.reprobe_interval = seconds(2.0);
+    cfg.http_recovery.request_timeout = seconds(3.0);
+    cfg.http_recovery.max_retries = 4;
+    cfg.http_recovery.jitter_seed = net.seed;
+    cfg.player.max_chunk_attempts = 3;
+  }
+
+  RunOutput out;
+  out.result = run_streaming_session(scenario, video, cfg);
+  out.trace = collector.take();
+  return out;
+}
+
+bool label_is(const TraceRecord& r, const char* name) {
+  return r.label != nullptr && std::strcmp(r.label, name) == 0;
+}
+
+// --- differential: pipelined must dominate sequential QoE ---------------
+
+struct DiffScenario {
+  const char* name;
+  Scheme scheme;
+  const char* adaptation;
+  double wifi_mbps;
+  double lte_mbps;
+};
+
+class PipelineDifferential : public ::testing::TestWithParam<DiffScenario> {};
+
+TEST_P(PipelineDifferential, PipelinedNeverWorseThanSequential) {
+  const DiffScenario& p = GetParam();
+  const Video video = pipeline_video();
+  const ScenarioConfig net = constant_scenario(DataRate::mbps(p.wifi_mbps),
+                                               DataRate::mbps(p.lte_mbps));
+  const RunOutput seq =
+      run_session(net, video, p.scheme, p.adaptation, /*inflight=*/1);
+  const RunOutput pipe =
+      run_session(net, video, p.scheme, p.adaptation, /*inflight=*/3);
+
+  ASSERT_TRUE(seq.result.completed) << p.name;
+  ASSERT_TRUE(pipe.result.completed) << p.name;
+  // Fault-free: every chunk delivered, none abandoned, in both modes.
+  EXPECT_EQ(seq.result.chunks, video.chunk_count()) << p.name;
+  EXPECT_EQ(pipe.result.chunks, video.chunk_count()) << p.name;
+  EXPECT_EQ(pipe.result.chunks_abandoned, 0) << p.name;
+  // QoE dominance: prefetch may only help on a fault-free network.
+  EXPECT_LE(pipe.result.stall_s, seq.result.stall_s + 1e-9) << p.name;
+  EXPECT_LE(pipe.result.stalls, seq.result.stalls) << p.name;
+  EXPECT_LE(pipe.result.deadline_misses, seq.result.deadline_misses)
+      << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultFreeScenarios, PipelineDifferential,
+    ::testing::Values(
+        DiffScenario{"baseline_festive", Scheme::kBaseline, "festive", 2.8,
+                     3.0},
+        DiffScenario{"mpdash_rate_festive", Scheme::kMpDashRate, "festive",
+                     2.8, 3.0},
+        DiffScenario{"mpdash_duration_festive", Scheme::kMpDashDuration,
+                     "festive", 2.8, 3.0},
+        DiffScenario{"wifi_only_festive", Scheme::kWifiOnly, "festive", 2.8,
+                     3.0},
+        DiffScenario{"baseline_bba", Scheme::kBaseline, "bba", 2.8, 3.0},
+        DiffScenario{"mpdash_rate_bba", Scheme::kMpDashRate, "bba", 2.8, 3.0},
+        DiffScenario{"constrained_mpdash_rate", Scheme::kMpDashRate,
+                     "festive", 1.6, 1.2},
+        DiffScenario{"constrained_baseline", Scheme::kBaseline, "festive",
+                     1.6, 1.2}),
+    [](const ::testing::TestParamInfo<DiffScenario>& info) {
+      return info.param.name;
+    });
+
+// --- property: pipeline invariants over seeded runs ---------------------
+
+struct PipelineAudit {
+  int max_open = 0;             // peak simultaneously-open chunk spans
+  int spans_opened = 0;
+  int spans_closed = 0;
+  bool saw_abandoned = false;
+};
+
+// Walks a trace and asserts the structural pipeline invariants. Returns
+// the audit stats so callers can additionally assert that pipelining
+// actually engaged.
+PipelineAudit audit_pipeline_trace(const std::vector<TraceRecord>& trace,
+                                   int max_inflight, double capacity_s,
+                                   const std::string& what) {
+  PipelineAudit a;
+  std::set<SpanId> open_chunk_spans;
+  std::set<SpanId> closed_spans;           // all spans, chunk or manifest
+  std::vector<SpanId> issue_order;
+  std::vector<SpanId> close_order;         // chunk spans only
+  std::map<SpanId, const char*> close_status;
+
+  for (const TraceRecord& r : trace) {
+    if (r.type == TraceType::kSpanStart) {
+      EXPECT_EQ(closed_spans.count(r.span), 0u)
+          << what << ": span " << r.span << " reopened after close";
+      if (label_is(r, "chunk")) {
+        open_chunk_spans.insert(r.span);
+        issue_order.push_back(r.span);
+        ++a.spans_opened;
+        a.max_open = std::max(a.max_open,
+                              static_cast<int>(open_chunk_spans.size()));
+        EXPECT_LE(static_cast<int>(open_chunk_spans.size()), max_inflight)
+            << what << ": more than max_inflight_chunks spans open at t="
+            << to_seconds(r.at);
+      }
+      continue;
+    }
+    if (r.type == TraceType::kSpanEnd) {
+      if (open_chunk_spans.erase(r.span) > 0) {
+        close_order.push_back(r.span);
+        close_status[r.span] = r.label;
+        ++a.spans_closed;
+        if (label_is(r, "abandoned")) a.saw_abandoned = true;
+      }
+      closed_spans.insert(r.span);
+      continue;
+    }
+    // No record may be stamped with a span that already closed. Packet
+    // records are exempt: a spurious RTO can legally retransmit (and
+    // deliver) the tail of a completed transfer after its span closed.
+    if (r.span != 0 && !r.is_packet()) {
+      EXPECT_EQ(closed_spans.count(r.span), 0u)
+          << what << ": " << to_string(r.type) << " record ("
+          << (r.label ? r.label : "-") << ") stamped with closed span "
+          << r.span << " at t=" << to_seconds(r.at);
+    }
+    // The playback buffer must never exceed its capacity.
+    if (r.type == TraceType::kPlayer && label_is(r, "buffer_sample")) {
+      EXPECT_LE(r.value, capacity_s + 1e-9)
+          << what << ": buffer above capacity at t=" << to_seconds(r.at);
+    }
+  }
+
+  // Spans must close in issue order; an out-of-order closer must carry an
+  // explicitly recorded abandonment/failure (a pipelined abandonment lets
+  // younger siblings finish around it).
+  std::set<SpanId> early_closed;
+  std::size_t expect = 0;
+  for (const SpanId closed : close_order) {
+    while (expect < issue_order.size() &&
+           early_closed.count(issue_order[expect]) > 0) {
+      ++expect;  // already accounted for as an early closer
+    }
+    if (expect < issue_order.size() && issue_order[expect] == closed) {
+      ++expect;
+      continue;
+    }
+    const char* status = close_status[closed];
+    EXPECT_TRUE(status != nullptr && (std::strcmp(status, "abandoned") == 0 ||
+                                      std::strcmp(status, "failed") == 0))
+        << what << ": span " << closed
+        << " closed out of issue order without a recorded abandonment";
+    early_closed.insert(closed);
+  }
+  return a;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// 10 parameterized groups × 10 seeds = 100 seeded pipelined runs, each
+// audited against the full invariant set. Fault-free (loss only from
+// congestion), so every span must close "delivered" in issue order.
+TEST_P(PipelineProperty, InvariantsHoldAcrossSeeds) {
+  const std::uint64_t group = GetParam();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const std::uint64_t seed = group * 10 + i + 1;
+    Rng rng(seed * 1000003);
+    const double wifi = rng.uniform(1.2, 8.0);
+    const double lte = rng.uniform(1.0, 6.0);
+    const int chunks = static_cast<int>(rng.uniform_int(6, 14));
+    const Video video = pipeline_video(static_cast<std::uint32_t>(seed),
+                                       chunks);
+    ScenarioConfig net =
+        constant_scenario(DataRate::mbps(wifi), DataRate::mbps(lte));
+    net.seed = seed;
+    const Scheme scheme =
+        (seed % 2 == 0) ? Scheme::kMpDashRate : Scheme::kBaseline;
+    const std::string what = "seed " + std::to_string(seed);
+
+    const RunOutput out =
+        run_session(net, video, scheme, "festive", /*inflight=*/3);
+    ASSERT_TRUE(out.result.completed) << what;
+    EXPECT_EQ(out.result.chunks, chunks) << what;
+
+    const PipelineAudit a = audit_pipeline_trace(
+        out.trace, /*max_inflight=*/3, /*capacity_s=*/40.0, what);
+    EXPECT_EQ(a.spans_opened, chunks) << what;
+    EXPECT_EQ(a.spans_closed, chunks) << what;
+    EXPECT_FALSE(a.saw_abandoned) << what;
+    // The prefetch window must actually engage on a healthy network.
+    EXPECT_GE(a.max_open, 2) << what;
+    EXPECT_LE(a.max_open, 3) << what;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedGroups, PipelineProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+// Sequential runs through the same auditor: the n=1 window means at most
+// one chunk span is ever open.
+TEST(PipelineProperty, SequentialKeepsSingleSpanWindow) {
+  const Video video = pipeline_video();
+  const RunOutput out =
+      run_session(constant_scenario(DataRate::mbps(2.8), DataRate::mbps(3.0)),
+                  video, Scheme::kMpDashRate, "festive", /*inflight=*/1);
+  ASSERT_TRUE(out.result.completed);
+  const PipelineAudit a =
+      audit_pipeline_trace(out.trace, /*max_inflight=*/1, 40.0, "sequential");
+  EXPECT_EQ(a.max_open, 1);
+  EXPECT_EQ(a.spans_opened, video.chunk_count());
+}
+
+// --- end-of-stream stall regression -------------------------------------
+
+TEST(PipelineRegression, EndOfStreamStallResumesOnFinalDelivery) {
+  // A dual-path blackout that outlives the playback buffer while the
+  // last chunks of the video are in flight. When those deliveries
+  // finally land the stall is already underway, they can only add
+  // 3 x 2 s — below the 8 s refill threshold — and nothing will ever
+  // refill the buffer again (all chunks issued, none left to fetch).
+  // The player must resume with whatever is buffered and finish;
+  // found as a chaos-campaign hang where the session sat stalled with
+  // delivered content in the buffer until the 600 s time limit.
+  ScenarioConfig net =
+      constant_scenario(DataRate::mbps(2.0), DataRate::mbps(1.6));
+  net.seed = 11;
+  FaultPlan plan;
+  FaultEvent e;
+  e.kind = FaultKind::kBlackout;
+  e.at = kTimeZero + seconds(6.0);
+  e.duration = seconds(13.0);
+  e.path_id = 0;
+  plan.events.push_back(e);
+  e.path_id = 1;
+  plan.events.push_back(e);
+
+  const Video video("clip", seconds(2.0), 10, {DataRate::mbps(1.2)}, 0.1, 7);
+  const RunOutput out =
+      run_session(net, video, Scheme::kMpDashRate, "festive",
+                  /*inflight=*/3, &plan, /*recovery=*/true);
+
+  EXPECT_TRUE(out.result.completed)
+      << "player deadlocked in an end-of-stream stall";
+  EXPECT_EQ(out.result.chunks, video.chunk_count());
+  EXPECT_EQ(out.result.chunks_abandoned, 0);
+  EXPECT_GE(out.result.stalls, 1);
+  EXPECT_LT(out.result.session_s, 60.0);
+}
+
+// --- overlap-aware attribution on multi-span chaos fixtures -------------
+
+TEST(PipelineAttribution, BlackoutOverMultipleInflightSpans) {
+  // A total outage while up to three chunks are in flight: every missed
+  // span overlapping the window must read fault-blackout — zero
+  // misclassifications — and the overlap-aware fields must apportion the
+  // shared window across the concurrently open spans.
+  int overlapping_spans_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    ScenarioConfig net =
+        constant_scenario(DataRate::mbps(5.0), DataRate::mbps(4.0));
+    net.seed = seed;
+    const double at = 4.0 + 0.5 * static_cast<double>(seed % 3);
+    FaultPlan plan;
+    FaultEvent e;
+    e.kind = FaultKind::kBlackout;
+    e.at = kTimeZero + seconds(at);
+    e.duration = seconds(10.0);
+    e.path_id = 0;
+    plan.events.push_back(e);
+    e.path_id = 1;
+    plan.events.push_back(e);
+
+    const Video video("clip", seconds(2.0), 16,
+                      {DataRate::mbps(0.6), DataRate::mbps(1.2),
+                       DataRate::mbps(2.4)},
+                      0.1, 42);
+    const RunOutput out =
+        run_session(net, video, Scheme::kMpDashDuration, "festive",
+                    /*inflight=*/3, &plan, /*recovery=*/true);
+    const std::string what = "blackout seed " + std::to_string(seed);
+
+    SpanModel model = build_span_model(out.trace);
+    attribute_misses(&model, kWifiPathId);
+
+    double share_total = 0.0;
+    for (const ChunkTimeline& t : model.spans) {
+      if (t.max_concurrent_spans > 1 && t.path_fault_overlap_s > 0.0) {
+        ++overlapping_spans_seen;
+      }
+      share_total += t.fault_overlap_share_s;
+      if (!t.missed()) continue;
+      if (t.path_fault_overlap_s > 0.0) {
+        EXPECT_EQ(t.cause, MissCause::kFaultBlackout)
+            << what << ": span " << t.span << " (chunk " << t.chunk
+            << ") misclassified as " << to_string(t.cause);
+      }
+    }
+    // Apportioned shares can never exceed the injected outage duration.
+    EXPECT_LE(share_total, 10.0 + 1e-6) << what;
+    const auto counts = attribution_counts(model);
+    EXPECT_EQ(counts.at(MissCause::kSchedulerLate), 0) << what;
+    EXPECT_EQ(counts.at(MissCause::kBandwidthShortfall), 0) << what;
+    EXPECT_EQ(counts.at(MissCause::kUnknown), 0) << what;
+  }
+  // The fixture must actually exercise the multi-span case.
+  EXPECT_GT(overlapping_spans_seen, 0);
+}
+
+}  // namespace
+}  // namespace mpdash

@@ -152,6 +152,52 @@ TEST(PropertyCsv, RandomCellsRoundTrip) {
   }
 }
 
+class SpanConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Span tags ride SegmentRefs as out-of-band metadata; any interleaving of
+// appends and arbitrarily-sized pulls must keep every byte attributed to
+// the span that queued it, in order, with no bytes created or lost.
+TEST_P(SpanConservation, PullKeepsPerByteSpanAttribution) {
+  Rng rng(GetParam() * 7919 + 13);
+  StreamBuffer buf;
+  std::vector<std::uint64_t> expected;  // span of each queued byte, FIFO
+  std::vector<std::uint64_t> got;
+
+  const int steps = static_cast<int>(rng.uniform_int(20, 60));
+  for (int i = 0; i < steps; ++i) {
+    if (buf.empty() || rng.uniform() < 0.5) {
+      const std::uint64_t span = rng.uniform_int(0, 5);
+      WireData d;
+      if (rng.uniform() < 0.5) {
+        std::string s(static_cast<std::size_t>(rng.uniform_int(1, 400)), 'x');
+        d = wire_from_string(std::move(s));
+      } else {
+        d = wire_virtual(rng.uniform_int(1, 50'000));
+      }
+      for (auto& seg : d) seg.span = span;
+      expected.insert(expected.end(),
+                      static_cast<std::size_t>(wire_length(d)), span);
+      buf.append(std::move(d));
+    } else {
+      const WireData out = buf.pull(rng.uniform_int(1, 30'000));
+      for (const auto& seg : out) {
+        got.insert(got.end(), seg.len, seg.span);
+      }
+    }
+  }
+  while (!buf.empty()) {
+    const WireData out = buf.pull(rng.uniform_int(1, 30'000));
+    for (const auto& seg : out) {
+      got.insert(got.end(), seg.len, seg.span);
+    }
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpanConservation,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
 // Random videos survive the manifest round trip bit-exactly.
 TEST(PropertyManifest, RandomVideosRoundTrip) {
   Rng rng(13);

@@ -8,6 +8,7 @@
 #include "exp/scenario.h"
 #include "exp/session.h"
 #include "telemetry/metrics.h"
+#include "telemetry/prometheus.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace_sink.h"
 
@@ -298,6 +299,112 @@ TEST(Telemetry, SessionMetricsTimelineSamplesBufferAndCwnd) {
   EXPECT_NE(csv.find("player.buffer_s"), std::string::npos);
   EXPECT_NE(csv.find("mptcp.subflow.0.cwnd"), std::string::npos);
   EXPECT_NE(csv.find("link.wifi.down.delivered_bytes"), std::string::npos);
+}
+
+// --- Prometheus exposition ---------------------------------------------
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(prometheus_name("player.buffer_s"), "player_buffer_s");
+  EXPECT_EQ(prometheus_name("mptcp.subflow.1.cwnd"), "mptcp_subflow_1_cwnd");
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+  EXPECT_EQ(prometheus_name("a-b c"), "a_b_c");
+  EXPECT_EQ(prometheus_name(""), "_");
+}
+
+TEST(Prometheus, LabelValueEscaping) {
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prometheus_escape_label("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(prometheus_escape_label("two\nlines"), "two\\nlines");
+}
+
+TEST(Prometheus, ExpositionFormatConformance) {
+  MetricsRegistry reg;
+  reg.counter("player.chunks").add(12);
+  reg.gauge("player.buffer_s").set(4.5);
+  Histogram h = reg.histogram("http.fetch_s", {0.5, 1.0, 2.0});
+  h.record(0.3);   // bucket le=0.5
+  h.record(0.75);  // bucket le=1.0
+  h.record(0.9);   // bucket le=1.0
+  h.record(5.0);   // overflow → only +Inf
+
+  const std::string text =
+      to_prometheus(reg.snapshot(TimePoint(seconds(10.0))));
+
+  // Every family gets HELP and TYPE lines with the sanitized name.
+  EXPECT_NE(text.find("# HELP player_chunks Simulation metric player.chunks"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE player_chunks counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE player_buffer_s gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE http_fetch_s histogram"), std::string::npos);
+
+  // Scalar samples.
+  EXPECT_NE(text.find("player_chunks 12\n"), std::string::npos);
+  EXPECT_NE(text.find("player_buffer_s 4.5\n"), std::string::npos);
+
+  // Histogram buckets are cumulative with inclusive upper bounds, end in
+  // +Inf, and agree with _count.
+  EXPECT_NE(text.find("http_fetch_s_bucket{le=\"0.5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("http_fetch_s_bucket{le=\"1\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("http_fetch_s_bucket{le=\"2\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("http_fetch_s_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("http_fetch_s_sum 6.95\n"), std::string::npos);
+  EXPECT_NE(text.find("http_fetch_s_count 4\n"), std::string::npos);
+
+  // Every non-comment line is `name[{labels}] value`.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "missing trailing newline";
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("# ", 0) == 0) continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.substr(0, space).find_first_not_of(
+                  "abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:{}=\".+"),
+              std::string::npos)
+        << line;
+  }
+}
+
+TEST(Prometheus, LabelsAttachToEverySampleEscaped) {
+  MetricsRegistry reg;
+  reg.counter("player.chunks").add(3);
+  Histogram h = reg.histogram("http.fetch_s", {1.0});
+  h.record(0.5);
+
+  PrometheusOptions opts;
+  opts.labels = {{"run", "chaos/3"}, {"note", "say \"hi\"\nbye"}};
+  const std::string text = to_prometheus(reg.snapshot(kTimeZero), opts);
+
+  EXPECT_NE(text.find("player_chunks{run=\"chaos/3\","
+                      "note=\"say \\\"hi\\\"\\nbye\"} 3\n"),
+            std::string::npos)
+      << text;
+  // Histograms merge caller labels with the le pair.
+  EXPECT_NE(text.find("http_fetch_s_bucket{run=\"chaos/3\","
+                      "note=\"say \\\"hi\\\"\\nbye\",le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("http_fetch_s_count{run=\"chaos/3\""),
+            std::string::npos);
+}
+
+TEST(Prometheus, TimestampsUseSimulatedMilliseconds) {
+  MetricsRegistry reg;
+  reg.gauge("player.buffer_s").set(2.0);
+  PrometheusOptions opts;
+  opts.timestamps = true;
+  const std::string text =
+      to_prometheus(reg.snapshot(TimePoint(seconds(12.5))), opts);
+  EXPECT_NE(text.find("player_buffer_s 2 12500\n"), std::string::npos)
+      << text;
 }
 
 }  // namespace

@@ -237,6 +237,69 @@ TEST(TraceRoundTrip, SpanStartAndEndSurvive) {
   EXPECT_EQ(pm.bytes, 0u);
 }
 
+TEST(TraceRoundTrip, NestedAndOverlappingSpansSurvive) {
+  // A pipelined trace interleaves span lifecycles: 2 opens inside 1, 3
+  // opens inside both, 2 closes before 1 (overlap, not strict nesting).
+  // The writer/loader pair must preserve the interleaving exactly, and
+  // the span model built from the loaded records must see the overlap.
+  auto span_rec = [](double at_s, TraceType type, SpanId span, int chunk,
+                     const char* label) {
+    TraceRecord r;
+    r.at = TimePoint(seconds(at_s));
+    r.type = type;
+    r.span = span;
+    r.chunk = chunk;
+    r.level = 1;
+    r.bytes = 1000 * span;
+    r.label = label;
+    r.value = type == TraceType::kSpanStart ? 4.0 : 1.0;
+    return r;
+  };
+  const std::vector<TraceRecord> live = {
+      span_rec(1.0, TraceType::kSpanStart, 1, 0, "chunk"),
+      span_rec(1.5, TraceType::kSpanStart, 2, 1, "chunk"),
+      span_rec(2.0, TraceType::kSpanStart, 3, 2, "chunk"),
+      span_rec(2.5, TraceType::kSpanEnd, 2, 1, "delivered"),
+      span_rec(3.0, TraceType::kSpanEnd, 1, 0, "delivered"),
+      span_rec(3.5, TraceType::kSpanEnd, 3, 2, "abandoned"),
+  };
+
+  const std::string path =
+      ::testing::TempDir() + "mpdash_overlap_roundtrip.jsonl";
+  {
+    JsonlSink sink(path);
+    for (const TraceRecord& r : live) sink.on_record(r);
+  }
+  std::vector<TraceRecord> loaded;
+  std::string err;
+  ASSERT_TRUE(load_trace_jsonl(path, &loaded, &err)) << err;
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    expect_head_eq(live[i], loaded[i]);
+    expect_label_eq(live[i].label, loaded[i].label);
+    EXPECT_EQ(loaded[i].chunk, live[i].chunk) << "record " << i;
+    EXPECT_EQ(loaded[i].bytes, live[i].bytes) << "record " << i;
+    EXPECT_EQ(loaded[i].value, live[i].value) << "record " << i;
+  }
+
+  const SpanModel model = build_span_model(loaded);
+  ASSERT_EQ(model.spans.size(), 3u);
+  for (const ChunkTimeline& t : model.spans) {
+    ASSERT_TRUE(t.closed());
+    EXPECT_EQ(t.max_concurrent_spans, 3);  // all three open in [2.0, 2.5)
+  }
+  EXPECT_STREQ(model.spans[0].status, "delivered");
+  EXPECT_STREQ(model.spans[1].status, "delivered");
+  EXPECT_STREQ(model.spans[2].status, "abandoned");
+  // Close order (2, 1, 3) differs from open order (1, 2, 3): the model
+  // must keep per-span windows, not assume LIFO/FIFO nesting.
+  EXPECT_EQ(to_seconds(model.spans[0].end), 3.0);
+  EXPECT_EQ(to_seconds(model.spans[1].end), 2.5);
+  EXPECT_EQ(to_seconds(model.spans[2].end), 3.5);
+}
+
 TEST(TraceRoundTrip, LoaderRejectsGarbage) {
   TraceRecord out;
   std::string err;

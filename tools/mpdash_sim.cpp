@@ -13,6 +13,7 @@
 //   mpdash_sim locations            # list the field-study profile DB
 //   mpdash_sim sweep --algo bba --jobs 8   # parallel field-study campaign
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +26,7 @@
 #include "exp/scenario.h"
 #include "exp/session.h"
 #include "runner/campaign.h"
+#include "telemetry/prometheus.h"
 #include "telemetry/telemetry.h"
 #include "trace/locations.h"
 #include "trace/trace_io.h"
@@ -46,6 +48,7 @@ struct Args {
   std::string lte_trace_path;
   std::string csv_path;
   std::string metrics_path;  // per-second metrics timeline CSV
+  std::string metrics_prom_path;  // final-state Prometheus exposition text
   std::string trace_path;    // structured event trace JSONL
   std::string trace_types;   // --trace-types filter (comma-separated)
   std::string series_path;   // chaos: aggregated per-run QoE series CSV
@@ -62,6 +65,7 @@ struct Args {
   int seed_count = 50;              // chaos: number of seeded fault plans
   unsigned long long seed = 1;      // chaos: campaign base seed
   bool recovery = true;             // chaos: --no-recovery disables
+  int inflight = 1;                 // stream/chaos: player prefetch window
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -80,9 +84,13 @@ struct Args {
                "  --jobs <n>     sweep/chaos workers (default: hardware "
                "cores)\n"
                "  --seed-count <n> --seed <base> --no-recovery   (chaos)\n"
+               "  --inflight <n>   player prefetch window, 1 = sequential "
+               "(stream/chaos)\n"
                "  --csv <path>   write the result row as CSV\n"
                "  --metrics <path>   per-second metrics timeline "
                "(CSV: time_s,metric,value)\n"
+               "  --metrics-prom <path>   final metrics as Prometheus "
+               "text exposition (stream)\n"
                "  --trace <path>     structured event trace "
                "(JSONL, one record per line)\n"
                "  --trace-types a,b,c   keep only these record types "
@@ -121,8 +129,10 @@ Args parse(int argc, char** argv) {
     else if (flag == "--seed-count") a.seed_count = std::atoi(value().c_str());
     else if (flag == "--seed") a.seed = std::strtoull(value().c_str(), nullptr, 10);
     else if (flag == "--no-recovery") a.recovery = false;
+    else if (flag == "--inflight") a.inflight = std::atoi(value().c_str());
     else if (flag == "--csv") a.csv_path = value();
     else if (flag == "--metrics") a.metrics_path = value();
+    else if (flag == "--metrics-prom") a.metrics_prom_path = value();
     else if (flag == "--trace") a.trace_path = value();
     else if (flag == "--trace-types") a.trace_types = value();
     else if (flag == "--series") a.series_path = value();
@@ -214,12 +224,14 @@ int cmd_stream(const Args& a) {
   cfg.adaptation = a.algo;
   cfg.alpha = a.alpha;
   cfg.mptcp_scheduler = a.mptcp_scheduler;
+  cfg.player.max_inflight_chunks = std::max(1, a.inflight);
 
   Telemetry telemetry;
   MetricsTimeline timeline;
   std::unique_ptr<JsonlSink> jsonl;
   std::unique_ptr<TypeFilterSink> filter;
-  if (!a.metrics_path.empty() || !a.trace_path.empty()) {
+  if (!a.metrics_path.empty() || !a.metrics_prom_path.empty() ||
+      !a.trace_path.empty()) {
     cfg.telemetry = &telemetry;
     if (!a.metrics_path.empty()) cfg.metrics = &timeline;
     if (!a.trace_path.empty()) {
@@ -247,6 +259,20 @@ int cmd_stream(const Args& a) {
     }
     std::printf("metrics timeline (%zu snapshots) written to %s\n",
                 timeline.snapshots().size(), a.metrics_path.c_str());
+  }
+  if (!a.metrics_prom_path.empty()) {
+    PrometheusOptions prom;
+    prom.labels = {{"video", video.name()},
+                   {"algo", a.algo},
+                   {"scheme", a.scheme}};
+    const MetricsSnapshot snap =
+        telemetry.metrics().snapshot(TimePoint(seconds(res.session_s)));
+    if (!write_text_file(a.metrics_prom_path, to_prometheus(snap, prom))) {
+      std::fprintf(stderr, "cannot write %s\n", a.metrics_prom_path.c_str());
+      return 1;
+    }
+    std::printf("prometheus metrics (%zu families) written to %s\n",
+                snap.values.size(), a.metrics_prom_path.c_str());
   }
   if (jsonl) {
     std::printf("trace (%llu records) written to %s\n",
@@ -470,6 +496,7 @@ int cmd_chaos(const Args& a) {
   cfg.adaptation = a.algo;
   cfg.mptcp_scheduler = a.mptcp_scheduler;
   cfg.recovery = a.recovery;
+  cfg.inflight = a.inflight;
   cfg.trace_path = a.trace_path;
   cfg.trace_types = trace_type_mask(a);
   cfg.series_interval =
