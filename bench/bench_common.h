@@ -10,10 +10,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/rollup.h"
 #include "dash/video.h"
 #include "exp/scenario.h"
 #include "exp/session.h"
 #include "runner/campaign.h"
+#include "telemetry/trace_sink.h"
 #include "trace/locations.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -89,6 +91,20 @@ inline bool bench_series_enabled() {
   return env != nullptr && env[0] == '1';
 }
 
+// MPDASH_BENCH_ATTRIB=<path> makes the field-study benches capture the
+// span-model record set per cell and write per-location deadline-miss
+// attribution time series (kAttribSeriesHeader rows) to <path>. Rows are
+// assembled in add-order like the JSON lines, so the file is bitwise
+// identical for any --jobs value.
+inline const char* bench_attrib_path() {
+  const char* env = std::getenv("MPDASH_BENCH_ATTRIB");
+  return (env != nullptr && env[0] != '\0') ? env : nullptr;
+}
+
+// Attribution time-series bucket: coarse enough that a 10-minute session
+// yields a handful of rows per cell, not thousands.
+inline constexpr double kBenchAttribBucketS = 10.0;
+
 inline std::string bench_snapshot_line(Telemetry& telemetry, Scheme scheme,
                                        const std::string& algo,
                                        double session_s,
@@ -149,11 +165,16 @@ inline void append_campaign_summary(const CampaignStats& stats) {
 // Runs one (scenario, scheme, algorithm) cell. When `json_out` is given,
 // the MPDASH_BENCH_JSON snapshot line is returned through it instead of
 // written immediately — required inside campaign workers, where direct
-// file appends would interleave nondeterministically.
+// file appends would interleave nondeterministically. When `attrib_out`
+// is given, the cell additionally captures the span-model record set,
+// runs deadline-miss attribution, and returns attribution time-series
+// rows keyed by `attrib_key` (same buffering contract as `json_out`).
 inline SessionResult run_scheme(const ScenarioConfig& net, const Video& video,
                                 Scheme scheme, const std::string& algo,
                                 bool record = false,
-                                std::string* json_out = nullptr) {
+                                std::string* json_out = nullptr,
+                                std::string* attrib_out = nullptr,
+                                const std::string& attrib_key = {}) {
   Scenario scenario(net);
   SessionConfig cfg;
   cfg.scheme = scheme;
@@ -164,7 +185,20 @@ inline SessionResult run_scheme(const ScenarioConfig& net, const Video& video,
   const bool series = bench_json_enabled() && bench_series_enabled();
   if (bench_json_enabled()) cfg.telemetry = &telemetry;
   if (series) cfg.metrics = &timeline;
+  TraceCollector attrib_capture;
+  TypeFilterSink attrib_filter(&attrib_capture, span_model_trace_mask());
+  if (attrib_out != nullptr) {
+    cfg.telemetry = &telemetry;
+    telemetry.add_sink(&attrib_filter);
+  }
   SessionResult res = run_streaming_session(scenario, video, cfg);
+  if (attrib_out != nullptr) {
+    telemetry.remove_sink(&attrib_filter);
+    SpanModel model = build_span_model(attrib_capture.records());
+    attribute_misses(&model, kWifiPathId);
+    *attrib_out =
+        attribution_series_csv(model, kBenchAttribBucketS, attrib_key);
+  }
   if (bench_json_enabled()) {
     const std::string line = bench_snapshot_line(
         telemetry, scheme, algo, res.session_s, series ? &timeline : nullptr);

@@ -65,7 +65,9 @@ inline std::vector<LocationOutcome> run_field_study(
   struct Cell {
     SessionResult result;
     std::string bench_json;
+    std::string attrib;  // kAttribSeriesHeader rows (MPDASH_BENCH_ATTRIB)
   };
+  const char* attrib_path = bench_attrib_path();
   static const std::vector<std::pair<std::string, Scheme>> kSchemes = {
       {"baseline", Scheme::kBaseline},
       {"rate", Scheme::kMpDashRate},
@@ -81,16 +83,18 @@ inline std::vector<LocationOutcome> run_field_study(
     for (const char* algo : {"festive", "bba"}) {
       for (const auto& [key, scheme] : kSchemes) {
         const std::string run_key = std::string(algo) + "/" + key;
+        const std::string cell_name = locations[li].name + "/" + run_key;
         const ScenarioConfig& net = nets[li];
         const std::string algo_name = algo;
         const Scheme sch = scheme;
-        campaign.add(locations[li].name + "/" + run_key,
-                     [&net, &video, sch, algo_name](RunContext&) {
-                       Cell cell;
-                       cell.result = run_scheme(net, video, sch, algo_name,
-                                                false, &cell.bench_json);
-                       return cell;
-                     });
+        campaign.add(cell_name, [&net, &video, sch, algo_name, cell_name,
+                                 attrib_path](RunContext&) {
+          Cell cell;
+          cell.result = run_scheme(
+              net, video, sch, algo_name, false, &cell.bench_json,
+              attrib_path != nullptr ? &cell.attrib : nullptr, cell_name);
+          return cell;
+        });
         slots.push_back({li, run_key});
       }
     }
@@ -105,6 +109,23 @@ inline std::vector<LocationOutcome> run_field_study(
   for (const Cell& cell : res.results) json_lines += cell.bench_json;
   append_bench_lines(json_lines);
   append_campaign_summary(res.stats);
+
+  if (attrib_path != nullptr) {
+    // Add-order assembly, same contract as the JSON lines: the attribution
+    // artifact is bitwise identical for any job count.
+    std::string rows(kAttribSeriesHeader);
+    for (const Cell& cell : res.results) rows += cell.attrib;
+    std::FILE* f = std::fopen(attrib_path, "w");
+    if (f != nullptr) {
+      std::fwrite(rows.data(), 1, rows.size(), f);
+      std::fclose(f);
+      // stderr, like the progress lines: stdout must stay bitwise
+      // identical across runs that write to differently named files.
+      std::fprintf(stderr, "attribution series written to %s\n", attrib_path);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", attrib_path);
+    }
+  }
 
   std::vector<LocationOutcome> out(locations.size());
   for (std::size_t li = 0; li < locations.size(); ++li) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
+#include <string_view>
 
 #include "util/table.h"
 
@@ -47,6 +49,128 @@ std::string render_chunk_timeline(const AnalysisReport& report,
   out << "timeline: 0s .. " << TextTable::num(total_s, 1) << "s, "
       << report.chunks.size() << " chunks, " << report.quality_switches
       << " switches, " << report.stalls.size() << " stalls\n";
+  return out.str();
+}
+
+std::string render_flame(const SpanModel& model, const FlameModel& flame,
+                         int width) {
+  std::ostringstream out;
+  const double total_s = to_seconds(model.trace_end);
+  if (model.spans.empty() || total_s <= 0.0) return "(no spans)\n";
+
+  width = std::max(width, 20);
+  constexpr int kGutter = 24;
+  const auto col = [&](TimePoint t) {
+    const int c =
+        static_cast<int>(to_seconds(t) / total_s * (width - 1));
+    return std::clamp(c, 0, width - 1);
+  };
+  char head[64];
+  std::snprintf(head, sizeof head,
+                "flame: %zu spans over %.3f s (%d cols, %.3f s/col)\n",
+                model.spans.size(), total_s,
+                width, total_s / width);
+  out << head;
+
+  const auto emit = [&](const std::string& label, const std::string& axis,
+                        const std::string& tail) {
+    char gut[kGutter + 1];
+    std::snprintf(gut, sizeof gut, "%-*.*s", kGutter, kGutter,
+                  label.c_str());
+    out << gut << axis;
+    if (!tail.empty()) out << "  " << tail;
+    out << "\n";
+  };
+
+  for (std::size_t i = 0; i < model.spans.size(); ++i) {
+    const ChunkTimeline& t = model.spans[i];
+    const SpanDetail& d = flame.details[i];
+    const int a = col(t.start);
+    const int b = std::max(a, col(t.end));
+
+    // Span bar: '.' waiting, '=' while bytes flowed, '!' deadline column.
+    std::string bar(static_cast<std::size_t>(width), ' ');
+    for (int c = a; c <= b; ++c) bar[static_cast<std::size_t>(c)] = '.';
+    if (t.have_bytes) {
+      const int b0 = col(t.first_byte), b1 = col(t.last_byte);
+      for (int c = b0; c <= b1 && c <= b; ++c) {
+        bar[static_cast<std::size_t>(c)] = '=';
+      }
+    }
+    if (t.deadline_s > 0.0) {
+      const int dcol = col(t.start + seconds(t.deadline_s));
+      if (dcol >= a && dcol <= b) bar[static_cast<std::size_t>(dcol)] = '!';
+    }
+
+    char label[64];
+    std::snprintf(label, sizeof label, "span %llu %s %d L%d",
+                  static_cast<unsigned long long>(t.span),
+                  t.name && std::string_view(t.name) == "manifest"
+                      ? "manifest"
+                      : "chunk",
+                  t.chunk, t.level);
+    std::string tail = t.status ? t.status : "open";
+    if (t.cause != MissCause::kNone) {
+      tail += std::string(" <- ") + to_string(t.cause);
+      if (t.dominant_fault_kind != nullptr) {
+        tail += std::string(" (") + t.dominant_fault_kind + ")";
+      }
+    }
+    emit(label, bar, tail);
+
+    // HTTP attempts: one nested row, attempts in sequence with their
+    // retry/backoff gaps ('~' between a timeout and the next request).
+    if (!d.attempts.empty()) {
+      std::string http(static_cast<std::size_t>(width), ' ');
+      for (std::size_t k = 0; k < d.attempts.size(); ++k) {
+        const HttpAttempt& at = d.attempts[k];
+        const int s = col(at.start);
+        const int e = std::max(s, col(at.end));
+        for (int c = s; c <= e; ++c) http[static_cast<std::size_t>(c)] = '-';
+        if (k + 1 < d.attempts.size()) {
+          // Backoff gap runs from this attempt's close to the next send.
+          const int n = col(d.attempts[k + 1].start);
+          for (int c = e + 1; c < n; ++c) {
+            http[static_cast<std::size_t>(c)] = '~';
+          }
+        }
+        http[static_cast<std::size_t>(s)] =
+            static_cast<char>('1' + std::min(at.attempt, 8));
+        char end_glyph = '>';
+        if (at.outcome != nullptr) {
+          end_glyph = at.outcome[0] == 'r'   ? 'o'
+                      : at.outcome[0] == 't' ? 'x'
+                                             : 'g';
+        }
+        if (e > s || at.outcome != nullptr) {
+          http[static_cast<std::size_t>(e)] = end_glyph;
+        }
+      }
+      char http_label[32];
+      std::snprintf(http_label, sizeof http_label, "  http x%zu",
+                    d.attempts.size());
+      emit(http_label, http, t.http_retries > 0
+                                 ? std::to_string(t.http_retries) +
+                                       " retries"
+                                 : "");
+    }
+
+    // Per-path transmit activity (map keys iterate in path-id order).
+    for (const auto& [path, intervals] : d.path_activity) {
+      std::string act(static_cast<std::size_t>(width), ' ');
+      for (const ActivityInterval& iv : intervals) {
+        const int s = col(iv.first);
+        const int e = std::max(s, col(iv.second));
+        for (int c = s; c <= e; ++c) act[static_cast<std::size_t>(c)] = '=';
+      }
+      const auto bytes_it = t.bytes_by_path.find(path);
+      emit("  path " + std::to_string(path), act,
+           bytes_it != t.bytes_by_path.end()
+               ? std::to_string(static_cast<long long>(bytes_it->second)) +
+                     " B"
+               : "");
+    }
+  }
   return out.str();
 }
 

@@ -1,0 +1,70 @@
+#pragma once
+// Campaign-scale attribution roll-ups: aggregate the per-span attribution
+// of many traces (a whole chaos campaign, a field study) into per-cause
+// miss rates keyed by seed/config — the layer that turns 50 per-seed
+// post-mortems into one regression-attribution table. Also home of the
+// RFC-4180 per-span CSV export shared by `mpdash_trace --csv`, and of the
+// time-bucketed attribution series the field benches emit per location.
+//
+// Every formatter here renders doubles with the shortest round-trip
+// representation (same contract as the JSONL writer), so CSV artifacts
+// never lose precision against the trace they came from, and walks causes
+// in kMissCausePrecedence order so row/column ordering is deterministic.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/spans.h"
+
+namespace mpdash {
+
+// Shortest decimal string that parses back to exactly `v` — the CSV
+// counterpart of the JSONL writer's number formatting.
+std::string shortest_double(double v);
+
+// One CSV row per span (RFC-4180 quoting: labels carrying commas/quotes
+// survive round-trips through parse_csv). Includes the overlap-aware
+// fault fields and the dominant fault kind.
+std::string spans_to_csv(const SpanModel& model);
+
+// One aggregated line of a roll-up: the attribution of a single run.
+struct RollupRow {
+  std::string key;  // seed (numeric trace suffix) or source basename
+  std::size_t spans = 0;
+  int misses = 0;
+  // kMissCausePrecedence order, zero counts kept.
+  std::vector<std::pair<MissCause, int>> counts;
+
+  double miss_rate() const {
+    return spans > 0 ? static_cast<double>(misses) /
+                           static_cast<double>(spans)
+                     : 0.0;
+  }
+};
+
+// Roll-up key for a trace path: a trailing numeric extension (the chaos
+// campaign's `<base>.jsonl.<seed>` convention) keys the row by that seed,
+// so roll-ups over jobs-1 and jobs-8 artifacts with different base names
+// compare bitwise. Anything else keys by basename.
+std::string rollup_source_key(const std::string& path);
+
+// Collapses one attributed span model into its roll-up row.
+RollupRow rollup_span_model(const SpanModel& model, std::string key);
+
+// Renders rows in input order plus a trailing "total" row. Columns:
+// key, span/miss counts, overall miss rate, then per-cause counts and
+// per-cause miss rates in precedence order.
+extern const char kRollupCsvHeader[];  // includes the trailing newline
+std::string rollup_row_csv(const RollupRow& row);
+std::string rollup_to_csv(const std::vector<RollupRow>& rows);
+
+// Time-bucketed attribution series: for every `bucket_s` slice of the
+// session that saw a span end, one row of per-cause miss counts, each
+// prefixed with `key` ("<location>/<algo>/<scheme>" in the field benches)
+// so campaign-level concatenation stays unambiguous.
+extern const char kAttribSeriesHeader[];  // includes the trailing newline
+std::string attribution_series_csv(const SpanModel& model, double bucket_s,
+                                   const std::string& key);
+
+}  // namespace mpdash

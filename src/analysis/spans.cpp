@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 
 namespace mpdash {
 
@@ -15,6 +16,20 @@ const char* to_string(MissCause c) {
     case MissCause::kUnknown: return "unknown";
   }
   return "unknown";
+}
+
+int fault_kind_rank(const char* kind) {
+  // Documented tie-break precedence (see spans.h). Keep in sync with the
+  // FaultKind labels in src/fault/fault.cpp.
+  static constexpr const char* kRanked[] = {
+      "blackout",     "flap",         "rate_collapse", "loss_burst",
+      "rtt_spike",    "server_stall", "server_reset",
+  };
+  if (kind == nullptr) return static_cast<int>(std::size(kRanked)) + 1;
+  for (std::size_t i = 0; i < std::size(kRanked); ++i) {
+    if (std::strcmp(kind, kRanked[i]) == 0) return static_cast<int>(i);
+  }
+  return static_cast<int>(std::size(kRanked));
 }
 
 bool ChunkTimeline::missed() const {
@@ -81,6 +96,36 @@ void overlap_post_pass(SpanModel& model) {
   const auto server_u = merge_intervals(std::move(server_iv));
   const auto all_u = merge_intervals(std::move(all_iv));
 
+  // Per-kind interval unions, ordered by the documented kind precedence
+  // (fault_kind_rank, then name). Never keyed by the interned pointer:
+  // pointer order varies run to run, and an equal-share tie resolved by
+  // map order would make the dominant kind nondeterministic.
+  struct KindUnion {
+    const char* kind;
+    std::vector<Interval> merged;
+  };
+  std::vector<KindUnion> kind_u;
+  for (const FaultWindow& w : model.faults) {
+    const char* kind = w.kind ? w.kind : "unknown";
+    auto it = std::find_if(kind_u.begin(), kind_u.end(),
+                           [kind](const KindUnion& k) {
+                             return std::strcmp(k.kind, kind) == 0;
+                           });
+    if (it == kind_u.end()) {
+      kind_u.push_back({kind, {}});
+      it = std::prev(kind_u.end());
+    }
+    it->merged.push_back({w.start, w.end});
+  }
+  std::sort(kind_u.begin(), kind_u.end(),
+            [](const KindUnion& a, const KindUnion& b) {
+              const int ra = fault_kind_rank(a.kind);
+              const int rb = fault_kind_rank(b.kind);
+              if (ra != rb) return ra < rb;
+              return std::strcmp(a.kind, b.kind) < 0;
+            });
+  for (KindUnion& k : kind_u) k.merged = merge_intervals(std::move(k.merged));
+
   struct Edge {
     TimePoint at;
     int delta;
@@ -117,6 +162,20 @@ void overlap_post_pass(SpanModel& model) {
   for (ChunkTimeline& t : model.spans) {
     t.path_fault_overlap_s = union_overlap_s(path_u, t.start, t.end);
     t.server_fault_overlap_s = union_overlap_s(server_u, t.start, t.end);
+    t.fault_overlap_by_kind.clear();
+    t.dominant_fault_kind = nullptr;
+    double best = 0.0;
+    for (const KindUnion& k : kind_u) {
+      const double s = union_overlap_s(k.merged, t.start, t.end);
+      if (s <= 0.0) continue;
+      t.fault_overlap_by_kind.emplace_back(k.kind, s);
+      // kind_u is precedence-sorted, so a strict '>' keeps the earlier
+      // (higher-precedence) kind on an exact tie.
+      if (s > best) {
+        best = s;
+        t.dominant_fault_kind = k.kind;
+      }
+    }
     t.fault_overlap_share_s = 0.0;
     int peak = 0;
     for (const Piece& p : pieces) {
@@ -132,6 +191,16 @@ void overlap_post_pass(SpanModel& model) {
 }
 
 }  // namespace
+
+std::uint32_t span_model_trace_mask() {
+  return (1u << static_cast<unsigned>(TraceType::kSpanStart)) |
+         (1u << static_cast<unsigned>(TraceType::kSpanEnd)) |
+         (1u << static_cast<unsigned>(TraceType::kHttp)) |
+         (1u << static_cast<unsigned>(TraceType::kFault)) |
+         (1u << static_cast<unsigned>(TraceType::kSchedDecision)) |
+         (1u << static_cast<unsigned>(TraceType::kPlayer)) |
+         (1u << static_cast<unsigned>(TraceType::kPacketDeliver));
+}
 
 SpanModel build_span_model(const std::vector<TraceRecord>& trace) {
   SpanModel model;
@@ -300,18 +369,93 @@ void attribute_misses(SpanModel* model, int preferred_path) {
   }
 }
 
-std::map<MissCause, int> attribution_counts(const SpanModel& model) {
-  std::map<MissCause, int> counts;
-  for (const MissCause c :
-       {MissCause::kFaultBlackout, MissCause::kRetryBackoff,
-        MissCause::kSchedulerLate, MissCause::kBandwidthShortfall,
-        MissCause::kUnknown}) {
-    counts[c] = 0;
-  }
+std::vector<std::pair<MissCause, int>> attribution_counts(
+    const SpanModel& model) {
+  std::vector<std::pair<MissCause, int>> counts;
+  for (const MissCause c : kMissCausePrecedence) counts.emplace_back(c, 0);
   for (const ChunkTimeline& t : model.spans) {
-    if (t.cause != MissCause::kNone) ++counts[t.cause];
+    if (t.cause == MissCause::kNone) continue;
+    for (auto& [cause, count] : counts) {
+      if (cause == t.cause) ++count;
+    }
   }
   return counts;
+}
+
+int count_for(const std::vector<std::pair<MissCause, int>>& counts,
+              MissCause cause) {
+  for (const auto& [c, n] : counts) {
+    if (c == cause) return n;
+  }
+  return 0;
+}
+
+const SpanDetail* FlameModel::find(const SpanModel& model, SpanId id) const {
+  const ChunkTimeline* t = model.find(id);
+  if (t == nullptr) return nullptr;
+  const std::size_t i = static_cast<std::size_t>(t - model.spans.data());
+  return i < details.size() ? &details[i] : nullptr;
+}
+
+FlameModel build_flame_model(const std::vector<TraceRecord>& trace,
+                             const SpanModel& model, Duration merge_gap) {
+  FlameModel flame;
+  flame.details.resize(model.spans.size());
+  std::map<SpanId, std::size_t> index;
+  for (std::size_t i = 0; i < model.spans.size(); ++i) {
+    flame.details[i].span = model.spans[i].span;
+    index.emplace(model.spans[i].span, i);
+  }
+
+  for (const TraceRecord& r : trace) {
+    if (r.span == 0) continue;
+    const auto it = index.find(r.span);
+    if (it == index.end()) continue;
+    SpanDetail& d = flame.details[it->second];
+    if (r.type == TraceType::kHttp && r.label != nullptr) {
+      if (std::strcmp(r.label, "request") == 0) {
+        HttpAttempt a;
+        a.attempt = r.level;
+        a.start = r.at;
+        a.end = r.at;
+        d.attempts.push_back(a);
+      } else if (std::strcmp(r.label, "response") == 0 ||
+                 std::strcmp(r.label, "timeout") == 0 ||
+                 std::strcmp(r.label, "giveup") == 0) {
+        // Attempts within a span are sequential (retries wait out the
+        // backoff), so the closing record always belongs to the last
+        // still-open attempt.
+        for (auto a = d.attempts.rbegin(); a != d.attempts.rend(); ++a) {
+          if (a->outcome == nullptr) {
+            a->end = r.at;
+            a->outcome = r.label;
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    if (r.type == TraceType::kPacketDeliver && r.kind == PacketKind::kData &&
+        r.is_downlink() && r.payload_len > 0) {
+      auto& iv = d.path_activity[r.path_id];
+      if (!iv.empty() && r.at - iv.back().second <= merge_gap) {
+        iv.back().second = std::max(iv.back().second, r.at);
+      } else {
+        iv.push_back({r.at, r.at});
+      }
+    }
+  }
+
+  // Attempts the trace ended on (or that never got a closing record)
+  // extend to their span's end so the bar has a width.
+  for (std::size_t i = 0; i < flame.details.size(); ++i) {
+    for (HttpAttempt& a : flame.details[i].attempts) {
+      if (a.outcome == nullptr) {
+        a.end = std::max(a.start, model.spans[i].end);
+      }
+    }
+  }
+  return flame;
 }
 
 }  // namespace mpdash

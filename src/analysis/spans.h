@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "telemetry/trace_sink.h"
@@ -32,6 +33,25 @@ enum class MissCause : std::uint8_t {
 };
 
 const char* to_string(MissCause c);
+
+// The documented cause precedence, in order: every consumer that walks
+// "all causes" (attribution_counts, the roll-up CSV columns, the table
+// renderers) iterates this array so output ordering never depends on a
+// container's iteration order.
+inline constexpr MissCause kMissCausePrecedence[] = {
+    MissCause::kFaultBlackout,    MissCause::kRetryBackoff,
+    MissCause::kSchedulerLate,    MissCause::kBandwidthShortfall,
+    MissCause::kUnknown,
+};
+
+// Tie-break rank for fault *kinds* when two fault windows cover a span
+// for exactly the same number of seconds: link-scoped outages indict the
+// network before origin misbehavior does, mirroring the cause precedence
+// above. Lower rank wins; unknown kinds rank last and tie-break
+// lexicographically. Documented order:
+//   blackout ≻ flap ≻ rate_collapse ≻ loss_burst ≻ rtt_spike ≻
+//   server_stall ≻ server_reset ≻ (anything else, by name)
+int fault_kind_rank(const char* kind);
 
 // One injected fault occurrence (kFault start/end pair). An unclosed
 // window extends to the end of the trace.
@@ -94,6 +114,14 @@ struct ChunkTimeline {
   double fault_overlap_share_s = 0.0;   // overlap ÷ concurrently open spans
   int max_concurrent_spans = 1;         // peak open spans while in flight
 
+  // Union overlap seconds per fault kind, sorted by fault_kind_rank()
+  // then name (never by pointer value, which would make equal-share
+  // ties depend on allocation order). Only kinds with coverage > 0.
+  std::vector<std::pair<const char*, double>> fault_overlap_by_kind;
+  // The kind with the largest overlap; equal shares resolve to the
+  // higher-precedence kind. nullptr when no fault touched the span.
+  const char* dominant_fault_kind = nullptr;
+
   MissCause cause = MissCause::kNone;
 
   double elapsed_s() const { return to_seconds(end - start); }
@@ -113,6 +141,11 @@ struct SpanModel {
   const ChunkTimeline* find(SpanId id) const;
 };
 
+// TypeFilterSink mask covering every record type the span model and the
+// flame view consume. Capture behind this mask and build_span_model sees
+// exactly what a full JSONL trace would give it.
+std::uint32_t span_model_trace_mask();
+
 // First pass: group records by span id, collect fault windows, fill
 // every ChunkTimeline milestone. Does not assign causes.
 SpanModel build_span_model(const std::vector<TraceRecord>& trace);
@@ -125,6 +158,52 @@ SpanModel build_span_model(const std::vector<TraceRecord>& trace);
 void attribute_misses(SpanModel* model, int preferred_path = 0);
 
 // Misses per cause across the model (kNone excluded; zero counts kept).
-std::map<MissCause, int> attribution_counts(const SpanModel& model);
+// Rows come back in kMissCausePrecedence order — the documented, stable
+// ordering every renderer and CSV column list shares.
+std::vector<std::pair<MissCause, int>> attribution_counts(
+    const SpanModel& model);
+
+// Count for one cause in an attribution_counts() result (0 if absent).
+int count_for(const std::vector<std::pair<MissCause, int>>& counts,
+              MissCause cause);
+
+// ---------------------------------------------------------------------------
+// Flame/Gantt detail: the per-span sub-rows the --flame view nests inside
+// each chunk bar — HTTP attempts (with retry/backoff gaps) and per-path
+// transmit activity. Kept separate from ChunkTimeline because it needs a
+// second walk over the raw records and most consumers (attribution,
+// roll-ups) never want it.
+
+struct HttpAttempt {
+  int attempt = 0;                // attempt number as emitted (kHttp level)
+  TimePoint start = kTimeZero;    // "request" record
+  TimePoint end = kTimeZero;      // closing record (or span end if open)
+  const char* outcome = nullptr;  // "response"/"timeout"/"giveup"; null =
+                                  // still in flight at trace end
+};
+
+using ActivityInterval = std::pair<TimePoint, TimePoint>;
+
+struct SpanDetail {
+  SpanId span = 0;
+  std::vector<HttpAttempt> attempts;  // request order; gaps = backoff
+  // Downlink payload activity per path, merged into intervals when
+  // deliveries are closer than the merge gap.
+  std::map<int, std::vector<ActivityInterval>> path_activity;
+};
+
+struct FlameModel {
+  std::vector<SpanDetail> details;  // aligned with SpanModel::spans
+
+  const SpanDetail* find(const SpanModel& model, SpanId id) const;
+};
+
+// Second pass over the trace: collects the per-span HTTP attempt segments
+// and per-path delivery intervals for the flame view. `merge_gap` fuses
+// deliveries separated by less than that into one interval (rendering
+// needs shapes, not packets).
+FlameModel build_flame_model(const std::vector<TraceRecord>& trace,
+                             const SpanModel& model,
+                             Duration merge_gap = milliseconds(50));
 
 }  // namespace mpdash

@@ -204,13 +204,16 @@ ChaosRunResult run_one(const ChaosConfig& cfg, const Video& video,
 
   // Always-on request-lifecycle capture for the pipelined audit. Sinks are
   // pure observers, so attaching one never perturbs the simulation or the
-  // campaign digest.
-  TraceCollector pipeline_capture;
-  TypeFilterSink pipeline_filter(
-      &pipeline_capture,
+  // campaign digest. Attribution mode widens the mask to everything the
+  // span model consumes (faults, scheduler decisions, player events,
+  // payload deliveries).
+  std::uint32_t capture_mask =
       (1u << static_cast<unsigned>(TraceType::kHttp)) |
-          (1u << static_cast<unsigned>(TraceType::kSpanStart)) |
-          (1u << static_cast<unsigned>(TraceType::kSpanEnd)));
+      (1u << static_cast<unsigned>(TraceType::kSpanStart)) |
+      (1u << static_cast<unsigned>(TraceType::kSpanEnd));
+  if (cfg.attribution) capture_mask |= span_model_trace_mask();
+  TraceCollector pipeline_capture;
+  TypeFilterSink pipeline_filter(&pipeline_capture, capture_mask);
   ctx.telemetry.add_sink(&pipeline_filter);
 
   // Per-run trace capture: sinks attach to the run-private telemetry, so
@@ -264,6 +267,12 @@ ChaosRunResult run_one(const ChaosConfig& cfg, const Video& video,
   }
   if (cfg.series_interval > kDurationZero) {
     out.series_csv = qoe_series_csv(timeline, ctx.seed);
+  }
+  if (cfg.attribution) {
+    SpanModel model = build_span_model(pipeline_capture.records());
+    attribute_misses(&model, kWifiPathId);
+    out.attribution = rollup_span_model(model, std::to_string(ctx.seed));
+    out.has_attribution = true;
   }
 
   // Telemetry-consistency invariants: counters must agree with the result

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/rollup.h"
 #include "exp/session.h"
 #include "fault/fault.h"
 #include "runner/campaign.h"
@@ -54,6 +55,11 @@ struct ChaosConfig {
   // stream (parse_trace_types mask; default = everything).
   std::string trace_path;
   std::uint32_t trace_types = ~0u;
+  // Per-run deadline-miss attribution: widens the in-process capture to
+  // the span-model record set, runs attribute_misses over it, and fills
+  // ChaosRunResult::attribution (one RollupRow keyed by seed). Sinks are
+  // pure observers, so the campaign digest is unchanged.
+  bool attribution = false;
   std::FILE* progress = stderr;  // nullptr silences the runner
 };
 
@@ -77,6 +83,10 @@ struct ChaosRunResult {
   // Per-run QoE/byte-share time series (kChaosSeriesHeader rows, no
   // header); empty unless ChaosConfig::series_interval > 0.
   std::string series_csv;
+  // Per-run miss attribution roll-up (key = seed); only meaningful when
+  // ChaosConfig::attribution was set.
+  bool has_attribution = false;
+  RollupRow attribution;
 
   bool ok() const { return violations.empty(); }
   // Deterministic one-line digest of everything observable; the jobs-N

@@ -15,8 +15,10 @@ class CsvWriter {
   // Writes to `path`; returns false on I/O failure.
   bool write_file(const std::string& path) const;
 
- private:
+  // RFC-4180 quoting for one cell (quotes only when needed).
   static std::string escape(const std::string& cell);
+
+ private:
   std::string data_;
   std::size_t columns_;
 };

@@ -39,7 +39,7 @@ FaultEvent make_event(FaultKind kind, double at_s, double dur_s, int path = 0,
 struct AttributedRun {
   SessionResult result;
   SpanModel model;
-  std::map<MissCause, int> counts;
+  std::vector<std::pair<MissCause, int>> counts;
 
   int misses() const {
     int n = 0;
@@ -188,10 +188,10 @@ TEST(Attribution, RecoveryCounterfactualFlipsTheAttribution) {
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     const AttributedRun on = server_stall_run(seed, true);
     const AttributedRun off = server_stall_run(seed, false);
-    backoff_on += on.counts.at(MissCause::kRetryBackoff);
-    fault_on += on.counts.at(MissCause::kFaultBlackout);
-    backoff_off += off.counts.at(MissCause::kRetryBackoff);
-    fault_off += off.counts.at(MissCause::kFaultBlackout);
+    backoff_on += count_for(on.counts, MissCause::kRetryBackoff);
+    fault_on += count_for(on.counts, MissCause::kFaultBlackout);
+    backoff_off += count_for(off.counts, MissCause::kRetryBackoff);
+    fault_off += count_for(off.counts, MissCause::kFaultBlackout);
   }
   EXPECT_GT(backoff_on, 0);
   EXPECT_EQ(fault_on, 0);

@@ -374,9 +374,9 @@ TEST(PipelineAttribution, BlackoutOverMultipleInflightSpans) {
     // Apportioned shares can never exceed the injected outage duration.
     EXPECT_LE(share_total, 10.0 + 1e-6) << what;
     const auto counts = attribution_counts(model);
-    EXPECT_EQ(counts.at(MissCause::kSchedulerLate), 0) << what;
-    EXPECT_EQ(counts.at(MissCause::kBandwidthShortfall), 0) << what;
-    EXPECT_EQ(counts.at(MissCause::kUnknown), 0) << what;
+    EXPECT_EQ(count_for(counts, MissCause::kSchedulerLate), 0) << what;
+    EXPECT_EQ(count_for(counts, MissCause::kBandwidthShortfall), 0) << what;
+    EXPECT_EQ(count_for(counts, MissCause::kUnknown), 0) << what;
   }
   // The fixture must actually exercise the multi-span case.
   EXPECT_GT(overlapping_spans_seen, 0);

@@ -53,6 +53,7 @@ struct Args {
   std::string trace_types;   // --trace-types filter (comma-separated)
   std::string series_path;   // chaos: aggregated per-run QoE series CSV
   double series_interval_s = 1.0;
+  std::string attrib_path;   // chaos: per-seed miss-attribution roll-up CSV
   double wifi_mbps = 3.8;
   double lte_mbps = 3.0;
   double chunk_s = 4.0;
@@ -97,7 +98,9 @@ struct Args {
                "(e.g. sched_decision,fault,player)\n"
                "  --series <path>    chaos: per-run QoE/byte-share time "
                "series CSV\n"
-               "  --series-interval <s>   series cadence (default 1.0)\n");
+               "  --series-interval <s>   series cadence (default 1.0)\n"
+               "  --attrib <path>    chaos: per-seed deadline-miss "
+               "attribution roll-up CSV\n");
   std::exit(2);
 }
 
@@ -138,6 +141,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--series") a.series_path = value();
     else if (flag == "--series-interval")
       a.series_interval_s = std::atof(value().c_str());
+    else if (flag == "--attrib") a.attrib_path = value();
     else usage(("unknown flag " + flag).c_str());
   }
   return a;
@@ -501,6 +505,7 @@ int cmd_chaos(const Args& a) {
   cfg.trace_types = trace_type_mask(a);
   cfg.series_interval =
       a.series_path.empty() ? kDurationZero : seconds(a.series_interval_s);
+  cfg.attribution = !a.attrib_path.empty();
 
   const ChaosCampaignResult res = run_chaos_campaign(cfg);
 
@@ -559,6 +564,31 @@ int cmd_chaos(const Args& a) {
       return 1;
     }
     std::printf("series written to %s\n", a.series_path.c_str());
+  }
+  if (!a.attrib_path.empty()) {
+    // Rows sort by numeric seed — the same order `mpdash_trace rollup`
+    // gives the campaign's --trace files — so the CSV is bitwise
+    // identical for any --jobs value AND to the offline tool's roll-up
+    // (the in-process capture feeds the same span model).
+    std::vector<RollupRow> rows;
+    rows.reserve(res.runs.size());
+    for (const ChaosRunResult& r : res.runs) {
+      if (r.has_attribution) rows.push_back(r.attribution);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const RollupRow& x, const RollupRow& y) {
+                const unsigned long long vx =
+                    std::strtoull(x.key.c_str(), nullptr, 10);
+                const unsigned long long vy =
+                    std::strtoull(y.key.c_str(), nullptr, 10);
+                if (vx != vy) return vx < vy;
+                return x.key < y.key;
+              });
+    if (!write_text_file(a.attrib_path, rollup_to_csv(rows))) {
+      std::fprintf(stderr, "cannot write %s\n", a.attrib_path.c_str());
+      return 1;
+    }
+    std::printf("attribution roll-up written to %s\n", a.attrib_path.c_str());
   }
   if (!a.trace_path.empty()) {
     std::printf("per-run traces written to %s%s\n", a.trace_path.c_str(),

@@ -1,49 +1,75 @@
 // mpdash_trace — causal-span trace analyzer.
 //
 // Loads a JSONL trace written by `mpdash_sim --trace`, reconstructs the
-// per-chunk span timelines, renders per-layer latency waterfalls, and
-// runs the deadline-miss attribution pass (scheduler-late vs
-// fault-blackout vs retry-backoff vs bandwidth-shortfall). Traces
-// without span records (older captures, golden fixtures) still load:
-// the tool reports fault windows and record counts and exits 0.
+// per-chunk span timelines, renders per-layer latency waterfalls or a
+// Gantt/flame view, and runs the deadline-miss attribution pass
+// (scheduler-late vs fault-blackout vs retry-backoff vs
+// bandwidth-shortfall). Traces without span records (older captures,
+// golden fixtures) still load: the tool reports fault windows and record
+// counts and exits 0.
 //
 //   mpdash_trace run.jsonl                    # summary + attribution
 //   mpdash_trace run.jsonl --waterfall        # per-chunk latency bars
+//   mpdash_trace run.jsonl --flame            # Gantt bars + nested HTTP
+//                                             # attempts / path activity
 //   mpdash_trace run.jsonl --csv spans.csv    # one row per span
 //   mpdash_trace run.jsonl --preferred-path 0 # Algorithm 1's cheap path
+//
+// Campaign roll-up mode aggregates attribution over many traces (files,
+// directories, or a shell glob) into per-cause miss rates keyed by seed:
+//
+//   mpdash_trace rollup chaos_artifacts/            # scan dir for .jsonl
+//   mpdash_trace rollup chaos.jsonl.* --csv roll.csv
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "analysis/render.h"
+#include "analysis/rollup.h"
 #include "analysis/spans.h"
 #include "analysis/trace_load.h"
+#include "util/table.h"
 
 using namespace mpdash;
 
 namespace {
 
 struct Args {
-  std::string trace_path;
+  bool rollup = false;
+  std::vector<std::string> inputs;  // analyze: exactly one trace file
   std::string csv_path;
   bool waterfall = false;
-  bool summary = true;
+  bool flame = false;
   int preferred_path = 0;
-  int width = 72;  // waterfall bar columns
+  int width = 72;  // waterfall/flame bar columns
 };
 
-[[noreturn]] void usage(const char* msg = nullptr) {
-  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
-  std::fprintf(stderr,
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: mpdash_trace <trace.jsonl> [options]\n"
+               "       mpdash_trace rollup <file|dir>... [options]\n"
                "  --waterfall          render per-chunk latency waterfalls\n"
-               "  --csv <path>         write one CSV row per span\n"
+               "  --flame              Gantt/flame view: span bars on a "
+               "shared time axis\n"
+               "                       with nested HTTP attempts and "
+               "per-path activity\n"
+               "  --csv <path>         analyze: one CSV row per span; "
+               "rollup: per-seed\n"
+               "                       per-cause miss rates\n"
                "  --preferred-path <n> Algorithm 1's always-on path "
                "(default 0 = WiFi)\n"
-               "  --width <cols>       waterfall bar width (default 72)\n");
+               "  --width <cols>       waterfall/flame width (default 72)\n"
+               "  -h, --help           this text (exit 0)\n");
+}
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n\n", msg.c_str());
+  print_usage(stderr);
   std::exit(2);
 }
 
@@ -52,11 +78,13 @@ Args parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
       return argv[++i];
     };
     if (arg == "--waterfall") {
       a.waterfall = true;
+    } else if (arg == "--flame") {
+      a.flame = true;
     } else if (arg == "--csv") {
       a.csv_path = next();
     } else if (arg == "--preferred-path") {
@@ -64,16 +92,23 @@ Args parse(int argc, char** argv) {
     } else if (arg == "--width") {
       a.width = std::max(10, std::atoi(next().c_str()));
     } else if (arg == "--help" || arg == "-h") {
-      usage();
+      // Explicit help is a success, not a usage error.
+      print_usage(stdout);
+      std::exit(0);
     } else if (!arg.empty() && arg[0] == '-') {
-      usage(("unknown option " + arg).c_str());
-    } else if (a.trace_path.empty()) {
-      a.trace_path = arg;
+      usage_error("unknown option " + arg);
+    } else if (arg == "rollup" && a.inputs.empty() && !a.rollup) {
+      a.rollup = true;
+    } else if (a.rollup || a.inputs.empty()) {
+      a.inputs.push_back(arg);
     } else {
-      usage("more than one trace file");
+      usage_error("more than one trace file (did you mean 'rollup'?)");
     }
   }
-  if (a.trace_path.empty()) usage("no trace file given");
+  if (a.inputs.empty()) {
+    usage_error(a.rollup ? "rollup needs at least one file or directory"
+                         : "no trace file given");
+  }
   return a;
 }
 
@@ -128,6 +163,9 @@ void print_attribution(const SpanModel& model) {
     }
     if (t.stalls_started > 0) {
       evidence += std::to_string(t.stalls_started) + " stall(s); ";
+    }
+    if (t.dominant_fault_kind != nullptr) {
+      evidence += std::string(t.dominant_fault_kind) + " overlap; ";
     }
     if (t.sched_engaged && !t.costly_enabled) {
       evidence += "costly path never enabled; ";
@@ -199,46 +237,18 @@ void print_waterfall(const SpanModel& model, int width) {
   }
 }
 
-bool write_csv(const SpanModel& model, const std::string& path) {
+bool write_text_file(const std::string& path, const std::string& text) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
-  std::fprintf(f,
-               "span,name,chunk,level,start_s,end_s,elapsed_s,deadline_s,"
-               "status,missed,cause,requested_bytes,delivered_bytes,"
-               "preferred_bytes,costly_bytes,http_timeouts,http_retries,"
-               "backoff_s,chunk_retries,stalls\n");
-  for (const ChunkTimeline& t : model.spans) {
-    Bytes preferred = 0, costly = 0;
-    for (const auto& [p, bytes] : t.bytes_by_path) {
-      (p == 0 ? preferred : costly) += bytes;
-    }
-    std::fprintf(f,
-                 "%llu,%s,%d,%d,%.9f,%.9f,%.9f,%.9f,%s,%d,%s,%lld,%lld,"
-                 "%lld,%lld,%d,%d,%.9f,%d,%d\n",
-                 static_cast<unsigned long long>(t.span),
-                 t.name ? t.name : "", t.chunk, t.level,
-                 to_seconds(t.start), to_seconds(t.end), t.elapsed_s(),
-                 t.deadline_s, t.status ? t.status : "open",
-                 t.cause != MissCause::kNone ? 1 : 0, to_string(t.cause),
-                 static_cast<long long>(t.requested_bytes),
-                 static_cast<long long>(t.delivered_bytes),
-                 static_cast<long long>(preferred),
-                 static_cast<long long>(costly), t.http_timeouts,
-                 t.http_retries, t.backoff_s, t.chunk_retries,
-                 t.stalls_started);
-  }
-  std::fclose(f);
-  return true;
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args = parse(argc, argv);
-
+int run_analyze(const Args& args) {
   std::vector<TraceRecord> trace;
   std::string err;
-  if (!load_trace_jsonl(args.trace_path, &trace, &err)) {
+  if (!load_trace_jsonl(args.inputs.front(), &trace, &err)) {
     std::fprintf(stderr, "error: %s\n", err.c_str());
     return 1;
   }
@@ -249,8 +259,12 @@ int main(int argc, char** argv) {
   print_summary(model, trace);
   if (!model.spans.empty()) print_attribution(model);
   if (args.waterfall) print_waterfall(model, args.width);
+  if (args.flame) {
+    const FlameModel flame = build_flame_model(trace, model);
+    std::printf("\n%s", render_flame(model, flame, args.width).c_str());
+  }
   if (!args.csv_path.empty()) {
-    if (!write_csv(model, args.csv_path)) {
+    if (!write_text_file(args.csv_path, spans_to_csv(model))) {
       std::fprintf(stderr, "error: cannot write %s\n",
                    args.csv_path.c_str());
       return 1;
@@ -259,4 +273,136 @@ int main(int argc, char** argv) {
                 args.csv_path.c_str());
   }
   return 0;
+}
+
+// Expands rollup operands: directories contribute every contained
+// ".jsonl"-named file. The combined list is ordered by roll-up key
+// (numeric seeds first, in numeric order), so the CSV is identical no
+// matter how the shell or the filesystem ordered the inputs — and
+// identical across jobs-1 vs jobs-8 artifact sets whose base names
+// differ but whose seed suffixes match.
+std::vector<std::string> expand_rollup_inputs(
+    const std::vector<std::string>& inputs, std::string* err) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& in : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(in, ec)) {
+      for (const auto& entry : fs::directory_iterator(in, ec)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string name = entry.path().filename().string();
+        if (name.find(".jsonl") != std::string::npos) {
+          files.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        *err = "cannot scan directory " + in + ": " + ec.message();
+        return {};
+      }
+    } else if (fs::is_regular_file(in, ec)) {
+      files.push_back(in);
+    } else {
+      *err = "no such file or directory: " + in;
+      return {};
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const std::string& a, const std::string& b) {
+              const std::string ka = rollup_source_key(a);
+              const std::string kb = rollup_source_key(b);
+              const bool na =
+                  ka.find_first_not_of("0123456789") == std::string::npos;
+              const bool nb =
+                  kb.find_first_not_of("0123456789") == std::string::npos;
+              if (na != nb) return na;  // numeric seeds first
+              if (na && nb) {
+                const unsigned long long va = std::strtoull(
+                    ka.c_str(), nullptr, 10);
+                const unsigned long long vb = std::strtoull(
+                    kb.c_str(), nullptr, 10);
+                if (va != vb) return va < vb;
+              }
+              if (ka != kb) return ka < kb;
+              return a < b;
+            });
+  return files;
+}
+
+int run_rollup(const Args& args) {
+  std::string err;
+  const std::vector<std::string> files =
+      expand_rollup_inputs(args.inputs, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no .jsonl traces found\n");
+    return 1;
+  }
+
+  std::vector<RollupRow> rows;
+  rows.reserve(files.size());
+  for (const std::string& path : files) {
+    std::vector<TraceRecord> trace;
+    if (!load_trace_jsonl(path, &trace, &err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 1;
+    }
+    SpanModel model = build_span_model(trace);
+    attribute_misses(&model, args.preferred_path);
+    rows.push_back(rollup_span_model(model, rollup_source_key(path)));
+  }
+
+  std::vector<std::string> header = {"key", "spans", "misses", "miss%"};
+  for (const MissCause c : kMissCausePrecedence) {
+    header.push_back(to_string(c));
+  }
+  TextTable table(header);
+  RollupRow total;
+  total.key = "total";
+  for (const MissCause c : kMissCausePrecedence) {
+    total.counts.emplace_back(c, 0);
+  }
+  for (const RollupRow& row : rows) {
+    std::vector<std::string> cells = {row.key, std::to_string(row.spans),
+                                      std::to_string(row.misses),
+                                      TextTable::pct(row.miss_rate(), 1)};
+    for (const auto& [cause, count] : row.counts) {
+      cells.push_back(std::to_string(count));
+    }
+    table.add_row(cells);
+    total.spans += row.spans;
+    total.misses += row.misses;
+    for (auto& [cause, count] : total.counts) {
+      count += count_for(row.counts, cause);
+    }
+  }
+  std::vector<std::string> tcells = {total.key, std::to_string(total.spans),
+                                     std::to_string(total.misses),
+                                     TextTable::pct(total.miss_rate(), 1)};
+  for (const auto& [cause, count] : total.counts) {
+    tcells.push_back(std::to_string(count));
+  }
+  table.add_row(tcells);
+  std::printf("rollup: %zu trace(s)\n%s", files.size(),
+              table.render().c_str());
+
+  if (!args.csv_path.empty()) {
+    if (!write_text_file(args.csv_path, rollup_to_csv(rows))) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   args.csv_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu roll-up rows to %s\n", rows.size(),
+                args.csv_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  return args.rollup ? run_rollup(args) : run_analyze(args);
 }
