@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <set>
 #include <sstream>
 #include <string_view>
 
@@ -155,20 +156,66 @@ std::string render_flame(const SpanModel& model, const FlameModel& flame,
                                  : "");
     }
 
-    // Per-path transmit activity (map keys iterate in path-id order).
+    // Per-path transmit activity (path-id order), each followed by its
+    // subflow congestion row when the trace carried kSubflowUpdate
+    // records (cwnd forward-filled between samples, glyph ∝ cwnd).
+    std::set<int> span_paths;
     for (const auto& [path, intervals] : d.path_activity) {
-      std::string act(static_cast<std::size_t>(width), ' ');
-      for (const ActivityInterval& iv : intervals) {
-        const int s = col(iv.first);
-        const int e = std::max(s, col(iv.second));
-        for (int c = s; c <= e; ++c) act[static_cast<std::size_t>(c)] = '=';
+      span_paths.insert(path);
+    }
+    for (const auto& [path, samples] : d.subflow) span_paths.insert(path);
+    for (const int path : span_paths) {
+      const auto act_it = d.path_activity.find(path);
+      if (act_it != d.path_activity.end()) {
+        std::string act(static_cast<std::size_t>(width), ' ');
+        for (const ActivityInterval& iv : act_it->second) {
+          const int s = col(iv.first);
+          const int e = std::max(s, col(iv.second));
+          for (int c = s; c <= e; ++c) {
+            act[static_cast<std::size_t>(c)] = '=';
+          }
+        }
+        const auto bytes_it = t.bytes_by_path.find(path);
+        emit("  path " + std::to_string(path), act,
+             bytes_it != t.bytes_by_path.end()
+                 ? std::to_string(static_cast<long long>(bytes_it->second)) +
+                       " B"
+                 : "");
       }
-      const auto bytes_it = t.bytes_by_path.find(path);
-      emit("  path " + std::to_string(path), act,
-           bytes_it != t.bytes_by_path.end()
-               ? std::to_string(static_cast<long long>(bytes_it->second)) +
-                     " B"
-               : "");
+      const auto sf_it = d.subflow.find(path);
+      if (sf_it == d.subflow.end() || sf_it->second.empty()) continue;
+      const std::vector<SubflowSample>& samples = sf_it->second;
+      double cwnd_min = samples[0].cwnd, cwnd_max = samples[0].cwnd;
+      double rtt_min = samples[0].srtt_ms, rtt_max = samples[0].srtt_ms;
+      for (const SubflowSample& s : samples) {
+        cwnd_min = std::min(cwnd_min, s.cwnd);
+        cwnd_max = std::max(cwnd_max, s.cwnd);
+        rtt_min = std::min(rtt_min, s.srtt_ms);
+        rtt_max = std::max(rtt_max, s.srtt_ms);
+      }
+      static constexpr char kRamp[] = " .:-=+*#";
+      const auto glyph = [&](double cwnd) {
+        const int g =
+            cwnd_max > 0.0
+                ? static_cast<int>(cwnd / cwnd_max * 7.0)
+                : 0;
+        return kRamp[std::clamp(g, 1, 7)];
+      };
+      std::string sf(static_cast<std::size_t>(width), ' ');
+      for (std::size_t k = 0; k < samples.size(); ++k) {
+        const int s = col(samples[k].at);
+        const int e = k + 1 < samples.size()
+                          ? std::max(s, col(samples[k + 1].at) - 1)
+                          : s;
+        for (int c = s; c <= e; ++c) {
+          sf[static_cast<std::size_t>(c)] = glyph(samples[k].cwnd);
+        }
+      }
+      char sf_tail[96];
+      std::snprintf(sf_tail, sizeof sf_tail,
+                    "cwnd %.0f..%.0f rtt %.0f..%.0f ms", cwnd_min,
+                    cwnd_max, rtt_min, rtt_max);
+      emit("  sf " + std::to_string(path), sf, sf_tail);
     }
   }
   return out.str();

@@ -202,6 +202,11 @@ std::uint32_t span_model_trace_mask() {
          (1u << static_cast<unsigned>(TraceType::kPacketDeliver));
 }
 
+std::uint32_t flame_trace_mask() {
+  return span_model_trace_mask() |
+         (1u << static_cast<unsigned>(TraceType::kSubflowUpdate));
+}
+
 SpanModel build_span_model(const std::vector<TraceRecord>& trace) {
   SpanModel model;
   model.records = trace.size();
@@ -407,7 +412,16 @@ FlameModel build_flame_model(const std::vector<TraceRecord>& trace,
     index.emplace(model.spans[i].span, i);
   }
 
+  // Subflow updates are connection-scoped, not span-stamped, so collect
+  // them globally (sorted by emission order = time order) and slice each
+  // span's window out below.
+  std::map<int, std::vector<SubflowSample>> subflow_samples;
+
   for (const TraceRecord& r : trace) {
+    if (r.type == TraceType::kSubflowUpdate) {
+      subflow_samples[r.path_id].push_back({r.at, r.cwnd, r.srtt_ms});
+      continue;
+    }
     if (r.span == 0) continue;
     const auto it = index.find(r.span);
     if (it == index.end()) continue;
@@ -452,6 +466,23 @@ FlameModel build_flame_model(const std::vector<TraceRecord>& trace,
     for (HttpAttempt& a : flame.details[i].attempts) {
       if (a.outcome == nullptr) {
         a.end = std::max(a.start, model.spans[i].end);
+      }
+    }
+  }
+
+  // Slice each span's time window out of the global subflow streams
+  // (samples are time-sorted, so each slice is one binary search + copy).
+  for (std::size_t i = 0; i < flame.details.size(); ++i) {
+    const ChunkTimeline& t = model.spans[i];
+    for (const auto& [path, samples] : subflow_samples) {
+      const auto lo = std::lower_bound(
+          samples.begin(), samples.end(), t.start,
+          [](const SubflowSample& s, TimePoint at) { return s.at < at; });
+      const auto hi = std::upper_bound(
+          lo, samples.end(), t.end,
+          [](TimePoint at, const SubflowSample& s) { return at < s.at; });
+      if (lo != hi) {
+        flame.details[i].subflow[path].assign(lo, hi);
       }
     }
   }

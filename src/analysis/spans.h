@@ -146,6 +146,10 @@ struct SpanModel {
 // exactly what a full JSONL trace would give it.
 std::uint32_t span_model_trace_mask();
 
+// span_model_trace_mask() plus kSubflowUpdate — everything the flame
+// view's subflow rows need on top of the span model.
+std::uint32_t flame_trace_mask();
+
 // First pass: group records by span id, collect fault windows, fill
 // every ChunkTimeline milestone. Does not assign causes.
 SpanModel build_span_model(const std::vector<TraceRecord>& trace);
@@ -184,12 +188,24 @@ struct HttpAttempt {
 
 using ActivityInterval = std::pair<TimePoint, TimePoint>;
 
+// One kSubflowUpdate observation (server data sender: cwnd/RTT at an
+// ack or RTO edge).
+struct SubflowSample {
+  TimePoint at = kTimeZero;
+  double cwnd = 0.0;
+  double srtt_ms = 0.0;
+};
+
 struct SpanDetail {
   SpanId span = 0;
   std::vector<HttpAttempt> attempts;  // request order; gaps = backoff
   // Downlink payload activity per path, merged into intervals when
   // deliveries are closer than the merge gap.
   std::map<int, std::vector<ActivityInterval>> path_activity;
+  // Subflow cwnd/RTT samples per path inside this span's window. Subflow
+  // updates are connection-scoped (not stamped with a chunk span), so
+  // they are sliced by time: every sample with start <= at <= end.
+  std::map<int, std::vector<SubflowSample>> subflow;
 };
 
 struct FlameModel {

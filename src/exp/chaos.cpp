@@ -8,7 +8,19 @@
 #include <set>
 #include <utility>
 
+#include "exp/repro.h"
+
 namespace mpdash {
+
+const char* to_string(RunOutcome o) {
+  switch (o) {
+    case RunOutcome::kOk: return "ok";
+    case RunOutcome::kViolation: return "violation";
+    case RunOutcome::kHung: return "hung";
+    case RunOutcome::kCrashed: return "crashed";
+  }
+  return "?";
+}
 
 const char kChaosSeriesHeader[] =
     "seed,time_s,buffer_s,level,stalls,chunks,wifi_bytes,cell_bytes,"
@@ -40,17 +52,22 @@ std::string qoe_series_csv(const MetricsTimeline& timeline,
 }
 
 std::string ChaosRunResult::fingerprint() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(
       buf, sizeof buf,
-      "seed=%llu ok=%d done=%d t=%.6f chunks=%d abandoned=%d retries=%d "
+      "seed=%llu out=%s done=%d t=%.6f chunks=%d abandoned=%d retries=%d "
       "stalls=%d sf=%d rev=%d reinj=%d to=%d rt=%d faults=%d skip=%d "
       "viol=%zu",
-      static_cast<unsigned long long>(seed), ok() ? 1 : 0, completed ? 1 : 0,
-      session_s, chunks_delivered, chunks_abandoned, chunk_retries, stalls,
-      subflow_failures, subflow_revivals, reinjected_packets, http_timeouts,
-      http_retries, faults_started, faults_skipped, violations.size());
-  return buf;
+      static_cast<unsigned long long>(seed), to_string(outcome),
+      completed ? 1 : 0, session_s, chunks_delivered, chunks_abandoned,
+      chunk_retries, stalls, subflow_failures, subflow_revivals,
+      reinjected_packets, http_timeouts, http_retries, faults_started,
+      faults_skipped, violations.size());
+  std::string out = buf;
+  // The hung reason is deterministic for sim-event trips; including it
+  // keeps a quarantined run's digest meaningful across worker counts.
+  if (!hung_reason.empty()) out += " why=" + hung_reason;
+  return out;
 }
 
 int ChaosCampaignResult::violation_count() const {
@@ -59,6 +76,19 @@ int ChaosCampaignResult::violation_count() const {
     n += static_cast<int>(r.violations.size());
   }
   return n;
+}
+
+OutcomeCounts ChaosCampaignResult::outcome_counts() const {
+  OutcomeCounts c;
+  for (const ChaosRunResult& r : runs) {
+    switch (r.outcome) {
+      case RunOutcome::kOk: ++c.ok; break;
+      case RunOutcome::kViolation: ++c.violation; break;
+      case RunOutcome::kHung: ++c.hung; break;
+      case RunOutcome::kCrashed: ++c.crashed; break;
+    }
+  }
+  return c;
 }
 
 std::string ChaosCampaignResult::digest() const {
@@ -186,15 +216,14 @@ SessionConfig chaos_session_config(const ChaosConfig& cfg,
   return s;
 }
 
-namespace {
-
-ChaosRunResult run_one(const ChaosConfig& cfg, const Video& video,
-                       RunContext& ctx) {
-  const FaultPlan plan = random_fault_plan(ctx.seed, cfg.plan);
-  Scenario scenario(chaos_scenario_config(ctx.seed));
-  SessionConfig scfg = chaos_session_config(cfg, ctx.seed);
-  scfg.telemetry = &ctx.telemetry;
+ChaosRunResult run_chaos_single(const ChaosConfig& cfg, const Video& video,
+                                std::uint64_t seed, const FaultPlan& plan,
+                                Telemetry& telemetry) {
+  Scenario scenario(chaos_scenario_config(seed));
+  SessionConfig scfg = chaos_session_config(cfg, seed);
+  scfg.telemetry = &telemetry;
   scfg.faults = &plan;
+  scfg.watchdog = cfg.watchdog;
 
   MetricsTimeline timeline;
   if (cfg.series_interval > kDurationZero) {
@@ -214,7 +243,7 @@ ChaosRunResult run_one(const ChaosConfig& cfg, const Video& video,
   if (cfg.attribution) capture_mask |= span_model_trace_mask();
   TraceCollector pipeline_capture;
   TypeFilterSink pipeline_filter(&pipeline_capture, capture_mask);
-  ctx.telemetry.add_sink(&pipeline_filter);
+  telemetry.add_sink(&pipeline_filter);
 
   // Per-run trace capture: sinks attach to the run-private telemetry, so
   // any --jobs interleaving writes each file from exactly one thread.
@@ -222,27 +251,53 @@ ChaosRunResult run_one(const ChaosConfig& cfg, const Video& video,
   std::unique_ptr<TypeFilterSink> filter;
   if (!cfg.trace_path.empty()) {
     std::string path = cfg.trace_path;
-    if (cfg.seed_count > 1) path += "." + std::to_string(ctx.seed);
+    if (cfg.seed_count > 1) path += "." + std::to_string(seed);
     jsonl = std::make_unique<JsonlSink>(path);
     if (cfg.trace_types != ~0u) {
       filter = std::make_unique<TypeFilterSink>(jsonl.get(), cfg.trace_types);
-      ctx.telemetry.add_sink(filter.get());
+      telemetry.add_sink(filter.get());
     } else {
-      ctx.telemetry.add_sink(jsonl.get());
+      telemetry.add_sink(jsonl.get());
     }
   }
 
-  const SessionResult res = run_streaming_session(scenario, video, scfg);
-
-  ctx.telemetry.remove_sink(&pipeline_filter);
-  if (filter) {
-    ctx.telemetry.remove_sink(filter.get());
-  } else if (jsonl) {
-    ctx.telemetry.remove_sink(jsonl.get());
-  }
+  if (cfg.pre_session_hook) cfg.pre_session_hook(scenario.loop(), seed);
 
   ChaosRunResult out;
-  out.seed = ctx.seed;
+  out.seed = seed;
+  SessionResult res;
+  bool hung = false;
+  try {
+    res = run_streaming_session(scenario, video, scfg);
+  } catch (const WatchdogTripped& e) {
+    // Quarantine: the simulation was killed mid-run, so there is no
+    // SessionResult to audit — report the outcome and keep the campaign
+    // moving. Any other exception still propagates (→ kCrashed upstream).
+    hung = true;
+    out.outcome = RunOutcome::kHung;
+    out.hung_reason = e.what();
+  }
+
+  telemetry.remove_sink(&pipeline_filter);
+  if (filter) {
+    telemetry.remove_sink(filter.get());
+  } else if (jsonl) {
+    telemetry.remove_sink(jsonl.get());
+  }
+
+  if (hung) {
+    if (!cfg.bundle_dir.empty()) {
+      std::string err;
+      if (!write_repro_bundle(make_repro_bundle(cfg, out, plan),
+                              repro_bundle_path(cfg.bundle_dir, seed),
+                              &err)) {
+        std::fprintf(stderr, "chaos: bundle for seed %llu not written: %s\n",
+                     static_cast<unsigned long long>(seed), err.c_str());
+      }
+    }
+    return out;
+  }
+
   out.completed = res.completed;
   out.session_s = res.session_s;
   out.chunks_delivered = res.chunks;
@@ -266,19 +321,19 @@ ChaosRunResult run_one(const ChaosConfig& cfg, const Video& video,
                           std::make_move_iterator(pv.end()));
   }
   if (cfg.series_interval > kDurationZero) {
-    out.series_csv = qoe_series_csv(timeline, ctx.seed);
+    out.series_csv = qoe_series_csv(timeline, seed);
   }
   if (cfg.attribution) {
     SpanModel model = build_span_model(pipeline_capture.records());
     attribute_misses(&model, kWifiPathId);
-    out.attribution = rollup_span_model(model, std::to_string(ctx.seed));
+    out.attribution = rollup_span_model(model, std::to_string(seed));
     out.has_attribution = true;
   }
 
   // Telemetry-consistency invariants: counters must agree with the result
   // struct (an instrumentation site drifting from the source of truth is a
   // bug the goldens can't see).
-  MetricsRegistry& m = ctx.telemetry.metrics();
+  MetricsRegistry& m = telemetry.metrics();
   auto counter_is = [&](const char* name, double expect, const char* what) {
     const double got = m.counter(name).value();
     if (got != expect) {
@@ -309,10 +364,18 @@ ChaosRunResult run_one(const ChaosConfig& cfg, const Video& video,
                              std::to_string(reinj) + ", result = " +
                              std::to_string(res.reinjected_packets));
   }
+  out.outcome = out.violations.empty() ? RunOutcome::kOk
+                                       : RunOutcome::kViolation;
+  if (!cfg.bundle_dir.empty() && out.outcome != RunOutcome::kOk) {
+    std::string err;
+    if (!write_repro_bundle(make_repro_bundle(cfg, out, plan),
+                            repro_bundle_path(cfg.bundle_dir, seed), &err)) {
+      std::fprintf(stderr, "chaos: bundle for seed %llu not written: %s\n",
+                   static_cast<unsigned long long>(seed), err.c_str());
+    }
+  }
   return out;
 }
-
-}  // namespace
 
 ChaosCampaignResult run_chaos_campaign(const ChaosConfig& cfg) {
   const Video video = chaos_video(cfg);
@@ -320,7 +383,9 @@ ChaosCampaignResult run_chaos_campaign(const ChaosConfig& cfg) {
   for (int i = 0; i < cfg.seed_count; ++i) {
     campaign.add("chaos/" + std::to_string(i),
                  [&cfg, &video](RunContext& ctx) {
-                   return run_one(cfg, video, ctx);
+                   return run_chaos_single(
+                       cfg, video, ctx.seed,
+                       random_fault_plan(ctx.seed, cfg.plan), ctx.telemetry);
                  });
   }
   CampaignOptions opts;
@@ -334,6 +399,7 @@ ChaosCampaignResult run_chaos_campaign(const ChaosConfig& cfg) {
   for (std::size_t i = 0; i < out.runs.size(); ++i) {
     if (!res.reports[i].ok) {
       out.runs[i].seed = res.reports[i].seed;
+      out.runs[i].outcome = RunOutcome::kCrashed;
       out.runs[i].violations.push_back("run threw: " + res.reports[i].error);
     }
   }

@@ -17,6 +17,7 @@
 // digest is bitwise identical for any --jobs value.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,20 @@
 #include "runner/campaign.h"
 
 namespace mpdash {
+
+// Per-run triage outcome. `ok` and `violation` come from the invariant
+// audit over a finished session; `hung` means the run watchdog killed a
+// live- or run-away simulation (quarantined, campaign kept going);
+// `crashed` means the run body threw anything else. Aggregated counts are
+// jobs-invariant (results land in add-order slots).
+enum class RunOutcome : std::uint8_t {
+  kOk = 0,
+  kViolation,
+  kHung,
+  kCrashed,
+};
+
+const char* to_string(RunOutcome o);
 
 struct ChaosConfig {
   int seed_count = 50;
@@ -61,6 +76,19 @@ struct ChaosConfig {
   // pure observers, so the campaign digest is unchanged.
   bool attribution = false;
   std::FILE* progress = stderr;  // nullptr silences the runner
+  // Run watchdog: generous by default — a real chaos run is a few million
+  // events, so only a livelocked simulation can exhaust the sim-event
+  // budget, and the wall-clock backstop only fires when a run burns real
+  // time without burning events. Zero both fields to disable.
+  WatchdogConfig watchdog{200'000'000, 900.0};
+  // When set, every non-ok run writes a self-contained repro bundle
+  // `repro_<seed>.json` into this directory (created on demand). Per-seed
+  // filenames keep emission race-free under any --jobs count.
+  std::string bundle_dir;
+  // Test-only: runs on the session's event loop before the session starts
+  // (livelock injection for the watchdog/quarantine tests). Never set in
+  // production paths.
+  std::function<void(EventLoop&, std::uint64_t)> pre_session_hook;
 };
 
 struct ChaosRunResult {
@@ -79,6 +107,10 @@ struct ChaosRunResult {
   int faults_started = 0;
   int faults_skipped = 0;
   bool manifest_failed = false;
+  // Triage outcome; kHung runs carry the watchdog's reason in
+  // `hung_reason` and no session counters (the run was aborted mid-sim).
+  RunOutcome outcome = RunOutcome::kOk;
+  std::string hung_reason;
   std::vector<std::string> violations;  // empty = all invariants hold
   // Per-run QoE/byte-share time series (kChaosSeriesHeader rows, no
   // header); empty unless ChaosConfig::series_interval > 0.
@@ -88,10 +120,20 @@ struct ChaosRunResult {
   bool has_attribution = false;
   RollupRow attribution;
 
-  bool ok() const { return violations.empty(); }
+  bool ok() const { return outcome == RunOutcome::kOk; }
   // Deterministic one-line digest of everything observable; the jobs-N
   // vs jobs-1 comparison hashes these.
   std::string fingerprint() const;
+};
+
+// Jobs-invariant outcome tally for a whole campaign.
+struct OutcomeCounts {
+  int ok = 0;
+  int violation = 0;
+  int hung = 0;
+  int crashed = 0;
+
+  int bad() const { return violation + hung + crashed; }
 };
 
 struct ChaosCampaignResult {
@@ -99,6 +141,9 @@ struct ChaosCampaignResult {
   CampaignStats stats;
 
   int violation_count() const;
+  OutcomeCounts outcome_counts() const;
+  // Every run finished with outcome kOk.
+  bool clean() const { return outcome_counts().bad() == 0; }
   // Concatenated per-run fingerprints: equal digests ⇔ identical campaigns.
   std::string digest() const;
 };
@@ -127,6 +172,16 @@ ScenarioConfig chaos_scenario_config(std::uint64_t run_seed);
 
 // The synthetic chaos video for `cfg.chunk_count` chunks.
 Video chaos_video(const ChaosConfig& cfg);
+
+// The exact campaign run body for one seed with an explicit fault plan:
+// scenario/session from (cfg, seed), watchdog armed, invariants audited,
+// outcome assigned, repro bundle emitted when cfg.bundle_dir is set.
+// Exposed so `mpdash_sim repro` and the shrinker replay a bundle's stored
+// plan through the identical code path the campaign ran — same seeds,
+// same audits, same strings.
+ChaosRunResult run_chaos_single(const ChaosConfig& cfg, const Video& video,
+                                std::uint64_t seed, const FaultPlan& plan,
+                                Telemetry& telemetry);
 
 // Column header for qoe_series_csv rows (includes the trailing newline).
 extern const char kChaosSeriesHeader[];

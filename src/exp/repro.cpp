@@ -1,0 +1,277 @@
+#include "exp/repro.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "fault/fault_json.h"
+#include "util/json.h"
+
+namespace mpdash {
+
+bool scheme_from_string(std::string_view name, Scheme* out) {
+  for (int i = 0; i <= static_cast<int>(Scheme::kMpDashRate); ++i) {
+    const Scheme s = static_cast<Scheme>(i);
+    if (name == to_string(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+bool outcome_from_string(std::string_view name, RunOutcome* out) {
+  for (int i = 0; i <= static_cast<int>(RunOutcome::kCrashed); ++i) {
+    const RunOutcome o = static_cast<RunOutcome>(i);
+    if (name == to_string(o)) {
+      *out = o;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string repro_bundle_to_json(const ReproBundle& b) {
+  // Canonical: fixed field order, every field always emitted, one
+  // top-level field per line (the embedded plan keeps its own layout).
+  std::string out = "{\n";
+  out += "\"schema\": " + std::to_string(b.schema) + ",\n";
+  out += "\"kind\": \"mpdash-repro\",\n";
+  out += "\"seed\": " + u64(b.seed) + ",\n";
+  out += "\"scheme\": " + json_quote(to_string(b.scheme)) + ",\n";
+  out += "\"adaptation\": " + json_quote(b.adaptation) + ",\n";
+  out += "\"mptcp_scheduler\": " + json_quote(b.mptcp_scheduler) + ",\n";
+  out += "\"chunk_count\": " + std::to_string(b.chunk_count) + ",\n";
+  out += "\"inflight\": " + std::to_string(b.inflight) + ",\n";
+  out += std::string("\"recovery\": ") + (b.recovery ? "true" : "false") +
+         ",\n";
+  out += "\"time_limit_ns\": " + std::to_string(b.time_limit.count()) + ",\n";
+  out += "\"watchdog\": {\"max_sim_events\": " + u64(b.watchdog.max_sim_events) +
+         ", \"max_wall_s\": " + json_double(b.watchdog.max_wall_s) +
+         ", \"poll_interval\": " + u64(b.watchdog.poll_interval) + "},\n";
+  out += "\"plan\": " + fault_plan_to_json(b.plan) + ",\n";
+  out += "\"outcome\": " + json_quote(to_string(b.outcome)) + ",\n";
+  out += "\"hung_reason\": " + json_quote(b.hung_reason) + ",\n";
+  out += "\"expected_violations\": [";
+  for (std::size_t i = 0; i < b.expected_violations.size(); ++i) {
+    out += i == 0 ? "\n  " : ",\n  ";
+    out += json_quote(b.expected_violations[i]);
+  }
+  if (!b.expected_violations.empty()) out += "\n";
+  out += "]\n}\n";
+  return out;
+}
+
+bool repro_bundle_from_json(const std::string& text, ReproBundle* out,
+                            std::string* error) {
+  JsonValue root;
+  if (!json_parse(text, &root, error)) return false;
+  if (!root.is_object()) {
+    if (error) *error = "bundle: top level is not an object";
+    return false;
+  }
+  const JsonValue* kind = root.find("kind");
+  if (kind == nullptr || !kind->is_string() || kind->str != "mpdash-repro") {
+    if (error) *error = "bundle: missing or wrong \"kind\" marker";
+    return false;
+  }
+
+  ReproBundle b;
+  auto missing = [error](const char* field) {
+    if (error) *error = std::string("bundle: missing field \"") + field + "\"";
+    return false;
+  };
+  const JsonValue* v = root.find("schema");
+  if (v == nullptr || !v->is_number()) return missing("schema");
+  b.schema = static_cast<int>(v->as_int64(1));
+  if (b.schema != 1) {
+    if (error) {
+      *error = "bundle: unsupported schema " + std::to_string(b.schema);
+    }
+    return false;
+  }
+  v = root.find("seed");
+  if (v == nullptr || !v->is_number()) return missing("seed");
+  b.seed = v->as_uint64(0);
+  v = root.find("scheme");
+  if (v == nullptr || !v->is_string() ||
+      !scheme_from_string(v->str, &b.scheme)) {
+    if (error) *error = "bundle: bad \"scheme\"";
+    return false;
+  }
+  v = root.find("adaptation");
+  if (v != nullptr && v->is_string()) b.adaptation = v->str;
+  v = root.find("mptcp_scheduler");
+  if (v != nullptr && v->is_string()) b.mptcp_scheduler = v->str;
+  v = root.find("chunk_count");
+  if (v == nullptr || !v->is_number()) return missing("chunk_count");
+  b.chunk_count = static_cast<int>(v->as_int64(0));
+  v = root.find("inflight");
+  if (v != nullptr && v->is_number()) {
+    b.inflight = static_cast<int>(v->as_int64(1));
+  }
+  v = root.find("recovery");
+  if (v != nullptr && v->is_bool()) b.recovery = v->boolean;
+  v = root.find("time_limit_ns");
+  if (v == nullptr || !v->is_number()) return missing("time_limit_ns");
+  b.time_limit = Duration(v->as_int64(0));
+  v = root.find("watchdog");
+  if (v != nullptr && v->is_object()) {
+    const JsonValue* w = v->find("max_sim_events");
+    if (w != nullptr) b.watchdog.max_sim_events = w->as_uint64(0);
+    w = v->find("max_wall_s");
+    if (w != nullptr) b.watchdog.max_wall_s = w->as_double(0.0);
+    w = v->find("poll_interval");
+    if (w != nullptr) b.watchdog.poll_interval = w->as_uint64(4096);
+  }
+  v = root.find("plan");
+  if (v == nullptr) return missing("plan");
+  if (!fault_plan_from_json_value(*v, &b.plan, error)) return false;
+  v = root.find("outcome");
+  if (v == nullptr || !v->is_string() ||
+      !outcome_from_string(v->str, &b.outcome)) {
+    if (error) *error = "bundle: bad \"outcome\"";
+    return false;
+  }
+  v = root.find("hung_reason");
+  if (v != nullptr && v->is_string()) b.hung_reason = v->str;
+  v = root.find("expected_violations");
+  if (v != nullptr && v->is_array()) {
+    for (const JsonValue& item : v->items) {
+      if (!item.is_string()) {
+        if (error) *error = "bundle: non-string violation entry";
+        return false;
+      }
+      b.expected_violations.push_back(item.str);
+    }
+  }
+  *out = std::move(b);
+  return true;
+}
+
+bool write_repro_bundle(const ReproBundle& b, const std::string& path,
+                        std::string* error) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    // A pre-existing directory is fine; a real failure surfaces at fopen.
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const std::string text = repro_bundle_to_json(b);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok && error) *error = "short write to " + path;
+  return ok;
+}
+
+bool load_repro_bundle(const std::string& path, ReproBundle* out,
+                       std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return repro_bundle_from_json(text, out, error);
+}
+
+std::string repro_bundle_path(const std::string& dir, std::uint64_t seed) {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  return path + "repro_" + u64(seed) + ".json";
+}
+
+ReproBundle make_repro_bundle(const ChaosConfig& cfg,
+                              const ChaosRunResult& run,
+                              const FaultPlan& plan) {
+  ReproBundle b;
+  b.seed = run.seed;
+  b.scheme = cfg.scheme;
+  b.adaptation = cfg.adaptation;
+  b.mptcp_scheduler = cfg.mptcp_scheduler;
+  b.chunk_count = cfg.chunk_count;
+  b.inflight = cfg.inflight;
+  b.recovery = cfg.recovery;
+  b.time_limit = cfg.time_limit;
+  b.watchdog = cfg.watchdog;
+  b.plan = plan;
+  b.outcome = run.outcome;
+  b.hung_reason = run.hung_reason;
+  b.expected_violations = run.violations;
+  return b;
+}
+
+ChaosConfig bundle_chaos_config(const ReproBundle& b) {
+  ChaosConfig cfg;
+  cfg.seed_count = 1;
+  cfg.base_seed = b.seed;
+  cfg.scheme = b.scheme;
+  cfg.adaptation = b.adaptation;
+  cfg.mptcp_scheduler = b.mptcp_scheduler;
+  cfg.chunk_count = b.chunk_count;
+  cfg.inflight = b.inflight;
+  cfg.recovery = b.recovery;
+  cfg.time_limit = b.time_limit;
+  cfg.watchdog = b.watchdog;
+  cfg.progress = nullptr;
+  // Never re-emit bundles from a replay.
+  cfg.bundle_dir.clear();
+  return cfg;
+}
+
+ReplayResult replay_repro_bundle(const ReproBundle& b) {
+  const ChaosConfig cfg = bundle_chaos_config(b);
+  Telemetry telemetry;
+  ReplayResult out;
+  out.run = run_chaos_single(cfg, chaos_video(cfg), b.seed, b.plan, telemetry);
+
+  if (out.run.outcome != b.outcome) {
+    out.mismatches.push_back(std::string("outcome: expected ") +
+                             to_string(b.outcome) + ", got " +
+                             to_string(out.run.outcome));
+  }
+  if (out.run.hung_reason != b.hung_reason) {
+    out.mismatches.push_back("hung reason: expected \"" + b.hung_reason +
+                             "\", got \"" + out.run.hung_reason + "\"");
+  }
+  const std::size_t n =
+      std::max(b.expected_violations.size(), out.run.violations.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string* want =
+        i < b.expected_violations.size() ? &b.expected_violations[i] : nullptr;
+    const std::string* got =
+        i < out.run.violations.size() ? &out.run.violations[i] : nullptr;
+    if (want != nullptr && got != nullptr && *want == *got) continue;
+    std::string line = "violation " + std::to_string(i) + ": expected ";
+    line += want != nullptr ? "\"" + *want + "\"" : "<none>";
+    line += ", got ";
+    line += got != nullptr ? "\"" + *got + "\"" : "<none>";
+    out.mismatches.push_back(std::move(line));
+  }
+  out.matches = out.mismatches.empty();
+  return out;
+}
+
+}  // namespace mpdash

@@ -1,0 +1,79 @@
+#pragma once
+// Repro bundles: a self-contained JSON description of one failing chaos
+// run — scenario/session knobs, the exact fault plan, the seed, and the
+// violation strings the campaign observed. `mpdash_sim repro <bundle>`
+// replays the bundle through run_chaos_single (the identical campaign
+// code path) and verifies the same outcome and the same violation
+// strings reproduce bitwise; the shrinker uses the same replay as its
+// delta-debugging oracle.
+//
+// Serialization is canonical (fixed field order, integer-ns times,
+// shortest-round-trip doubles), so serialize → parse → re-serialize is
+// bitwise stable and minimized bundles can be compared as strings.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/chaos.h"
+#include "fault/fault.h"
+
+namespace mpdash {
+
+struct ReproBundle {
+  int schema = 1;  // bumped on any breaking format change
+  std::uint64_t seed = 0;
+  // Session knobs that feed chaos_session_config / chaos_video — enough
+  // to rebuild the exact per-seed configuration the campaign ran.
+  Scheme scheme = Scheme::kMpDashDuration;
+  std::string adaptation = "festive";
+  std::string mptcp_scheduler = "minrtt";
+  int chunk_count = 30;
+  int inflight = 1;
+  bool recovery = true;
+  Duration time_limit = seconds(600.0);
+  WatchdogConfig watchdog;
+  FaultPlan plan;
+  // What the originating run observed; replay verifies against these.
+  RunOutcome outcome = RunOutcome::kViolation;
+  std::string hung_reason;
+  std::vector<std::string> expected_violations;
+};
+
+// "baseline" → Scheme::kBaseline etc. (inverse of to_string).
+bool scheme_from_string(std::string_view name, Scheme* out);
+
+// Canonical serialization (see header comment).
+std::string repro_bundle_to_json(const ReproBundle& b);
+bool repro_bundle_from_json(const std::string& text, ReproBundle* out,
+                            std::string* error);
+
+// File I/O. write_ creates the parent directory on demand.
+bool write_repro_bundle(const ReproBundle& b, const std::string& path,
+                        std::string* error);
+bool load_repro_bundle(const std::string& path, ReproBundle* out,
+                       std::string* error);
+
+// The per-seed bundle filename the campaign emits: <dir>/repro_<seed>.json.
+std::string repro_bundle_path(const std::string& dir, std::uint64_t seed);
+
+// Snapshot of a non-ok campaign run as a bundle.
+ReproBundle make_repro_bundle(const ChaosConfig& cfg,
+                              const ChaosRunResult& run,
+                              const FaultPlan& plan);
+
+// The ChaosConfig a bundle replays under (stored knobs restored, bundle
+// emission off so a replay never re-emits).
+ChaosConfig bundle_chaos_config(const ReproBundle& b);
+
+struct ReplayResult {
+  ChaosRunResult run;
+  bool matches = false;  // outcome + violation strings bitwise identical
+  std::vector<std::string> mismatches;  // human-readable diff when not
+};
+
+// Replays the bundle's plan through run_chaos_single on a fresh Telemetry
+// and compares against the bundle's expectations.
+ReplayResult replay_repro_bundle(const ReproBundle& b);
+
+}  // namespace mpdash

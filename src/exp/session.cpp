@@ -190,6 +190,11 @@ SessionResult run_streaming_session(Scenario& scenario, const Video& video,
         loop, *telemetry, *config.metrics, config.metrics_interval, done);
   }
 
+  // Armed last so budget accounting starts at the run boundary; the RAII
+  // guard clears the loop's hook on every exit path, including the
+  // WatchdogTripped unwind itself.
+  RunWatchdog watchdog(loop, config.watchdog);
+
   player.start();
   loop.run_until(TimePoint(config.time_limit));
 

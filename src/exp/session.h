@@ -12,6 +12,7 @@
 #include "dash/player.h"
 #include "energy/accounting.h"
 #include "exp/scenario.h"
+#include "runner/watchdog.h"
 #include "telemetry/telemetry.h"
 
 namespace mpdash {
@@ -65,6 +66,10 @@ struct SessionConfig {
   HttpClientConfig http_recovery;
   // Fault plan injected during the run. Borrowed; null = no faults.
   const FaultPlan* faults = nullptr;
+  // Run watchdog budgets (sim events / wall clock); inert while disabled.
+  // A tripped budget aborts the run by throwing WatchdogTripped out of
+  // run_streaming_session — campaign callers map it to a `hung` outcome.
+  WatchdogConfig watchdog;
 };
 
 struct SessionResult {

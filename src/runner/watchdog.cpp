@@ -1,0 +1,73 @@
+#include "runner/watchdog.h"
+
+#include <cstdio>
+
+#include "runner/progress.h"
+
+namespace mpdash {
+
+const char* to_string(WatchdogReason r) {
+  switch (r) {
+    case WatchdogReason::kSimEvents: return "sim-events";
+    case WatchdogReason::kWallClock: return "wall-clock";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string trip_message(WatchdogReason reason, std::uint64_t sim_events,
+                         double budget_wall_s) {
+  char buf[128];
+  if (reason == WatchdogReason::kSimEvents) {
+    std::snprintf(buf, sizeof buf,
+                  "watchdog: sim-event budget exhausted (%llu events)",
+                  static_cast<unsigned long long>(sim_events));
+  } else {
+    // Only the configured budget — never the measured elapsed time —
+    // appears in the message, so the string is stable across machines.
+    std::snprintf(buf, sizeof buf,
+                  "watchdog: wall-clock budget exceeded (%.3f s)",
+                  budget_wall_s);
+  }
+  return buf;
+}
+
+}  // namespace
+
+WatchdogTripped::WatchdogTripped(WatchdogReason reason,
+                                 std::uint64_t sim_events,
+                                 double budget_wall_s)
+    : std::runtime_error(trip_message(reason, sim_events, budget_wall_s)),
+      reason_(reason),
+      sim_events_(sim_events) {}
+
+RunWatchdog::RunWatchdog(EventLoop& loop, const WatchdogConfig& config)
+    : loop_(loop) {
+  if (!config.enabled()) return;
+  const std::uint64_t start_events = loop.executed_events();
+  const double start_wall = monotonic_seconds();
+  const WatchdogConfig cfg = config;
+  EventLoop* lp = &loop;
+  loop.set_interrupt(
+      [lp, cfg, start_events, start_wall] {
+        const std::uint64_t ran = lp->executed_events() - start_events;
+        if (cfg.max_sim_events > 0 && ran >= cfg.max_sim_events) {
+          throw WatchdogTripped(WatchdogReason::kSimEvents, ran,
+                                cfg.max_wall_s);
+        }
+        if (cfg.max_wall_s > 0.0 &&
+            monotonic_seconds() - start_wall >= cfg.max_wall_s) {
+          throw WatchdogTripped(WatchdogReason::kWallClock, ran,
+                                cfg.max_wall_s);
+        }
+      },
+      cfg.poll_interval);
+  armed_ = true;
+}
+
+RunWatchdog::~RunWatchdog() {
+  if (armed_) loop_.clear_interrupt();
+}
+
+}  // namespace mpdash

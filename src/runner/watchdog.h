@@ -1,0 +1,80 @@
+#pragma once
+// Per-run watchdog: sim-event and wall-clock budgets for one simulation.
+//
+// A chaos campaign sweeps hundreds of seeded fault plans through the full
+// stack; one livelocked run (a zero-delay reschedule cycle, a recovery
+// path that never converges) would otherwise pin a worker forever and
+// stall the whole campaign. RunWatchdog installs an EventLoop interrupt
+// hook that throws WatchdogTripped once a budget is exhausted, so the run
+// unwinds cleanly and the campaign reports it as a `hung` outcome instead
+// of hanging itself.
+//
+// The sim-event budget is the primary trigger: executed-event counts are a
+// pure function of the seed, so a trip is bitwise reproducible and keeps
+// campaign digests jobs-invariant. The wall-clock budget is a generous
+// nondeterministic backstop for runs that burn real time without burning
+// events (it should only ever fire when something is truly wedged).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/event_loop.h"
+
+namespace mpdash {
+
+struct WatchdogConfig {
+  std::uint64_t max_sim_events = 0;  // executed-event budget; 0 = unlimited
+  double max_wall_s = 0.0;           // wall-clock budget; 0 = unlimited
+  // Events between budget checks. Polling is one branch per event plus
+  // one clock read per interval, so the default is cheap and still trips
+  // within microseconds of real livelock.
+  std::uint64_t poll_interval = 4096;
+
+  bool enabled() const { return max_sim_events > 0 || max_wall_s > 0.0; }
+};
+
+enum class WatchdogReason : std::uint8_t {
+  kSimEvents,  // deterministic: executed-event budget exhausted
+  kWallClock,  // nondeterministic backstop
+};
+
+const char* to_string(WatchdogReason r);
+
+// Thrown from inside EventLoop::run()/run_until() when a budget trips.
+// what() is deterministic for kSimEvents (event counts only) and mentions
+// only the configured budget for kWallClock, so hung-run fingerprints stay
+// comparable across worker counts and machines.
+class WatchdogTripped : public std::runtime_error {
+ public:
+  WatchdogTripped(WatchdogReason reason, std::uint64_t sim_events,
+                  double budget_wall_s);
+
+  WatchdogReason reason() const { return reason_; }
+  // Events executed by this run at the tripping poll.
+  std::uint64_t sim_events() const { return sim_events_; }
+
+ private:
+  WatchdogReason reason_;
+  std::uint64_t sim_events_;
+};
+
+// RAII: arms the budgets on construction (no-op when !config.enabled()),
+// clears the loop's interrupt hook on destruction — including when the
+// trip itself unwinds the stack.
+class RunWatchdog {
+ public:
+  RunWatchdog(EventLoop& loop, const WatchdogConfig& config);
+  ~RunWatchdog();
+
+  RunWatchdog(const RunWatchdog&) = delete;
+  RunWatchdog& operator=(const RunWatchdog&) = delete;
+
+  bool armed() const { return armed_; }
+
+ private:
+  EventLoop& loop_;
+  bool armed_ = false;
+};
+
+}  // namespace mpdash

@@ -43,6 +43,13 @@ void EventLoop::compact() {
 }
 
 bool EventLoop::step() {
+  // Interrupt poll runs before the queue is touched, so a throwing hook
+  // aborts the run with the next event still scheduled (nothing is lost
+  // half-executed).
+  if (interrupt_ && --interrupt_countdown_ == 0) {
+    interrupt_countdown_ = interrupt_interval_;
+    interrupt_();
+  }
   while (!queue_.empty()) {
     const Entry top = queue_.top();
     auto it = callbacks_.find(top.id);
@@ -86,6 +93,19 @@ void EventLoop::run_until(TimePoint deadline) {
 bool EventLoop::has_pending() const {
   // Stale (cancelled) heap entries don't count.
   return !callbacks_.empty();
+}
+
+void EventLoop::set_interrupt(std::function<void()> check,
+                              std::uint64_t interval) {
+  interrupt_ = std::move(check);
+  interrupt_interval_ = interval > 0 ? interval : 1;
+  interrupt_countdown_ = interrupt_interval_;
+}
+
+void EventLoop::clear_interrupt() {
+  interrupt_ = nullptr;
+  interrupt_interval_ = 0;
+  interrupt_countdown_ = 0;
 }
 
 void EventLoop::set_telemetry(Telemetry* telemetry) {

@@ -57,6 +57,15 @@ class EventLoop {
   // detach. Never changes scheduling behavior.
   void set_telemetry(Telemetry* telemetry);
 
+  // Installs a poll hook called once every `interval` executed events,
+  // before the event runs. The hook may throw to abort run()/run_until()
+  // — that is how RunWatchdog kills a livelocked simulation without the
+  // loop itself knowing about budgets. The check never observes or
+  // mutates scheduling state, so an armed-but-silent hook cannot change
+  // what a run computes. One hook at a time; `interval` 0 means 1.
+  void set_interrupt(std::function<void()> check, std::uint64_t interval);
+  void clear_interrupt();
+
   // Allocates a simulation-unique id (packet ids, etc.). Keeping the
   // counter on the loop — not in a process-wide static — lets concurrent
   // simulations share nothing mutable, so parallel campaigns stay both
@@ -96,6 +105,10 @@ class EventLoop {
 
   Telemetry* telemetry_ = nullptr;
   Counter executed_counter_;
+
+  std::function<void()> interrupt_;
+  std::uint64_t interrupt_interval_ = 0;
+  std::uint64_t interrupt_countdown_ = 0;
 };
 
 }  // namespace mpdash

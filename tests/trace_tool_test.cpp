@@ -21,6 +21,9 @@
 #include "analysis/spans.h"
 #include "analysis/trace_load.h"
 #include "exp/chaos.h"
+#include "exp/scenario.h"
+#include "exp/session.h"
+#include "fault/fault.h"
 #include "util/csv.h"
 
 namespace mpdash {
@@ -284,20 +287,47 @@ TEST(Flame, NestsAttemptsBackoffAndPathActivity) {
   EXPECT_NE(text.find('o'), std::string::npos);  // response glyph
 }
 
-// Golden snapshot: the flame view over the committed pipelined scheduler
-// fixture (overlapping spans from the 3-deep prefetch window).
+// Golden snapshot: the flame view over an in-process pipelined session
+// (3-deep prefetch window, one scripted blackout). Generating the trace
+// live — instead of loading the committed jsonl fixture — captures
+// kSubflowUpdate records too, so the snapshot locks the subflow
+// cwnd/RTT rows alongside the span/http/path nesting. The simulation is
+// fully deterministic, so the rendering is bitwise stable.
 TEST(Flame, GoldenPipelinedSnapshot) {
-  const std::string fixture =
-      std::string(MPDASH_TEST_DATA_DIR) + "/pipelined_sched_decisions.jsonl";
-  std::vector<TraceRecord> trace;
-  std::string err;
-  ASSERT_TRUE(load_trace_jsonl(fixture, &trace, &err)) << err;
+  ChaosConfig cfg;
+  cfg.chunk_count = 8;
+  cfg.inflight = 3;
+
+  FaultPlan plan;
+  FaultEvent blackout;
+  blackout.kind = FaultKind::kBlackout;
+  blackout.at = kTimeZero + seconds(6.0);
+  blackout.duration = seconds(4.0);
+  blackout.path_id = 1;
+  plan.events.push_back(blackout);
+
+  Telemetry telemetry;
+  TraceCollector capture;
+  TypeFilterSink filter(&capture, flame_trace_mask());
+  telemetry.add_sink(&filter);
+
+  Scenario scenario(chaos_scenario_config(7));
+  SessionConfig scfg = chaos_session_config(cfg, 7);
+  scfg.telemetry = &telemetry;
+  scfg.faults = &plan;
+  run_streaming_session(scenario, chaos_video(cfg), scfg);
+  telemetry.remove_sink(&filter);
+  const std::vector<TraceRecord>& trace = capture.records();
 
   SpanModel model = build_span_model(trace);
   attribute_misses(&model);
   const FlameModel flame = build_flame_model(trace, model);
   const std::string got = render_flame(model, flame, 72);
   ASSERT_FALSE(got.empty());
+  // The satellite this snapshot locks: a subflow congestion row under
+  // each path's transmit-activity row.
+  EXPECT_NE(got.find("  sf 0"), std::string::npos);
+  EXPECT_NE(got.find("cwnd "), std::string::npos);
 
   const std::string golden =
       std::string(MPDASH_TEST_DATA_DIR) + "/pipelined_flame.txt";

@@ -1,0 +1,478 @@
+// Chaos triage subsystem: run watchdogs (sim-event + wall-clock budgets),
+// lossless FaultPlan / repro-bundle JSON, deterministic repro replay, and
+// the delta-debugging shrinker.
+//
+// Determinism is the contract under test everywhere here: watchdog trips
+// must be bitwise reproducible, bundles must re-serialize byte-identical,
+// replays must reproduce the original violation strings, and shrinking
+// must give the same minimized bundle for any --jobs count.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/chaos.h"
+#include "exp/repro.h"
+#include "exp/shrink.h"
+#include "fault/fault.h"
+#include "fault/fault_json.h"
+#include "runner/campaign.h"
+#include "runner/watchdog.h"
+#include "sim/event_loop.h"
+#include "telemetry/telemetry.h"
+#include "util/json.h"
+
+namespace mpdash {
+namespace {
+
+FaultEvent make_event(FaultKind kind, double at_s, double dur_s, int path,
+                      double value = 0.0) {
+  FaultEvent e;
+  e.kind = kind;
+  e.at = kTimeZero + seconds(at_s);
+  e.duration = seconds(dur_s);
+  e.path_id = path;
+  e.value = value;
+  return e;
+}
+
+// --- FaultPlan JSON ------------------------------------------------------
+
+TEST(FaultPlanJson, RandomPlansRoundTripBitwise) {
+  RandomPlanConfig cfg;
+  cfg.num_events = 6;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const FaultPlan plan = random_fault_plan(seed, cfg);
+    const std::string text = fault_plan_to_json(plan);
+
+    FaultPlan parsed;
+    std::string err;
+    ASSERT_TRUE(fault_plan_from_json(text, &parsed, &err)) << err;
+    ASSERT_EQ(parsed.events.size(), plan.events.size());
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+      EXPECT_EQ(parsed.events[i].kind, plan.events[i].kind);
+      EXPECT_EQ(parsed.events[i].at, plan.events[i].at);
+      EXPECT_EQ(parsed.events[i].duration, plan.events[i].duration);
+      EXPECT_EQ(parsed.events[i].path_id, plan.events[i].path_id);
+      EXPECT_EQ(parsed.events[i].value, plan.events[i].value);  // bitwise
+    }
+    // serialize -> parse -> re-serialize is byte-identical.
+    EXPECT_EQ(fault_plan_to_json(parsed), text) << "seed " << seed;
+  }
+}
+
+TEST(FaultPlanJson, AllKindsAndAwkwardDoublesRoundTrip) {
+  FaultPlan plan;
+  plan.events.push_back(make_event(FaultKind::kBlackout, 1.0, 2.0, 0));
+  plan.events.push_back(make_event(FaultKind::kFlap, 3.0, 4.0, 1, 0.1 + 0.2));
+  FaultEvent burst = make_event(FaultKind::kLossBurst, 5.0, 6.0, 0);
+  burst.ge = {1.0 / 3.0, 0.1, 0.0, 123456.789012345};
+  plan.events.push_back(burst);
+  plan.events.push_back(
+      make_event(FaultKind::kRttSpike, 7.0, 8.0, 1, 632.776));
+  plan.events.push_back(
+      make_event(FaultKind::kRateCollapse, 9.0, 10.0, 0, 1e-9));
+  plan.events.push_back(make_event(FaultKind::kServerStall, 11.0, 12.0, -1));
+  plan.events.push_back(make_event(FaultKind::kServerReset, 13.0, 14.0, -1));
+
+  const std::string text = fault_plan_to_json(plan);
+  FaultPlan parsed;
+  std::string err;
+  ASSERT_TRUE(fault_plan_from_json(text, &parsed, &err)) << err;
+  ASSERT_EQ(parsed.events.size(), plan.events.size());
+  EXPECT_EQ(parsed.events[2].ge.p_good_to_bad, 1.0 / 3.0);
+  EXPECT_EQ(parsed.events[1].value, 0.1 + 0.2);
+  EXPECT_EQ(fault_plan_to_json(parsed), text);
+}
+
+TEST(FaultPlanJson, RejectsMalformedInput) {
+  FaultPlan plan;
+  std::string err;
+  EXPECT_FALSE(fault_plan_from_json("", &plan, &err));
+  EXPECT_FALSE(fault_plan_from_json("{", &plan, &err));
+  EXPECT_FALSE(fault_plan_from_json("[]", &plan, &err));
+  EXPECT_FALSE(fault_plan_from_json("{\"events\": 7}", &plan, &err));
+  EXPECT_FALSE(fault_plan_from_json(
+      "{\"events\":[{\"kind\":\"nope\",\"at_ns\":0,\"duration_ns\":0}]}",
+      &plan, &err));
+  EXPECT_FALSE(fault_plan_from_json(
+      "{\"events\":[{\"at_ns\":0,\"duration_ns\":0}]}", &plan, &err));
+  // Trailing garbage after a valid document is an error, not ignored.
+  EXPECT_FALSE(fault_plan_from_json("{\"events\":[]} x", &plan, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+// --- watchdog ------------------------------------------------------------
+
+// A zero-delay self-rescheduling event: the canonical livelock.
+void livelock(EventLoop& loop) {
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&loop, tick] { loop.schedule_in(kDurationZero, *tick); };
+  loop.schedule_in(kDurationZero, *tick);
+}
+
+TEST(Watchdog, SimEventBudgetKillsLivelock) {
+  // Trip counts are a pure function of the event stream, so two identical
+  // runs must produce byte-identical what() strings.
+  auto trip = [] {
+    EventLoop loop;
+    livelock(loop);
+    WatchdogConfig cfg;
+    cfg.max_sim_events = 10000;
+    cfg.poll_interval = 64;
+    RunWatchdog watchdog(loop, cfg);
+    EXPECT_TRUE(watchdog.armed());
+    try {
+      loop.run_until(kTimeZero + seconds(1.0));
+    } catch (const WatchdogTripped& e) {
+      EXPECT_EQ(e.reason(), WatchdogReason::kSimEvents);
+      EXPECT_GE(e.sim_events(), 10000u);
+      EXPECT_LT(e.sim_events(), 10064u);  // within one poll interval
+      return std::string(e.what());
+    }
+    ADD_FAILURE() << "livelock was not killed";
+    return std::string();
+  };
+  const std::string first = trip();
+  EXPECT_NE(first.find("watchdog: sim-event budget exhausted ("),
+            std::string::npos);
+  EXPECT_EQ(trip(), first);
+}
+
+TEST(Watchdog, WallClockBudgetIsABackstop) {
+  EventLoop loop;
+  livelock(loop);
+  WatchdogConfig cfg;
+  cfg.max_wall_s = 1e-9;  // any real work exceeds a nanosecond
+  cfg.max_sim_events = 50'000'000;  // bounded even if wall never trips
+  cfg.poll_interval = 256;
+  RunWatchdog watchdog(loop, cfg);
+  try {
+    loop.run_until(kTimeZero + seconds(1.0));
+    FAIL() << "livelock was not killed";
+  } catch (const WatchdogTripped& e) {
+    EXPECT_EQ(e.reason(), WatchdogReason::kWallClock);
+    EXPECT_STREQ(e.what(),
+                 "watchdog: wall-clock budget exceeded (0.000 s)");
+  }
+}
+
+TEST(Watchdog, DisabledConfigNeverArms) {
+  EventLoop loop;
+  int runs = 0;
+  loop.schedule_in(seconds(1.0), [&runs] { ++runs; });
+  {
+    RunWatchdog watchdog(loop, WatchdogConfig{});
+    EXPECT_FALSE(watchdog.armed());
+    loop.run();
+  }
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Watchdog, HookClearedOnScopeExit) {
+  EventLoop loop;
+  {
+    WatchdogConfig cfg;
+    cfg.max_sim_events = 1;
+    cfg.poll_interval = 1;
+    RunWatchdog watchdog(loop, cfg);
+  }
+  // Budget would trip on the second event if the hook survived the scope.
+  for (int i = 0; i < 8; ++i) loop.schedule_in(kDurationZero, [] {});
+  EXPECT_NO_THROW(loop.run());
+  EXPECT_EQ(loop.executed_events(), 8u);
+}
+
+// --- repro bundles -------------------------------------------------------
+
+ReproBundle sample_bundle() {
+  ReproBundle b;
+  b.seed = 0xDEADBEEFull;
+  b.scheme = Scheme::kMpDashDuration;
+  b.adaptation = "bba";
+  b.mptcp_scheduler = "roundrobin";
+  b.chunk_count = 6;
+  b.inflight = 3;
+  b.recovery = false;
+  b.time_limit = seconds(30.0);
+  b.watchdog = WatchdogConfig{12345, 0.25, 512};
+  b.plan.events.push_back(make_event(FaultKind::kServerStall, 2.0, 26.0, -1));
+  b.plan.events.push_back(
+      make_event(FaultKind::kRttSpike, 3.0, 1.0, 1, 0.1 + 0.2));
+  b.outcome = RunOutcome::kViolation;
+  b.hung_reason = "";
+  b.expected_violations = {
+      "session hung: time limit reached before playback finished",
+      "with \"quotes\", commas,\nand a newline"};
+  return b;
+}
+
+TEST(ReproBundleJson, RoundTripsBitwise) {
+  const ReproBundle b = sample_bundle();
+  const std::string text = repro_bundle_to_json(b);
+
+  ReproBundle parsed;
+  std::string err;
+  ASSERT_TRUE(repro_bundle_from_json(text, &parsed, &err)) << err;
+  EXPECT_EQ(parsed.seed, b.seed);
+  EXPECT_EQ(parsed.scheme, b.scheme);
+  EXPECT_EQ(parsed.adaptation, b.adaptation);
+  EXPECT_EQ(parsed.mptcp_scheduler, b.mptcp_scheduler);
+  EXPECT_EQ(parsed.chunk_count, b.chunk_count);
+  EXPECT_EQ(parsed.inflight, b.inflight);
+  EXPECT_EQ(parsed.recovery, b.recovery);
+  EXPECT_EQ(parsed.time_limit, b.time_limit);
+  EXPECT_EQ(parsed.watchdog.max_sim_events, b.watchdog.max_sim_events);
+  EXPECT_EQ(parsed.watchdog.max_wall_s, b.watchdog.max_wall_s);
+  EXPECT_EQ(parsed.watchdog.poll_interval, b.watchdog.poll_interval);
+  ASSERT_EQ(parsed.plan.events.size(), b.plan.events.size());
+  EXPECT_EQ(parsed.outcome, b.outcome);
+  EXPECT_EQ(parsed.expected_violations, b.expected_violations);
+  EXPECT_EQ(repro_bundle_to_json(parsed), text);
+}
+
+TEST(ReproBundleJson, RejectsWrongKindAndSchema) {
+  ReproBundle parsed;
+  std::string err;
+  EXPECT_FALSE(repro_bundle_from_json("{}", &parsed, &err));
+  EXPECT_FALSE(repro_bundle_from_json("not json at all", &parsed, &err));
+  std::string text = repro_bundle_to_json(sample_bundle());
+  const std::string needle = "\"schema\": 1";
+  text.replace(text.find(needle), needle.size(), "\"schema\": 99");
+  EXPECT_FALSE(repro_bundle_from_json(text, &parsed, &err));
+  EXPECT_NE(err.find("schema"), std::string::npos);
+}
+
+// A hand-built plan that deterministically violates: the origin holds
+// every response for most of a session too short to finish afterwards,
+// with recovery off so nothing times the requests out.
+ReproBundle stalled_session_bundle() {
+  ReproBundle b;
+  b.seed = 7;
+  b.chunk_count = 6;
+  b.recovery = false;
+  b.time_limit = seconds(30.0);
+  b.plan.events.push_back(make_event(FaultKind::kServerStall, 2.0, 26.0, -1));
+  return b;
+}
+
+TEST(Repro, DeterministicViolationReplaysBitwise) {
+  ReproBundle b = stalled_session_bundle();
+  // First run: capture what this plan actually does.
+  const ChaosConfig cfg = bundle_chaos_config(b);
+  Telemetry telemetry;
+  const ChaosRunResult run =
+      run_chaos_single(cfg, chaos_video(cfg), b.seed, b.plan, telemetry);
+  ASSERT_EQ(run.outcome, RunOutcome::kViolation);
+  ASSERT_FALSE(run.violations.empty());
+  EXPECT_NE(run.violations[0].find("session hung"), std::string::npos);
+
+  b.outcome = run.outcome;
+  b.expected_violations = run.violations;
+
+  // Replays reproduce the identical outcome and violation strings.
+  const ReplayResult first = replay_repro_bundle(b);
+  EXPECT_TRUE(first.matches) << (first.mismatches.empty()
+                                     ? ""
+                                     : first.mismatches[0]);
+  const ReplayResult second = replay_repro_bundle(b);
+  EXPECT_TRUE(second.matches);
+  EXPECT_EQ(first.run.fingerprint(), second.run.fingerprint());
+}
+
+TEST(Repro, CampaignEmitsLoadableBundlesForNonOkRuns) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "mpdash_triage_bundles";
+  std::filesystem::remove_all(dir);
+
+  ChaosConfig cfg;
+  cfg.seed_count = 4;
+  cfg.chunk_count = 6;
+  // A time limit shorter than the content guarantees every run violates
+  // ("session hung"), so bundle emission is deterministic.
+  cfg.time_limit = seconds(5.0);
+  cfg.progress = nullptr;
+  cfg.bundle_dir = dir.string();
+  const ChaosCampaignResult res = run_chaos_campaign(cfg);
+
+  const OutcomeCounts oc = res.outcome_counts();
+  EXPECT_EQ(oc.violation, 4);
+  EXPECT_FALSE(res.clean());
+
+  int bundles = 0;
+  for (const ChaosRunResult& r : res.runs) {
+    const std::string path = repro_bundle_path(dir.string(), r.seed);
+    ReproBundle b;
+    std::string err;
+    ASSERT_TRUE(load_repro_bundle(path, &b, &err)) << path << ": " << err;
+    ++bundles;
+    EXPECT_EQ(b.seed, r.seed);
+    EXPECT_EQ(b.outcome, r.outcome);
+    EXPECT_EQ(b.expected_violations, r.violations);
+    const ReplayResult replay = replay_repro_bundle(b);
+    EXPECT_TRUE(replay.matches)
+        << path << ": "
+        << (replay.mismatches.empty() ? "" : replay.mismatches[0]);
+  }
+  EXPECT_EQ(bundles, oc.bad());
+  std::filesystem::remove_all(dir);
+}
+
+// --- hung-run quarantine -------------------------------------------------
+
+TEST(Chaos, InjectedLivelockIsQuarantinedJobsInvariantly) {
+  ChaosConfig cfg;
+  cfg.seed_count = 6;
+  cfg.chunk_count = 4;
+  cfg.progress = nullptr;
+  // Budget far above a normal 4-chunk run, so only the injected livelock
+  // can exhaust it; poll often enough that the test stays fast.
+  cfg.watchdog = WatchdogConfig{2'000'000, 0.0, 256};
+  const std::uint64_t hung_seed = derive_run_seed(cfg.base_seed, "chaos/3");
+  cfg.pre_session_hook = [hung_seed](EventLoop& loop, std::uint64_t seed) {
+    if (seed == hung_seed) livelock(loop);
+  };
+
+  auto campaign_at = [&cfg](int jobs) {
+    cfg.jobs = jobs;
+    return run_chaos_campaign(cfg);
+  };
+  const ChaosCampaignResult serial = campaign_at(1);
+  const ChaosCampaignResult parallel = campaign_at(8);
+
+  // The campaign completed — all six runs reported, exactly one hung.
+  ASSERT_EQ(serial.runs.size(), 6u);
+  const OutcomeCounts oc = serial.outcome_counts();
+  EXPECT_EQ(oc.hung, 1);
+  EXPECT_EQ(oc.ok + oc.violation, 5);
+  EXPECT_EQ(oc.crashed, 0);
+  const ChaosRunResult& hung = serial.runs[3];
+  EXPECT_EQ(hung.outcome, RunOutcome::kHung);
+  EXPECT_EQ(hung.seed, hung_seed);
+  EXPECT_NE(hung.hung_reason.find("sim-event budget exhausted"),
+            std::string::npos);
+  EXPECT_FALSE(serial.clean());
+
+  // Quarantine is jobs-invariant: identical digests (the hung run's
+  // fingerprint included) for any worker count.
+  EXPECT_EQ(serial.digest(), parallel.digest());
+  const OutcomeCounts poc = parallel.outcome_counts();
+  EXPECT_EQ(poc.hung, oc.hung);
+  EXPECT_EQ(poc.violation, oc.violation);
+  EXPECT_EQ(poc.ok, oc.ok);
+}
+
+// --- shrinker ------------------------------------------------------------
+
+TEST(Signature, CanonicalKindsDropRunSpecificDetail) {
+  EXPECT_EQ(violation_kind(
+                "chunk accounting: delivered 3 + abandoned 1 != 6"),
+            "chunk accounting");
+  EXPECT_EQ(violation_kind(
+                "session hung: time limit reached before playback finished"),
+            "session hung");
+  EXPECT_EQ(violation_kind("counter player.chunks = 3, result chunks = 4"),
+            "counter mismatch");
+  EXPECT_EQ(violation_kind("2 fault events had no attachable target"),
+            "fault target missing");
+  EXPECT_EQ(violation_kind("span 9 reopened after close at t=1.5"),
+            "span reopened");
+  EXPECT_EQ(violation_kind("something entirely new"),
+            "something entirely new");
+
+  // Signature: outcome + sorted unique kinds; counts don't matter.
+  const std::vector<std::string> a = {
+      "chunk accounting: delivered 3 + abandoned 1 != 6",
+      "session hung: time limit reached before playback finished"};
+  const std::vector<std::string> b = {
+      "session hung: time limit reached before playback finished",
+      "chunk accounting: delivered 5 + abandoned 0 != 6"};
+  EXPECT_EQ(violation_signature(RunOutcome::kViolation, a, false),
+            violation_signature(RunOutcome::kViolation, b, false));
+  EXPECT_NE(violation_signature(RunOutcome::kViolation, a, true),
+            violation_signature(RunOutcome::kViolation, b, true));
+  EXPECT_NE(violation_signature(RunOutcome::kHung, {}, false),
+            violation_signature(RunOutcome::kOk, {}, false));
+}
+
+// Six-event plan: one server stall actually causes the hang; five benign
+// short events are noise ddmin must discard.
+ReproBundle noisy_bundle() {
+  ReproBundle b = stalled_session_bundle();
+  b.plan.events.push_back(
+      make_event(FaultKind::kRttSpike, 4.0, 0.5, 0, 10.0));
+  b.plan.events.push_back(make_event(FaultKind::kFlap, 6.0, 1.0, 1, 0.2));
+  FaultEvent burst = make_event(FaultKind::kLossBurst, 8.0, 0.5, 0);
+  burst.ge = {0.05, 0.5, 0.0, 0.1};
+  b.plan.events.push_back(burst);
+  b.plan.events.push_back(
+      make_event(FaultKind::kRateCollapse, 10.0, 1.0, 1, 0.8));
+  b.plan.events.push_back(
+      make_event(FaultKind::kRttSpike, 12.0, 0.5, 1, 20.0));
+  return b;
+}
+
+TEST(Shrink, MinimizesNoisyPlanToTheCulprit) {
+  const ReproBundle bundle = noisy_bundle();
+  ASSERT_EQ(bundle.plan.events.size(), 6u);
+
+  ShrinkConfig cfg;
+  cfg.jobs = 1;
+  const ShrinkResult res = shrink_repro_bundle(bundle, cfg);
+
+  EXPECT_TRUE(res.reproduced);
+  EXPECT_EQ(res.initial_events, 6);
+  EXPECT_LE(res.final_events, 2);  // the stall alone explains the hang
+  // >= 50% reduction, the acceptance floor.
+  EXPECT_LE(res.final_events * 2, res.initial_events);
+  EXPECT_GT(res.sim_runs, 0);
+  EXPECT_GT(res.steps, 0);
+  EXPECT_FALSE(res.log.empty());
+  // The culprit survived.
+  ASSERT_FALSE(res.minimized.plan.events.empty());
+  EXPECT_EQ(res.minimized.plan.events[0].kind, FaultKind::kServerStall);
+
+  // The minimized bundle's rewritten expectations replay bitwise.
+  const ReplayResult replay = replay_repro_bundle(res.minimized);
+  EXPECT_TRUE(replay.matches)
+      << (replay.mismatches.empty() ? "" : replay.mismatches[0]);
+}
+
+TEST(Shrink, DeterministicAcrossRepeatsAndJobs) {
+  const ReproBundle bundle = noisy_bundle();
+  auto shrink_at = [&bundle](int jobs) {
+    ShrinkConfig cfg;
+    cfg.jobs = jobs;
+    return shrink_repro_bundle(bundle, cfg);
+  };
+  const ShrinkResult first = shrink_at(1);
+  const ShrinkResult repeat = shrink_at(1);
+  const ShrinkResult parallel = shrink_at(4);
+
+  // Same minimized bundle (bitwise) and same step log every time.
+  EXPECT_EQ(repro_bundle_to_json(first.minimized),
+            repro_bundle_to_json(repeat.minimized));
+  EXPECT_EQ(first.log, repeat.log);
+  EXPECT_EQ(first.sim_runs, repeat.sim_runs);
+  EXPECT_EQ(repro_bundle_to_json(first.minimized),
+            repro_bundle_to_json(parallel.minimized));
+  EXPECT_EQ(first.log, parallel.log);
+  EXPECT_EQ(first.sim_runs, parallel.sim_runs);
+}
+
+TEST(Shrink, CleanBundleReportsNothingToShrink) {
+  ReproBundle b;  // no faults, generous time limit: the run is clean
+  b.seed = 3;
+  b.chunk_count = 4;
+  const ShrinkResult res = shrink_repro_bundle(b, ShrinkConfig{});
+  EXPECT_FALSE(res.reproduced);
+  EXPECT_EQ(res.sim_runs, 1);  // just the baseline probe
+}
+
+}  // namespace
+}  // namespace mpdash

@@ -23,8 +23,10 @@
 
 #include "dash/video.h"
 #include "exp/chaos.h"
+#include "exp/repro.h"
 #include "exp/scenario.h"
 #include "exp/session.h"
+#include "exp/shrink.h"
 #include "runner/campaign.h"
 #include "telemetry/prometheus.h"
 #include "telemetry/telemetry.h"
@@ -40,6 +42,7 @@ namespace {
 
 struct Args {
   std::string command;
+  std::string input;  // positional: repro/shrink bundle path
   std::string scheme = "mpdash-rate";
   std::string algo = "festive";
   std::string video = "bbb";
@@ -67,12 +70,16 @@ struct Args {
   unsigned long long seed = 1;      // chaos: campaign base seed
   bool recovery = true;             // chaos: --no-recovery disables
   int inflight = 1;                 // stream/chaos: player prefetch window
+  bool keep_going = false;          // chaos: exit 0 despite bad outcomes
+  std::string bundle_dir;           // chaos: repro bundles for bad runs
+  bool strict = false;              // shrink: exact-string oracle
+  std::string out_path;             // shrink: minimized bundle path
 };
 
-[[noreturn]] void usage(const char* msg = nullptr) {
-  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
-  std::fprintf(stderr,
-               "usage: mpdash_sim <stream|download|sweep|chaos|locations> "
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: mpdash_sim "
+               "<stream|download|sweep|chaos|repro|shrink|locations> "
                "[options]\n"
                "  --scheme wifi-only|baseline|mpdash-rate|mpdash-duration\n"
                "  --algo gpac|festive|bba|bba-c|mpc\n"
@@ -100,12 +107,33 @@ struct Args {
                "series CSV\n"
                "  --series-interval <s>   series cadence (default 1.0)\n"
                "  --attrib <path>    chaos: per-seed deadline-miss "
-               "attribution roll-up CSV\n");
+               "attribution roll-up CSV\n"
+               "  --bundle-dir <dir>   chaos: write a repro_<seed>.json "
+               "bundle for every non-ok run\n"
+               "  --keep-going   chaos: exit 0 even when runs report "
+               "violations, hangs, or crashes\n"
+               "  repro <bundle.json>    replay a repro bundle and verify "
+               "the stored failure reproduces\n"
+               "  shrink <bundle.json>   ddmin-minimize a bundle's fault "
+               "plan (writes <bundle>.min.json + .log)\n"
+               "  --out <path>   shrink: minimized bundle destination\n"
+               "  --strict       shrink: oracle matches exact violation "
+               "strings, not failure classes\n"
+               "  -h, --help     print this help and exit\n");
+}
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  print_usage(stderr);
   std::exit(2);
 }
 
 Args parse(int argc, char** argv) {
   if (argc < 2) usage();
+  if (std::strcmp(argv[1], "-h") == 0 || std::strcmp(argv[1], "--help") == 0) {
+    print_usage(stdout);
+    std::exit(0);
+  }
   Args a;
   a.command = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -114,7 +142,11 @@ Args parse(int argc, char** argv) {
       if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
       return argv[++i];
     };
-    if (flag == "--scheme") a.scheme = value();
+    if (flag == "-h" || flag == "--help") {
+      print_usage(stdout);
+      std::exit(0);
+    }
+    else if (flag == "--scheme") a.scheme = value();
     else if (flag == "--algo") a.algo = value();
     else if (flag == "--video") a.video = value();
     else if (flag == "--location") a.location = value();
@@ -142,6 +174,12 @@ Args parse(int argc, char** argv) {
     else if (flag == "--series-interval")
       a.series_interval_s = std::atof(value().c_str());
     else if (flag == "--attrib") a.attrib_path = value();
+    else if (flag == "--bundle-dir") a.bundle_dir = value();
+    else if (flag == "--keep-going") a.keep_going = true;
+    else if (flag == "--strict") a.strict = true;
+    else if (flag == "--out") a.out_path = value();
+    else if (!flag.empty() && flag[0] != '-' && a.input.empty())
+      a.input = flag;
     else usage(("unknown flag " + flag).c_str());
   }
   return a;
@@ -506,13 +544,15 @@ int cmd_chaos(const Args& a) {
   cfg.series_interval =
       a.series_path.empty() ? kDurationZero : seconds(a.series_interval_s);
   cfg.attribution = !a.attrib_path.empty();
+  cfg.bundle_dir = a.bundle_dir;
 
   const ChaosCampaignResult res = run_chaos_campaign(cfg);
 
-  TextTable table({"seed", "done", "chunks", "abandoned", "retries", "sf",
-                   "reinj", "timeouts", "violations"});
+  TextTable table({"seed", "outcome", "done", "chunks", "abandoned",
+                   "retries", "sf", "reinj", "timeouts", "violations"});
   for (const ChaosRunResult& r : res.runs) {
-    table.add_row({std::to_string(r.seed), r.completed ? "yes" : "NO",
+    table.add_row({std::to_string(r.seed), to_string(r.outcome),
+                   r.completed ? "yes" : "NO",
                    std::to_string(r.chunks_delivered),
                    std::to_string(r.chunks_abandoned),
                    std::to_string(r.chunk_retries),
@@ -523,23 +563,32 @@ int cmd_chaos(const Args& a) {
   }
   std::printf("%s", table.render().c_str());
   for (const ChaosRunResult& r : res.runs) {
+    if (!r.hung_reason.empty()) {
+      std::fprintf(stderr, "seed %llu: %s\n",
+                   static_cast<unsigned long long>(r.seed),
+                   r.hung_reason.c_str());
+    }
     for (const std::string& v : r.violations) {
       std::fprintf(stderr, "seed %llu: %s\n",
                    static_cast<unsigned long long>(r.seed), v.c_str());
     }
   }
   const int violations = res.violation_count();
+  const OutcomeCounts oc = res.outcome_counts();
   std::printf("chaos: %d seeds on %d workers, %.2fs wall, recovery %s, "
               "%d invariant violation%s\n",
               res.stats.runs, res.stats.jobs, res.stats.wall_s,
               a.recovery ? "on" : "OFF", violations,
               violations == 1 ? "" : "s");
+  std::printf("outcomes: %d ok, %d violation, %d hung, %d crashed\n", oc.ok,
+              oc.violation, oc.hung, oc.crashed);
   if (!a.csv_path.empty()) {
-    CsvWriter csv({"seed", "completed", "chunks", "abandoned", "retries",
-                   "stalls", "subflow_failures", "reinjected", "timeouts",
-                   "violations"});
+    CsvWriter csv({"seed", "outcome", "completed", "chunks", "abandoned",
+                   "retries", "stalls", "subflow_failures", "reinjected",
+                   "timeouts", "violations"});
     for (const ChaosRunResult& r : res.runs) {
-      csv.add_row({std::to_string(r.seed), r.completed ? "1" : "0",
+      csv.add_row({std::to_string(r.seed), to_string(r.outcome),
+                   r.completed ? "1" : "0",
                    std::to_string(r.chunks_delivered),
                    std::to_string(r.chunks_abandoned),
                    std::to_string(r.chunk_retries), std::to_string(r.stalls),
@@ -594,7 +643,90 @@ int cmd_chaos(const Args& a) {
     std::printf("per-run traces written to %s%s\n", a.trace_path.c_str(),
                 cfg.seed_count > 1 ? ".<seed>" : "");
   }
-  return violations == 0 ? 0 : 1;
+  if (!a.bundle_dir.empty() && oc.bad() > 0) {
+    std::printf("repro bundles for %d non-ok run%s written to %s\n", oc.bad(),
+                oc.bad() == 1 ? "" : "s", a.bundle_dir.c_str());
+  }
+  // The exit gate CI keys off: any violation, hang, or crash is a
+  // failure; --keep-going demotes them to report-only.
+  return a.keep_going ? 0 : (oc.bad() == 0 ? 0 : 1);
+}
+
+// Replays a repro bundle through the identical campaign code path and
+// verifies the stored failure reproduces bitwise (outcome + violation
+// strings). Exit 0 only on an exact match.
+int cmd_repro(const Args& a) {
+  if (a.input.empty()) usage("repro needs a bundle path");
+  ReproBundle bundle;
+  std::string err;
+  if (!load_repro_bundle(a.input, &bundle, &err)) {
+    usage(("cannot load bundle " + a.input + ": " + err).c_str());
+  }
+  std::printf("repro: %s\n", a.input.c_str());
+  std::printf("  seed %llu, scheme %s, %d chunks, recovery %s\n",
+              static_cast<unsigned long long>(bundle.seed),
+              to_string(bundle.scheme), bundle.chunk_count,
+              bundle.recovery ? "on" : "off");
+  std::printf("  fault plan (%zu events):\n", bundle.plan.events.size());
+  for (const FaultEvent& e : bundle.plan.events) {
+    std::printf("    %s\n", describe(e).c_str());
+  }
+  std::printf("  expected outcome %s, %zu violation%s\n",
+              to_string(bundle.outcome), bundle.expected_violations.size(),
+              bundle.expected_violations.size() == 1 ? "" : "s");
+
+  const ReplayResult replay = replay_repro_bundle(bundle);
+  std::printf("  replayed outcome %s, %zu violation%s\n",
+              to_string(replay.run.outcome), replay.run.violations.size(),
+              replay.run.violations.size() == 1 ? "" : "s");
+  if (replay.matches) {
+    std::printf("repro: reproduced\n");
+    return 0;
+  }
+  for (const std::string& m : replay.mismatches) {
+    std::fprintf(stderr, "mismatch: %s\n", m.c_str());
+  }
+  std::fprintf(stderr, "repro: did NOT reproduce\n");
+  return 1;
+}
+
+// Delta-debugging minimizer: ddmin over the bundle's fault events, then
+// duration/magnitude/horizon ladders, writing the minimized bundle and a
+// deterministic shrink log.
+int cmd_shrink(const Args& a) {
+  if (a.input.empty()) usage("shrink needs a bundle path");
+  ReproBundle bundle;
+  std::string err;
+  if (!load_repro_bundle(a.input, &bundle, &err)) {
+    usage(("cannot load bundle " + a.input + ": " + err).c_str());
+  }
+  ShrinkConfig scfg;
+  scfg.jobs = a.jobs;
+  scfg.strict = a.strict;
+  scfg.progress = stderr;
+  const ShrinkResult res = shrink_repro_bundle(bundle, scfg);
+  if (!res.reproduced) {
+    std::fprintf(stderr,
+                 "shrink: bundle does not reproduce a failure; nothing to "
+                 "minimize\n");
+    return 1;
+  }
+  const std::string out_path =
+      a.out_path.empty() ? a.input + ".min.json" : a.out_path;
+  if (!write_repro_bundle(res.minimized, out_path, &err)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                 err.c_str());
+    return 1;
+  }
+  if (!write_text_file(out_path + ".log", res.log)) {
+    std::fprintf(stderr, "cannot write %s.log\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("shrink: %d -> %d events in %d steps (%d sim runs)\n",
+              res.initial_events, res.final_events, res.steps, res.sim_runs);
+  std::printf("minimized bundle written to %s (log: %s.log)\n",
+              out_path.c_str(), out_path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -606,5 +738,7 @@ int main(int argc, char** argv) {
   if (args.command == "download") return cmd_download(args);
   if (args.command == "sweep") return cmd_sweep(args);
   if (args.command == "chaos") return cmd_chaos(args);
+  if (args.command == "repro") return cmd_repro(args);
+  if (args.command == "shrink") return cmd_shrink(args);
   usage(("unknown command " + args.command).c_str());
 }
