@@ -182,16 +182,17 @@ inline SessionResult run_scheme(const ScenarioConfig& net, const Video& video,
   cfg.record_trace = record;
   Telemetry telemetry;
   MetricsTimeline timeline;
+  SessionEnv env;
   const bool series = bench_json_enabled() && bench_series_enabled();
-  if (bench_json_enabled()) cfg.telemetry = &telemetry;
-  if (series) cfg.metrics = &timeline;
+  if (bench_json_enabled()) env.telemetry = &telemetry;
+  if (series) env.metrics = &timeline;
   TraceCollector attrib_capture;
   TypeFilterSink attrib_filter(&attrib_capture, span_model_trace_mask());
   if (attrib_out != nullptr) {
-    cfg.telemetry = &telemetry;
+    env.telemetry = &telemetry;
     telemetry.add_sink(&attrib_filter);
   }
-  SessionResult res = run_streaming_session(scenario, video, cfg);
+  SessionResult res = run_streaming_session(scenario, video, cfg, env);
   if (attrib_out != nullptr) {
     telemetry.remove_sink(&attrib_filter);
     SpanModel model = build_span_model(attrib_capture.records());

@@ -1,0 +1,143 @@
+// Fleet scaling bench: one shared WiFi+LTE bottleneck pair, N tenant
+// sessions on a single event loop, N swept over {1, 4, 16, 64}. Reports
+// wall time and throughput (sessions/sec) per point and writes the
+// machine-readable roll-up to BENCH_fleet.json (one JSON line per point,
+// always — this file IS the bench artifact, so it does not hide behind
+// MPDASH_BENCH_JSON the way the figure benches do).
+//
+//   ./bench_fleet           full sweep, table + BENCH_fleet.json
+//   ./bench_fleet --check   CI smoke: small sweep, asserts every point is
+//                           outcome=ok and that a repeated point is
+//                           fingerprint-identical; exit 1 otherwise
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/fleet.h"
+#include "util/table.h"
+
+using namespace mpdash;
+using namespace mpdash::bench;
+
+namespace {
+
+struct Point {
+  int sessions = 0;
+  double wall_s = 0.0;
+  FleetResult result;
+
+  double sessions_per_sec() const {
+    return wall_s > 0.0 ? sessions / wall_s : 0.0;
+  }
+};
+
+Point run_point(int sessions, int chunk_count) {
+  FleetConfig cfg;
+  cfg.sessions = sessions;
+  cfg.seed = 7;
+  cfg.chunk_count = chunk_count;
+  const auto t0 = std::chrono::steady_clock::now();
+  Point p;
+  p.sessions = sessions;
+  p.result = run_fleet(cfg);
+  p.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+  return p;
+}
+
+std::string point_json(const Point& p, int chunk_count) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"bench\":\"fleet\",\"sessions\":%d,\"chunks\":%d,"
+      "\"outcome\":\"%s\",\"completed\":%d,\"wall_s\":%.4f,"
+      "\"sessions_per_sec\":%.2f,\"sim_s\":%.3f,\"qoe_mean\":%.4f,"
+      "\"qoe_p10\":%.4f,\"jain\":%.4f,\"cell_fraction\":%.4f}\n",
+      p.sessions, chunk_count, to_string(p.result.outcome),
+      p.result.completed, p.wall_s, p.sessions_per_sec(), p.result.fleet_s,
+      p.result.qoe_mean, p.result.qoe_p10, p.result.jain_fairness,
+      p.result.cell_fraction);
+  return buf;
+}
+
+int run_check() {
+  // Smoke: the two smallest points must be clean, and re-running one must
+  // be bitwise deterministic (the fleet fingerprint covers every
+  // aggregate and per-session outcome).
+  const int chunks = 6;
+  for (const int n : {1, 4}) {
+    const Point p = run_point(n, chunks);
+    if (!p.result.ok() || p.result.completed != n) {
+      std::fprintf(stderr, "bench_fleet --check: N=%d not clean (%s, %d/%d "
+                   "done)\n",
+                   n, to_string(p.result.outcome), p.result.completed, n);
+      for (const std::string& v : p.result.violations) {
+        std::fprintf(stderr, "  %s\n", v.c_str());
+      }
+      return 1;
+    }
+  }
+  const std::string a = run_point(4, chunks).result.fingerprint();
+  const std::string b = run_point(4, chunks).result.fingerprint();
+  if (a != b) {
+    std::fprintf(stderr,
+                 "bench_fleet --check: repeated run diverged\n  %s\n  %s\n",
+                 a.c_str(), b.c_str());
+    return 1;
+  }
+  std::printf("bench_fleet --check: ok (%s)\n", a.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--check]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (check) return run_check();
+
+  const int chunks = quick_mode() ? 8 : 20;
+  print_header("fleet", "fleet scaling: N tenants on one shared AP");
+  std::string json;
+  TextTable table({"sessions", "outcome", "done", "wall s", "sessions/s",
+                   "sim s", "qoe mean", "qoe p10", "jain"});
+  bool all_ok = true;
+  for (const int n : {1, 4, 16, 64}) {
+    const Point p = run_point(n, chunks);
+    all_ok = all_ok && p.result.ok();
+    table.add_row({std::to_string(n), to_string(p.result.outcome),
+                   std::to_string(p.result.completed) + "/" +
+                       std::to_string(n),
+                   TextTable::num(p.wall_s, 3),
+                   TextTable::num(p.sessions_per_sec(), 1),
+                   TextTable::num(p.result.fleet_s, 1),
+                   TextTable::num(p.result.qoe_mean, 3),
+                   TextTable::num(p.result.qoe_p10, 3),
+                   TextTable::num(p.result.jain_fairness, 4)});
+    json += point_json(p, chunks);
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::FILE* f = std::fopen("BENCH_fleet.json", "w");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("scaling roll-up written to BENCH_fleet.json\n");
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_fleet.json\n");
+    return 1;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -163,10 +163,12 @@ SessionResult overhead_session(Telemetry* telemetry,
       constant_scenario(DataRate::mbps(6.0), DataRate::mbps(4.0)));
   SessionConfig cfg;
   cfg.scheme = Scheme::kMpDashRate;
-  cfg.telemetry = telemetry;
-  cfg.metrics = timeline;
   cfg.player.max_inflight_chunks = inflight;
-  SessionResult res = run_streaming_session(scenario, overhead_video(), cfg);
+  SessionEnv env;
+  env.telemetry = telemetry;
+  env.metrics = timeline;
+  SessionResult res =
+      run_streaming_session(scenario, overhead_video(), cfg, env);
   if (telemetry) scenario.set_telemetry(nullptr);
   return res;
 }

@@ -22,6 +22,17 @@ const char* to_string(RunOutcome o) {
   return "?";
 }
 
+bool outcome_from_string(std::string_view name, RunOutcome* out) {
+  for (int i = 0; i <= static_cast<int>(RunOutcome::kCrashed); ++i) {
+    const RunOutcome o = static_cast<RunOutcome>(i);
+    if (name == to_string(o)) {
+      *out = o;
+      return true;
+    }
+  }
+  return false;
+}
+
 const char kChaosSeriesHeader[] =
     "seed,time_s,buffer_s,level,stalls,chunks,wifi_bytes,cell_bytes,"
     "cell_share\n";
@@ -144,6 +155,40 @@ std::vector<std::string> check_chaos_invariants(const SessionResult& res,
   return v;
 }
 
+std::vector<std::string> check_counter_invariants(MetricsRegistry& m,
+                                                  const SessionResult& res) {
+  std::vector<std::string> v;
+  auto counter_is = [&](const char* name, double expect, const char* what) {
+    const double got = m.counter(name).value();
+    if (got != expect) {
+      v.push_back(std::string("counter ") + name + " = " +
+                  std::to_string(got) + ", " + what + " = " +
+                  std::to_string(expect));
+    }
+  };
+  counter_is("player.chunks", res.chunks, "result chunks");
+  counter_is("player.chunks_abandoned", res.chunks_abandoned,
+             "result abandoned");
+  counter_is("player.chunk_retries", res.chunk_retries, "result retries");
+  counter_is("player.stalls", res.stalls, "result stalls");
+  counter_is("fault.injected", res.faults_started, "faults started");
+  counter_is("http.timeouts", res.http_timeouts, "result http timeouts");
+  counter_is("http.retries", res.http_retries, "result http retries");
+  const double sf = m.counter("mptcp.subflow_failures").value() +
+                    m.counter("mptcp.client.subflow_failures").value();
+  if (sf != res.subflow_failures) {
+    v.push_back("subflow-failure counters = " + std::to_string(sf) +
+                ", result = " + std::to_string(res.subflow_failures));
+  }
+  const double reinj = m.counter("mptcp.reinjected_packets").value() +
+                       m.counter("mptcp.client.reinjected_packets").value();
+  if (reinj != res.reinjected_packets) {
+    v.push_back("reinjection counters = " + std::to_string(reinj) +
+                ", result = " + std::to_string(res.reinjected_packets));
+  }
+  return v;
+}
+
 std::vector<std::string> check_pipeline_invariants(
     const std::vector<TraceRecord>& trace, int max_retries) {
   std::vector<std::string> v;
@@ -182,11 +227,14 @@ std::vector<std::string> check_pipeline_invariants(
   return v;
 }
 
+SessionSpec default_chaos_spec() {
+  SessionSpec s;  // chaos-shaped defaults (recovery on, 600 s limit)
+  s.watchdog = WatchdogConfig{200'000'000, 900.0};
+  return s;
+}
+
 ScenarioConfig chaos_scenario_config(std::uint64_t run_seed) {
-  ScenarioConfig net = constant_scenario(DataRate::mbps(5.0),
-                                         DataRate::mbps(4.0));
-  net.seed = derive_stream_seed(run_seed, "links");
-  return net;
+  return resolve_scenario_config(SessionSpec{}, run_seed);
 }
 
 Video chaos_video(const ChaosConfig& cfg) {
@@ -199,35 +247,21 @@ Video chaos_video(const ChaosConfig& cfg) {
 
 SessionConfig chaos_session_config(const ChaosConfig& cfg,
                                    std::uint64_t run_seed) {
-  SessionConfig s;
-  s.scheme = cfg.scheme;
-  s.adaptation = cfg.adaptation;
-  s.mptcp_scheduler = cfg.mptcp_scheduler;
-  s.time_limit = cfg.time_limit;
-  s.player.max_chunk_attempts = 3;
-  s.player.max_inflight_chunks = std::max(1, cfg.inflight);
-  if (cfg.recovery) {
-    s.mptcp_recovery.max_consecutive_rtos = 4;
-    s.mptcp_recovery.reprobe_interval = seconds(2.0);
-    s.http_recovery.request_timeout = seconds(4.0);
-    s.http_recovery.max_retries = 4;
-    s.http_recovery.jitter_seed = derive_stream_seed(run_seed, "http-jitter");
-  }
-  return s;
+  return resolve_session_config(cfg.session, run_seed);
 }
 
 ChaosRunResult run_chaos_single(const ChaosConfig& cfg, const Video& video,
                                 std::uint64_t seed, const FaultPlan& plan,
                                 Telemetry& telemetry) {
-  Scenario scenario(chaos_scenario_config(seed));
+  Scenario scenario(resolve_scenario_config(cfg.session, seed));
   SessionConfig scfg = chaos_session_config(cfg, seed);
-  scfg.telemetry = &telemetry;
-  scfg.faults = &plan;
-  scfg.watchdog = cfg.watchdog;
+  SessionEnv env;
+  env.telemetry = &telemetry;
+  env.faults = &plan;
 
   MetricsTimeline timeline;
   if (cfg.series_interval > kDurationZero) {
-    scfg.metrics = &timeline;
+    env.metrics = &timeline;
     scfg.metrics_interval = cfg.series_interval;
   }
 
@@ -268,7 +302,7 @@ ChaosRunResult run_chaos_single(const ChaosConfig& cfg, const Video& video,
   SessionResult res;
   bool hung = false;
   try {
-    res = run_streaming_session(scenario, video, scfg);
+    res = run_streaming_session(scenario, video, scfg, env);
   } catch (const WatchdogTripped& e) {
     // Quarantine: the simulation was killed mid-run, so there is no
     // SessionResult to audit — report the outcome and keep the campaign
@@ -330,39 +364,12 @@ ChaosRunResult run_chaos_single(const ChaosConfig& cfg, const Video& video,
     out.has_attribution = true;
   }
 
-  // Telemetry-consistency invariants: counters must agree with the result
-  // struct (an instrumentation site drifting from the source of truth is a
-  // bug the goldens can't see).
-  MetricsRegistry& m = telemetry.metrics();
-  auto counter_is = [&](const char* name, double expect, const char* what) {
-    const double got = m.counter(name).value();
-    if (got != expect) {
-      out.violations.push_back(std::string("counter ") + name + " = " +
-                               std::to_string(got) + ", " + what + " = " +
-                               std::to_string(expect));
-    }
-  };
-  counter_is("player.chunks", res.chunks, "result chunks");
-  counter_is("player.chunks_abandoned", res.chunks_abandoned,
-             "result abandoned");
-  counter_is("player.chunk_retries", res.chunk_retries, "result retries");
-  counter_is("player.stalls", res.stalls, "result stalls");
-  counter_is("fault.injected", res.faults_started, "faults started");
-  counter_is("http.timeouts", res.http_timeouts, "result http timeouts");
-  counter_is("http.retries", res.http_retries, "result http retries");
-  const double sf = m.counter("mptcp.subflow_failures").value() +
-                    m.counter("mptcp.client.subflow_failures").value();
-  if (sf != res.subflow_failures) {
-    out.violations.push_back("subflow-failure counters = " +
-                             std::to_string(sf) + ", result = " +
-                             std::to_string(res.subflow_failures));
-  }
-  const double reinj = m.counter("mptcp.reinjected_packets").value() +
-                       m.counter("mptcp.client.reinjected_packets").value();
-  if (reinj != res.reinjected_packets) {
-    out.violations.push_back("reinjection counters = " +
-                             std::to_string(reinj) + ", result = " +
-                             std::to_string(res.reinjected_packets));
+  {
+    std::vector<std::string> cv =
+        check_counter_invariants(telemetry.metrics(), res);
+    out.violations.insert(out.violations.end(),
+                          std::make_move_iterator(cv.begin()),
+                          std::make_move_iterator(cv.end()));
   }
   out.outcome = out.violations.empty() ? RunOutcome::kOk
                                        : RunOutcome::kViolation;

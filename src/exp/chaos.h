@@ -19,10 +19,12 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/rollup.h"
 #include "exp/session.h"
+#include "exp/spec.h"
 #include "fault/fault.h"
 #include "runner/campaign.h"
 
@@ -41,26 +43,29 @@ enum class RunOutcome : std::uint8_t {
 };
 
 const char* to_string(RunOutcome o);
+bool outcome_from_string(std::string_view name, RunOutcome* out);
+
+// The spec every chaos run resolves per seed: recovery on, generous
+// watchdog budgets — a real chaos run is a few million events, so only a
+// livelocked simulation can exhaust the sim-event budget, and the
+// wall-clock backstop only fires when a run burns real time without
+// burning events.
+SessionSpec default_chaos_spec();
 
 struct ChaosConfig {
   int seed_count = 50;
   std::uint64_t base_seed = 1;
   int jobs = 0;  // 0 → MPDASH_JOBS env or hardware cores
-  Scheme scheme = Scheme::kMpDashDuration;
-  std::string adaptation = "festive";
-  std::string mptcp_scheduler = "minrtt";
+  // The per-run session description (scheme, adaptation, player/recovery/
+  // watchdog knobs, scenario rates, time limit). Resolved per seed via
+  // resolve_session_config / resolve_scenario_config.
+  SessionSpec session = default_chaos_spec();
   // Short synthetic video (chunk_count × 2 s) keeps one run ~seconds.
   int chunk_count = 30;
-  // Player prefetch window (PlayerConfig::max_inflight_chunks); 1 = the
-  // sequential seed behavior, >1 exercises the pipelined request path
-  // under faults (`mpdash_sim chaos --inflight N`).
-  int inflight = 1;
   // Faults are generated inside [start_margin, fault_horizon - end_margin]
-  // (see RandomPlanConfig); the session gets until `time_limit` to finish.
+  // (see RandomPlanConfig); the session gets until the spec's time limit
+  // to finish.
   RandomPlanConfig plan;
-  Duration time_limit = seconds(600.0);
-  // Recovery stack on/off (off demonstrates why it exists: hung sessions).
-  bool recovery = true;
   // Per-run metrics time-series cadence; zero disables sampling. The
   // snapshotter only reads the registry, so series runs keep the same
   // digest as bare runs.
@@ -76,11 +81,6 @@ struct ChaosConfig {
   // pure observers, so the campaign digest is unchanged.
   bool attribution = false;
   std::FILE* progress = stderr;  // nullptr silences the runner
-  // Run watchdog: generous by default — a real chaos run is a few million
-  // events, so only a livelocked simulation can exhaust the sim-event
-  // budget, and the wall-clock backstop only fires when a run burns real
-  // time without burning events. Zero both fields to disable.
-  WatchdogConfig watchdog{200'000'000, 900.0};
   // When set, every non-ok run writes a self-contained repro bundle
   // `repro_<seed>.json` into this directory (created on demand). Per-seed
   // filenames keep emission race-free under any --jobs count.
@@ -153,6 +153,13 @@ struct ChaosCampaignResult {
 std::vector<std::string> check_chaos_invariants(const SessionResult& res,
                                                 int chunk_count);
 
+// Audits telemetry-counter consistency: the counters in `m` must agree
+// with the result struct (an instrumentation site drifting from the source
+// of truth is a bug the goldens can't see). `m` must be the registry the
+// session instrumented into — run-private for chaos, per-tenant for fleet.
+std::vector<std::string> check_counter_invariants(MetricsRegistry& m,
+                                                  const SessionResult& res);
+
 // Audits the pipelined request lifecycle from a (kHttp | kSpanStart |
 // kSpanEnd)-filtered trace: no HTTP response may be delivered to a span
 // that already closed (a stale late response must be discarded, never
@@ -162,12 +169,13 @@ std::vector<std::string> check_pipeline_invariants(
     const std::vector<TraceRecord>& trace, int max_retries);
 
 // Builds the per-seed SessionConfig (recovery knobs, jitter seed) — shared
-// by the campaign, the CLI, and the acceptance tests.
+// by the campaign, the CLI, and the acceptance tests. Thin wrapper over
+// resolve_session_config(cfg.session, run_seed).
 SessionConfig chaos_session_config(const ChaosConfig& cfg,
                                    std::uint64_t run_seed);
 
 // The scenario every chaos run streams over (moderate WiFi + LTE, per-run
-// link loss streams derived from `run_seed`).
+// link loss streams derived from `run_seed`) — the default-spec resolution.
 ScenarioConfig chaos_scenario_config(std::uint64_t run_seed);
 
 // The synthetic chaos video for `cfg.chunk_count` chunks.

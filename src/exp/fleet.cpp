@@ -1,0 +1,670 @@
+#include "exp/fleet.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iterator>
+#include <memory>
+#include <system_error>
+#include <utility>
+
+#include "core/policy.h"
+#include "dash/server.h"
+#include "fault/fault_json.h"
+#include "fault/injector.h"
+#include "util/json.h"
+
+namespace mpdash {
+
+namespace {
+
+std::string u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// One tenant: shared-link facades (flow = session index) plus the full
+// per-session stack and a private telemetry context for the counter audit.
+struct Tenant {
+  std::uint64_t seed = 0;
+  SessionSpec spec;
+  SessionConfig config;
+  Telemetry telemetry;
+  NetPath wifi;
+  NetPath lte;
+  std::unique_ptr<StreamingSession> session;
+  TimePoint join{};
+  bool done = false;
+  TimePoint finish{};
+
+  Tenant(const PathDescription& wifi_desc, const PathDescription& lte_desc,
+         Link& wifi_down, Link& wifi_up, Link& lte_down, Link& lte_up,
+         int flow)
+      : wifi(wifi_desc, wifi_down, wifi_up, flow),
+        lte(lte_desc, lte_down, lte_up, flow) {}
+};
+
+Video fleet_video(int chunk_count) {
+  // Same fixed-content video for every tenant (chaos convention): only the
+  // contention, the seeds, and the fault plan vary.
+  return Video("fleet", seconds(2.0), chunk_count,
+               {DataRate::mbps(0.6), DataRate::mbps(1.2), DataRate::mbps(2.4)},
+               0.1, 42);
+}
+
+}  // namespace
+
+const char kFleetCsvHeader[] =
+    "seed,session,scheme,adaptation,join_s,completed,chunks,abandoned,"
+    "retries,stalls,stall_s,switches,steady_mbps,qoe,wifi_bytes,cell_bytes,"
+    "violations\n";
+
+std::string fleet_sessions_csv(const FleetResult& r) {
+  std::string out;
+  char buf[320];
+  for (const FleetSessionResult& s : r.sessions) {
+    const SessionResult& res = s.result;
+    std::snprintf(buf, sizeof buf,
+                  "%llu,%d,%s,%s,%.3f,%d,%d,%d,%d,%d,%.6f,%d,%.6f,%.6f,"
+                  "%lld,%lld,%zu\n",
+                  static_cast<unsigned long long>(r.seed), s.session,
+                  to_string(s.scheme), s.adaptation.c_str(), s.join_s,
+                  res.completed ? 1 : 0, res.chunks, res.chunks_abandoned,
+                  res.chunk_retries, res.stalls, res.stall_s, res.switches,
+                  res.steady_avg_bitrate_mbps, s.qoe,
+                  static_cast<long long>(res.wifi_bytes),
+                  static_cast<long long>(res.cell_bytes),
+                  s.violations.size());
+    out += buf;
+  }
+  return out;
+}
+
+std::string FleetResult::fingerprint() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "seed=%llu out=%s n=%zu done=%d qoe=%.6f p10=%.6f jain=%.6f "
+      "wifi=%lld cell=%lld faults=%d skip=%d viol=%zu",
+      static_cast<unsigned long long>(seed), to_string(outcome),
+      sessions.size(), completed, qoe_mean, qoe_p10, jain_fairness,
+      static_cast<long long>(wifi_bytes), static_cast<long long>(cell_bytes),
+      faults_started, faults_skipped, violations.size());
+  std::string out = buf;
+  if (!hung_reason.empty()) out += " why=" + hung_reason;
+  return out;
+}
+
+FleetResult run_fleet(const FleetConfig& cfg, Telemetry* telemetry) {
+  FleetResult out;
+  out.seed = cfg.seed;
+  const int n = std::max(1, cfg.sessions);
+
+  EventLoop loop;
+  if (telemetry) loop.set_telemetry(telemetry);
+
+  // Shared bottlenecks: one WiFi AP and one cellular carrier, each a
+  // down/up link pair every tenant contends on. Loss streams derive from
+  // the fleet seed exactly as a Scenario's do (per-link private RNGs).
+  const std::uint64_t net_seed = derive_stream_seed(cfg.seed, "links");
+  auto make_link = [&](int id, const char* name, double mbps,
+                       Duration rtt, std::uint64_t loss_seed) {
+    LinkConfig lc;
+    lc.id = id;
+    lc.name = name;
+    lc.rate = BandwidthTrace::constant(DataRate::mbps(mbps));
+    lc.propagation_delay = rtt / 2;
+    lc.queue_capacity = cfg.queue_capacity;
+    lc.loss_seed = loss_seed;
+    lc.discipline = cfg.discipline;
+    lc.fq_quantum = cfg.fq_quantum;
+    return std::make_unique<Link>(loop, lc);
+  };
+  const std::uint64_t wifi_seed = derive_stream_seed(net_seed, "wifi");
+  const std::uint64_t lte_seed = derive_stream_seed(net_seed, "lte");
+  auto wifi_down = make_link(2 * kWifiPathId, "wifi.down", cfg.wifi_mbps,
+                             cfg.wifi_rtt,
+                             derive_stream_seed(wifi_seed, ".down"));
+  auto wifi_up = make_link(2 * kWifiPathId + 1, "wifi.up", cfg.wifi_up_mbps,
+                           cfg.wifi_rtt,
+                           derive_stream_seed(wifi_seed, ".up"));
+  auto lte_down = make_link(2 * kCellularPathId, "lte.down", cfg.lte_mbps,
+                            cfg.lte_rtt,
+                            derive_stream_seed(lte_seed, ".down"));
+  auto lte_up = make_link(2 * kCellularPathId + 1, "lte.up", cfg.lte_up_mbps,
+                          cfg.lte_rtt, derive_stream_seed(lte_seed, ".up"));
+  if (telemetry) {
+    wifi_down->set_telemetry(telemetry);
+    wifi_up->set_telemetry(telemetry);
+    lte_down->set_telemetry(telemetry);
+    lte_up->set_telemetry(telemetry);
+  }
+
+  PathDescription wifi_desc;
+  wifi_desc.id = kWifiPathId;
+  wifi_desc.name = "wifi";
+  wifi_desc.kind = InterfaceKind::kWifi;
+  wifi_desc.metered = false;
+  PathDescription lte_desc;
+  lte_desc.id = kCellularPathId;
+  lte_desc.name = "lte";
+  lte_desc.kind = InterfaceKind::kCellular;
+  lte_desc.metered = true;
+  std::vector<PathDescription> descs{wifi_desc, lte_desc};
+  prefer_wifi_policy().apply(descs);
+  wifi_desc = descs[0];
+  lte_desc = descs[1];
+
+  const Video video = fleet_video(cfg.chunk_count);
+
+  // Tenants construct in session order — part of the determinism contract
+  // (event ids derive from scheduling order).
+  std::vector<std::unique_ptr<Tenant>> tenants;
+  tenants.reserve(static_cast<std::size_t>(n));
+  int done_count = 0;
+  for (int i = 0; i < n; ++i) {
+    auto t = std::make_unique<Tenant>(wifi_desc, lte_desc, *wifi_down,
+                                      *wifi_up, *lte_down, *lte_up, i);
+    t->seed = derive_stream_seed(cfg.seed, "session/" + std::to_string(i));
+    t->spec = cfg.mix.empty()
+                  ? SessionSpec{}
+                  : cfg.mix[static_cast<std::size_t>(i) % cfg.mix.size()];
+    t->config = resolve_session_config(t->spec, t->seed);
+    // The fleet watchdog and time limit govern; per-tenant budgets are
+    // meaningless on a shared loop.
+    t->config.watchdog = WatchdogConfig{};
+    SessionEnv env;
+    env.telemetry = &t->telemetry;
+    std::vector<NetPath*> paths{&t->wifi, &t->lte};
+    t->session = std::make_unique<StreamingSession>(loop, paths, video,
+                                                    t->config, env);
+    Tenant* raw = t.get();
+    t->session->set_done_callback([raw, &loop, &done_count] {
+      raw->done = true;
+      raw->finish = loop.now();
+      ++done_count;
+    });
+    t->join = TimePoint(cfg.join_stagger * i);
+    tenants.push_back(std::move(t));
+  }
+
+  // One fault plan against the *shared* links: attach tenant 0's facades
+  // (faults address path ids, and every facade fronts the same links), and
+  // stall/drop hooks fan out to every tenant's origin server.
+  std::unique_ptr<FaultInjector> injector;
+  if (cfg.faults != nullptr && !cfg.faults->empty()) {
+    injector = std::make_unique<FaultInjector>(loop, *cfg.faults);
+    injector->attach_path(&tenants[0]->wifi);
+    injector->attach_path(&tenants[0]->lte);
+    FaultInjector::ServerHooks hooks;
+    hooks.set_stalled = [&tenants](bool on) {
+      for (auto& t : tenants) t->session->dash_server().http().set_stalled(on);
+    };
+    hooks.set_dropping = [&tenants](bool on) {
+      for (auto& t : tenants) t->session->dash_server().http().set_dropping(on);
+    };
+    injector->set_server_hooks(std::move(hooks));
+    if (telemetry) injector->set_telemetry(telemetry);
+    injector->arm();
+  }
+
+  // Staggered joins, scheduled after construction in session order.
+  for (auto& t : tenants) {
+    StreamingSession* s = t->session.get();
+    loop.schedule_at(t->join, [s] { s->start(); });
+  }
+
+  try {
+    RunWatchdog watchdog(loop, cfg.watchdog);
+    loop.run_until(TimePoint(cfg.time_limit));
+  } catch (const WatchdogTripped& e) {
+    // Quarantine, chaos-style: the fleet was killed mid-sim, so there are
+    // no per-tenant results to audit.
+    out.outcome = RunOutcome::kHung;
+    out.hung_reason = e.what();
+    return out;
+  }
+
+  // --- per-tenant collection and audit ---------------------------------
+  double qoe_sum = 0.0;
+  std::vector<double> qoes;
+  double rate_sum = 0.0, rate_sumsq = 0.0;
+  TimePoint last_finish{};
+  for (int i = 0; i < n; ++i) {
+    Tenant& t = *tenants[static_cast<std::size_t>(i)];
+    FleetSessionResult sr;
+    sr.session = i;
+    sr.seed = t.seed;
+    sr.scheme = t.spec.scheme;
+    sr.adaptation = t.spec.adaptation;
+    sr.join_s = to_seconds(t.join);
+
+    SessionResult res = t.session->collect();
+    const TimePoint end = t.done ? t.finish : loop.now();
+    res.session_s = to_seconds(end - t.join);
+    res.wifi_bytes = t.wifi.delivered_wire_bytes();
+    res.cell_bytes = t.lte.delivered_wire_bytes();
+    const Bytes total = res.wifi_bytes + res.cell_bytes;
+    res.cell_fraction = total > 0 ? static_cast<double>(res.cell_bytes) /
+                                        static_cast<double>(total)
+                                  : 0.0;
+    if (t.done) {
+      ++out.completed;
+      last_finish = std::max(last_finish, t.finish);
+    }
+
+    sr.qoe = res.steady_avg_bitrate_mbps - kFleetStallPenalty * res.stall_s;
+    sr.violations = check_chaos_invariants(res, cfg.chunk_count);
+    {
+      std::vector<std::string> cv =
+          check_counter_invariants(t.telemetry.metrics(), res);
+      sr.violations.insert(sr.violations.end(),
+                           std::make_move_iterator(cv.begin()),
+                           std::make_move_iterator(cv.end()));
+    }
+    for (const std::string& v : sr.violations) {
+      out.violations.push_back("session " + std::to_string(i) + ": " + v);
+    }
+
+    qoe_sum += sr.qoe;
+    qoes.push_back(sr.qoe);
+    rate_sum += res.steady_avg_bitrate_mbps;
+    rate_sumsq +=
+        res.steady_avg_bitrate_mbps * res.steady_avg_bitrate_mbps;
+    sr.result = std::move(res);
+    out.sessions.push_back(std::move(sr));
+  }
+
+  // --- fleet-level audit and aggregates --------------------------------
+  if (injector) {
+    out.faults_started = injector->faults_started();
+    out.faults_skipped = injector->faults_skipped();
+    if (!injector->quiescent()) {
+      out.violations.push_back("fault windows still open at fleet end");
+    }
+    if (injector->faults_skipped() != 0) {
+      out.violations.push_back(std::to_string(injector->faults_skipped()) +
+                               " fault events had no attachable target");
+    }
+  }
+
+  out.fleet_s = out.completed == n ? to_seconds(last_finish)
+                                   : to_seconds(cfg.time_limit);
+  out.qoe_mean = qoe_sum / static_cast<double>(n);
+  std::sort(qoes.begin(), qoes.end());
+  out.qoe_p10 = qoes[static_cast<std::size_t>((n + 9) / 10 - 1)];
+  out.jain_fairness =
+      rate_sumsq > 0.0
+          ? (rate_sum * rate_sum) / (static_cast<double>(n) * rate_sumsq)
+          : 1.0;
+  out.wifi_bytes =
+      wifi_down->delivered_bytes() + wifi_up->delivered_bytes();
+  out.cell_bytes = lte_down->delivered_bytes() + lte_up->delivered_bytes();
+  const Bytes total = out.wifi_bytes + out.cell_bytes;
+  out.cell_fraction = total > 0 ? static_cast<double>(out.cell_bytes) /
+                                      static_cast<double>(total)
+                                : 0.0;
+  out.outcome = out.violations.empty() ? RunOutcome::kOk
+                                       : RunOutcome::kViolation;
+  return out;
+}
+
+// --- campaign ----------------------------------------------------------
+
+OutcomeCounts FleetCampaignResult::outcome_counts() const {
+  OutcomeCounts c;
+  for (const FleetResult& r : runs) {
+    switch (r.outcome) {
+      case RunOutcome::kOk: ++c.ok; break;
+      case RunOutcome::kViolation: ++c.violation; break;
+      case RunOutcome::kHung: ++c.hung; break;
+      case RunOutcome::kCrashed: ++c.crashed; break;
+    }
+  }
+  return c;
+}
+
+std::string FleetCampaignResult::digest() const {
+  std::string out;
+  for (const FleetResult& r : runs) {
+    out += r.fingerprint();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FleetCampaignResult::sessions_csv() const {
+  std::string out = kFleetCsvHeader;
+  for (const FleetResult& r : runs) out += fleet_sessions_csv(r);
+  return out;
+}
+
+FleetCampaignResult run_fleet_campaign(const FleetCampaignConfig& cfg) {
+  Campaign<FleetResult> campaign("fleet", cfg.base_seed);
+  for (int i = 0; i < cfg.seed_count; ++i) {
+    campaign.add("fleet/" + std::to_string(i), [&cfg](RunContext& ctx) {
+      FleetConfig f = cfg.fleet;
+      f.seed = ctx.seed;
+      FaultPlan plan;
+      if (cfg.chaos) {
+        plan = random_fault_plan(ctx.seed, cfg.plan);
+        f.faults = &plan;
+      }
+      FleetResult r = run_fleet(f, &ctx.telemetry);
+      if (!cfg.bundle_dir.empty() && r.outcome != RunOutcome::kOk) {
+        FleetBundle b;
+        b.seed = ctx.seed;
+        b.config = f;
+        b.config.faults = nullptr;
+        b.plan = plan;
+        b.outcome = r.outcome;
+        b.hung_reason = r.hung_reason;
+        b.expected_violations = r.violations;
+        std::string err;
+        if (!write_fleet_bundle(b, fleet_bundle_path(cfg.bundle_dir, ctx.seed),
+                                &err)) {
+          std::fprintf(stderr,
+                       "fleet: bundle for seed %llu not written: %s\n",
+                       static_cast<unsigned long long>(ctx.seed), err.c_str());
+        }
+      }
+      return r;
+    });
+  }
+  CampaignOptions opts;
+  opts.jobs = cfg.jobs;
+  opts.progress = cfg.progress;
+  CampaignResult<FleetResult> res = campaign.run(opts);
+
+  FleetCampaignResult out;
+  out.stats = res.stats;
+  out.runs = std::move(res.results);
+  for (std::size_t i = 0; i < out.runs.size(); ++i) {
+    if (!res.reports[i].ok) {
+      out.runs[i].seed = res.reports[i].seed;
+      out.runs[i].outcome = RunOutcome::kCrashed;
+      out.runs[i].violations.push_back("run threw: " + res.reports[i].error);
+    }
+  }
+  return out;
+}
+
+// --- fleet repro bundles -----------------------------------------------
+
+namespace {
+
+std::string fleet_config_to_json(const FleetConfig& c) {
+  // Canonical one-line object, same conventions as session_spec_to_json.
+  std::string out = "{";
+  out += "\"sessions\": " + std::to_string(c.sessions);
+  out += ", \"chunk_count\": " + std::to_string(c.chunk_count);
+  out += ", \"mix\": [";
+  for (std::size_t i = 0; i < c.mix.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += session_spec_to_json(c.mix[i]);
+  }
+  out += "]";
+  out += ", \"discipline\": " + json_quote(to_string(c.discipline));
+  out += ", \"fq_quantum\": " + std::to_string(c.fq_quantum);
+  out += ", \"wifi_mbps\": " + json_double(c.wifi_mbps);
+  out += ", \"lte_mbps\": " + json_double(c.lte_mbps);
+  out += ", \"wifi_up_mbps\": " + json_double(c.wifi_up_mbps);
+  out += ", \"lte_up_mbps\": " + json_double(c.lte_up_mbps);
+  out += ", \"wifi_rtt_ns\": " + std::to_string(c.wifi_rtt.count());
+  out += ", \"lte_rtt_ns\": " + std::to_string(c.lte_rtt.count());
+  out += ", \"queue_capacity\": " + std::to_string(c.queue_capacity);
+  out += ", \"join_stagger_ns\": " + std::to_string(c.join_stagger.count());
+  out += ", \"time_limit_ns\": " + std::to_string(c.time_limit.count());
+  out += ", \"watchdog\": {\"max_sim_events\": " +
+         u64(c.watchdog.max_sim_events) +
+         ", \"max_wall_s\": " + json_double(c.watchdog.max_wall_s) +
+         ", \"poll_interval\": " + u64(c.watchdog.poll_interval) + "}";
+  out += "}";
+  return out;
+}
+
+bool fleet_config_from_json_value(const JsonValue& root, FleetConfig* out,
+                                  std::string* error) {
+  if (!root.is_object()) {
+    if (error) *error = "fleet config: not an object";
+    return false;
+  }
+  FleetConfig c;
+  auto bad = [error](const char* what) {
+    if (error) {
+      *error = std::string("fleet config: missing or bad \"") + what + "\"";
+    }
+    return false;
+  };
+  const JsonValue* v = root.find("sessions");
+  if (v == nullptr || !v->is_number()) return bad("sessions");
+  c.sessions = static_cast<int>(v->as_int64(4));
+  v = root.find("chunk_count");
+  if (v == nullptr || !v->is_number()) return bad("chunk_count");
+  c.chunk_count = static_cast<int>(v->as_int64(20));
+  v = root.find("mix");
+  if (v == nullptr || !v->is_array()) return bad("mix");
+  c.mix.clear();
+  for (const JsonValue& item : v->items) {
+    SessionSpec spec;
+    std::string spec_error;
+    if (!session_spec_from_json_value(item, &spec, &spec_error)) {
+      if (error) *error = "fleet config: mix entry: " + spec_error;
+      return false;
+    }
+    c.mix.push_back(std::move(spec));
+  }
+  v = root.find("discipline");
+  if (v == nullptr || !v->is_string()) return bad("discipline");
+  if (v->str == to_string(QueueDiscipline::kFifo)) {
+    c.discipline = QueueDiscipline::kFifo;
+  } else if (v->str == to_string(QueueDiscipline::kFairQueue)) {
+    c.discipline = QueueDiscipline::kFairQueue;
+  } else {
+    return bad("discipline");
+  }
+  v = root.find("fq_quantum");
+  if (v == nullptr || !v->is_number()) return bad("fq_quantum");
+  c.fq_quantum = v->as_int64(1500);
+  auto read_double = [&root, &bad](const char* name, double* field) {
+    const JsonValue* w = root.find(name);
+    if (w == nullptr || !w->is_number()) return bad(name);
+    *field = w->as_double(0.0);
+    return true;
+  };
+  if (!read_double("wifi_mbps", &c.wifi_mbps)) return false;
+  if (!read_double("lte_mbps", &c.lte_mbps)) return false;
+  if (!read_double("wifi_up_mbps", &c.wifi_up_mbps)) return false;
+  if (!read_double("lte_up_mbps", &c.lte_up_mbps)) return false;
+  v = root.find("wifi_rtt_ns");
+  if (v == nullptr || !v->is_number()) return bad("wifi_rtt_ns");
+  c.wifi_rtt = Duration(v->as_int64(0));
+  v = root.find("lte_rtt_ns");
+  if (v == nullptr || !v->is_number()) return bad("lte_rtt_ns");
+  c.lte_rtt = Duration(v->as_int64(0));
+  v = root.find("queue_capacity");
+  if (v == nullptr || !v->is_number()) return bad("queue_capacity");
+  c.queue_capacity = v->as_int64(0);
+  v = root.find("join_stagger_ns");
+  if (v == nullptr || !v->is_number()) return bad("join_stagger_ns");
+  c.join_stagger = Duration(v->as_int64(0));
+  v = root.find("time_limit_ns");
+  if (v == nullptr || !v->is_number()) return bad("time_limit_ns");
+  c.time_limit = Duration(v->as_int64(0));
+  v = root.find("watchdog");
+  if (v == nullptr || !v->is_object()) return bad("watchdog");
+  {
+    const JsonValue* w = v->find("max_sim_events");
+    if (w == nullptr || !w->is_number()) return bad("watchdog.max_sim_events");
+    c.watchdog.max_sim_events = w->as_uint64(0);
+    w = v->find("max_wall_s");
+    if (w == nullptr || !w->is_number()) return bad("watchdog.max_wall_s");
+    c.watchdog.max_wall_s = w->as_double(0.0);
+    w = v->find("poll_interval");
+    if (w == nullptr || !w->is_number()) return bad("watchdog.poll_interval");
+    c.watchdog.poll_interval = w->as_uint64(4096);
+  }
+  *out = std::move(c);
+  return true;
+}
+
+}  // namespace
+
+std::string fleet_bundle_to_json(const FleetBundle& b) {
+  std::string out = "{\n";
+  out += "\"schema\": 1,\n";
+  out += "\"kind\": \"mpdash-fleet-repro\",\n";
+  out += "\"seed\": " + u64(b.seed) + ",\n";
+  out += "\"config\": " + fleet_config_to_json(b.config) + ",\n";
+  out += "\"plan\": " + fault_plan_to_json(b.plan) + ",\n";
+  out += "\"outcome\": " + json_quote(to_string(b.outcome)) + ",\n";
+  out += "\"hung_reason\": " + json_quote(b.hung_reason) + ",\n";
+  out += "\"expected_violations\": [";
+  for (std::size_t i = 0; i < b.expected_violations.size(); ++i) {
+    out += i == 0 ? "\n  " : ",\n  ";
+    out += json_quote(b.expected_violations[i]);
+  }
+  if (!b.expected_violations.empty()) out += "\n";
+  out += "]\n}\n";
+  return out;
+}
+
+bool fleet_bundle_from_json(const std::string& text, FleetBundle* out,
+                            std::string* error) {
+  JsonValue root;
+  if (!json_parse(text, &root, error)) return false;
+  if (!root.is_object()) {
+    if (error) *error = "fleet bundle: top level is not an object";
+    return false;
+  }
+  const JsonValue* kind = root.find("kind");
+  if (kind == nullptr || !kind->is_string() ||
+      kind->str != "mpdash-fleet-repro") {
+    if (error) *error = "fleet bundle: missing or wrong \"kind\" marker";
+    return false;
+  }
+  FleetBundle b;
+  auto missing = [error](const char* field) {
+    if (error) {
+      *error = std::string("fleet bundle: missing field \"") + field + "\"";
+    }
+    return false;
+  };
+  const JsonValue* v = root.find("schema");
+  if (v == nullptr || !v->is_number()) return missing("schema");
+  b.schema = static_cast<int>(v->as_int64(1));
+  if (b.schema != 1) {
+    if (error) {
+      *error = "fleet bundle: unsupported schema " + std::to_string(b.schema);
+    }
+    return false;
+  }
+  v = root.find("seed");
+  if (v == nullptr || !v->is_number()) return missing("seed");
+  b.seed = v->as_uint64(0);
+  v = root.find("config");
+  if (v == nullptr) return missing("config");
+  if (!fleet_config_from_json_value(*v, &b.config, error)) return false;
+  v = root.find("plan");
+  if (v == nullptr) return missing("plan");
+  if (!fault_plan_from_json_value(*v, &b.plan, error)) return false;
+  v = root.find("outcome");
+  if (v == nullptr || !v->is_string() ||
+      !outcome_from_string(v->str, &b.outcome)) {
+    if (error) *error = "fleet bundle: bad \"outcome\"";
+    return false;
+  }
+  v = root.find("hung_reason");
+  if (v != nullptr && v->is_string()) b.hung_reason = v->str;
+  v = root.find("expected_violations");
+  if (v != nullptr && v->is_array()) {
+    for (const JsonValue& item : v->items) {
+      if (!item.is_string()) {
+        if (error) *error = "fleet bundle: non-string violation entry";
+        return false;
+      }
+      b.expected_violations.push_back(item.str);
+    }
+  }
+  *out = std::move(b);
+  return true;
+}
+
+bool write_fleet_bundle(const FleetBundle& b, const std::string& path,
+                        std::string* error) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const std::string text = fleet_bundle_to_json(b);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok && error) *error = "short write to " + path;
+  return ok;
+}
+
+bool load_fleet_bundle(const std::string& path, FleetBundle* out,
+                       std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return fleet_bundle_from_json(text, out, error);
+}
+
+std::string fleet_bundle_path(const std::string& dir, std::uint64_t seed) {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  return path + "fleet_repro_" + u64(seed) + ".json";
+}
+
+FleetReplayResult replay_fleet_bundle(const FleetBundle& b) {
+  FleetConfig cfg = b.config;
+  cfg.seed = b.seed;
+  cfg.faults = b.plan.empty() ? nullptr : &b.plan;
+  Telemetry telemetry;
+  FleetReplayResult out;
+  out.run = run_fleet(cfg, &telemetry);
+
+  if (out.run.outcome != b.outcome) {
+    out.mismatches.push_back(std::string("outcome: expected ") +
+                             to_string(b.outcome) + ", got " +
+                             to_string(out.run.outcome));
+  }
+  if (out.run.hung_reason != b.hung_reason) {
+    out.mismatches.push_back("hung reason: expected \"" + b.hung_reason +
+                             "\", got \"" + out.run.hung_reason + "\"");
+  }
+  const std::size_t n =
+      std::max(b.expected_violations.size(), out.run.violations.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string* want =
+        i < b.expected_violations.size() ? &b.expected_violations[i] : nullptr;
+    const std::string* got =
+        i < out.run.violations.size() ? &out.run.violations[i] : nullptr;
+    if (want != nullptr && got != nullptr && *want == *got) continue;
+    std::string line = "violation " + std::to_string(i) + ": expected ";
+    line += want != nullptr ? "\"" + *want + "\"" : "<none>";
+    line += ", got ";
+    line += got != nullptr ? "\"" + *got + "\"" : "<none>";
+    out.mismatches.push_back(std::move(line));
+  }
+  out.matches = out.mismatches.empty();
+  return out;
+}
+
+}  // namespace mpdash

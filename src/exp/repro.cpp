@@ -11,29 +11,7 @@
 
 namespace mpdash {
 
-bool scheme_from_string(std::string_view name, Scheme* out) {
-  for (int i = 0; i <= static_cast<int>(Scheme::kMpDashRate); ++i) {
-    const Scheme s = static_cast<Scheme>(i);
-    if (name == to_string(s)) {
-      *out = s;
-      return true;
-    }
-  }
-  return false;
-}
-
 namespace {
-
-bool outcome_from_string(std::string_view name, RunOutcome* out) {
-  for (int i = 0; i <= static_cast<int>(RunOutcome::kCrashed); ++i) {
-    const RunOutcome o = static_cast<RunOutcome>(i);
-    if (name == to_string(o)) {
-      *out = o;
-      return true;
-    }
-  }
-  return false;
-}
 
 std::string u64(std::uint64_t v) {
   char buf[32];
@@ -46,22 +24,14 @@ std::string u64(std::uint64_t v) {
 
 std::string repro_bundle_to_json(const ReproBundle& b) {
   // Canonical: fixed field order, every field always emitted, one
-  // top-level field per line (the embedded plan keeps its own layout).
+  // top-level field per line (the embedded spec and plan keep their own
+  // layouts). Always writes the current schema.
   std::string out = "{\n";
-  out += "\"schema\": " + std::to_string(b.schema) + ",\n";
+  out += "\"schema\": 2,\n";
   out += "\"kind\": \"mpdash-repro\",\n";
   out += "\"seed\": " + u64(b.seed) + ",\n";
-  out += "\"scheme\": " + json_quote(to_string(b.scheme)) + ",\n";
-  out += "\"adaptation\": " + json_quote(b.adaptation) + ",\n";
-  out += "\"mptcp_scheduler\": " + json_quote(b.mptcp_scheduler) + ",\n";
+  out += "\"spec\": " + session_spec_to_json(b.spec) + ",\n";
   out += "\"chunk_count\": " + std::to_string(b.chunk_count) + ",\n";
-  out += "\"inflight\": " + std::to_string(b.inflight) + ",\n";
-  out += std::string("\"recovery\": ") + (b.recovery ? "true" : "false") +
-         ",\n";
-  out += "\"time_limit_ns\": " + std::to_string(b.time_limit.count()) + ",\n";
-  out += "\"watchdog\": {\"max_sim_events\": " + u64(b.watchdog.max_sim_events) +
-         ", \"max_wall_s\": " + json_double(b.watchdog.max_wall_s) +
-         ", \"poll_interval\": " + u64(b.watchdog.poll_interval) + "},\n";
   out += "\"plan\": " + fault_plan_to_json(b.plan) + ",\n";
   out += "\"outcome\": " + json_quote(to_string(b.outcome)) + ",\n";
   out += "\"hung_reason\": " + json_quote(b.hung_reason) + ",\n";
@@ -97,7 +67,7 @@ bool repro_bundle_from_json(const std::string& text, ReproBundle* out,
   const JsonValue* v = root.find("schema");
   if (v == nullptr || !v->is_number()) return missing("schema");
   b.schema = static_cast<int>(v->as_int64(1));
-  if (b.schema != 1) {
+  if (b.schema != 1 && b.schema != 2) {
     if (error) {
       *error = "bundle: unsupported schema " + std::to_string(b.schema);
     }
@@ -106,37 +76,50 @@ bool repro_bundle_from_json(const std::string& text, ReproBundle* out,
   v = root.find("seed");
   if (v == nullptr || !v->is_number()) return missing("seed");
   b.seed = v->as_uint64(0);
-  v = root.find("scheme");
-  if (v == nullptr || !v->is_string() ||
-      !scheme_from_string(v->str, &b.scheme)) {
-    if (error) *error = "bundle: bad \"scheme\"";
-    return false;
+  if (b.schema >= 2) {
+    v = root.find("spec");
+    if (v == nullptr) return missing("spec");
+    std::string spec_error;
+    if (!session_spec_from_json_value(*v, &b.spec, &spec_error)) {
+      if (error) *error = "bundle: " + spec_error;
+      return false;
+    }
+  } else {
+    // Schema-1 bundle: the session knobs were flat top-level fields; map
+    // them into the spec (unlisted spec fields keep the chaos-era
+    // defaults those bundles implied).
+    v = root.find("scheme");
+    if (v == nullptr || !v->is_string() ||
+        !scheme_from_string(v->str, &b.spec.scheme)) {
+      if (error) *error = "bundle: bad \"scheme\"";
+      return false;
+    }
+    v = root.find("adaptation");
+    if (v != nullptr && v->is_string()) b.spec.adaptation = v->str;
+    v = root.find("mptcp_scheduler");
+    if (v != nullptr && v->is_string()) b.spec.mptcp_scheduler = v->str;
+    v = root.find("inflight");
+    if (v != nullptr && v->is_number()) {
+      b.spec.inflight = static_cast<int>(v->as_int64(1));
+    }
+    v = root.find("recovery");
+    if (v != nullptr && v->is_bool()) b.spec.recovery = v->boolean;
+    v = root.find("time_limit_ns");
+    if (v == nullptr || !v->is_number()) return missing("time_limit_ns");
+    b.spec.time_limit = Duration(v->as_int64(0));
+    v = root.find("watchdog");
+    if (v != nullptr && v->is_object()) {
+      const JsonValue* w = v->find("max_sim_events");
+      if (w != nullptr) b.spec.watchdog.max_sim_events = w->as_uint64(0);
+      w = v->find("max_wall_s");
+      if (w != nullptr) b.spec.watchdog.max_wall_s = w->as_double(0.0);
+      w = v->find("poll_interval");
+      if (w != nullptr) b.spec.watchdog.poll_interval = w->as_uint64(4096);
+    }
   }
-  v = root.find("adaptation");
-  if (v != nullptr && v->is_string()) b.adaptation = v->str;
-  v = root.find("mptcp_scheduler");
-  if (v != nullptr && v->is_string()) b.mptcp_scheduler = v->str;
   v = root.find("chunk_count");
   if (v == nullptr || !v->is_number()) return missing("chunk_count");
   b.chunk_count = static_cast<int>(v->as_int64(0));
-  v = root.find("inflight");
-  if (v != nullptr && v->is_number()) {
-    b.inflight = static_cast<int>(v->as_int64(1));
-  }
-  v = root.find("recovery");
-  if (v != nullptr && v->is_bool()) b.recovery = v->boolean;
-  v = root.find("time_limit_ns");
-  if (v == nullptr || !v->is_number()) return missing("time_limit_ns");
-  b.time_limit = Duration(v->as_int64(0));
-  v = root.find("watchdog");
-  if (v != nullptr && v->is_object()) {
-    const JsonValue* w = v->find("max_sim_events");
-    if (w != nullptr) b.watchdog.max_sim_events = w->as_uint64(0);
-    w = v->find("max_wall_s");
-    if (w != nullptr) b.watchdog.max_wall_s = w->as_double(0.0);
-    w = v->find("poll_interval");
-    if (w != nullptr) b.watchdog.poll_interval = w->as_uint64(4096);
-  }
   v = root.find("plan");
   if (v == nullptr) return missing("plan");
   if (!fault_plan_from_json_value(*v, &b.plan, error)) return false;
@@ -208,14 +191,8 @@ ReproBundle make_repro_bundle(const ChaosConfig& cfg,
                               const FaultPlan& plan) {
   ReproBundle b;
   b.seed = run.seed;
-  b.scheme = cfg.scheme;
-  b.adaptation = cfg.adaptation;
-  b.mptcp_scheduler = cfg.mptcp_scheduler;
+  b.spec = cfg.session;
   b.chunk_count = cfg.chunk_count;
-  b.inflight = cfg.inflight;
-  b.recovery = cfg.recovery;
-  b.time_limit = cfg.time_limit;
-  b.watchdog = cfg.watchdog;
   b.plan = plan;
   b.outcome = run.outcome;
   b.hung_reason = run.hung_reason;
@@ -227,14 +204,8 @@ ChaosConfig bundle_chaos_config(const ReproBundle& b) {
   ChaosConfig cfg;
   cfg.seed_count = 1;
   cfg.base_seed = b.seed;
-  cfg.scheme = b.scheme;
-  cfg.adaptation = b.adaptation;
-  cfg.mptcp_scheduler = b.mptcp_scheduler;
+  cfg.session = b.spec;
   cfg.chunk_count = b.chunk_count;
-  cfg.inflight = b.inflight;
-  cfg.recovery = b.recovery;
-  cfg.time_limit = b.time_limit;
-  cfg.watchdog = b.watchdog;
   cfg.progress = nullptr;
   // Never re-emit bundles from a replay.
   cfg.bundle_dir.clear();

@@ -21,27 +21,22 @@
 namespace mpdash {
 
 struct ReproBundle {
-  int schema = 1;  // bumped on any breaking format change
+  // Format versions: schema 1 stored the session knobs as flat top-level
+  // fields; schema 2 embeds the canonical SessionSpec object. The loader
+  // accepts both (a schema-1 bundle maps its flat fields into `spec`);
+  // the serializer always writes the current schema.
+  int schema = 2;
   std::uint64_t seed = 0;
-  // Session knobs that feed chaos_session_config / chaos_video — enough
-  // to rebuild the exact per-seed configuration the campaign ran.
-  Scheme scheme = Scheme::kMpDashDuration;
-  std::string adaptation = "festive";
-  std::string mptcp_scheduler = "minrtt";
+  // The session description the campaign resolved per seed — together
+  // with chunk_count, enough to rebuild the exact configuration it ran.
+  SessionSpec spec;
   int chunk_count = 30;
-  int inflight = 1;
-  bool recovery = true;
-  Duration time_limit = seconds(600.0);
-  WatchdogConfig watchdog;
   FaultPlan plan;
   // What the originating run observed; replay verifies against these.
   RunOutcome outcome = RunOutcome::kViolation;
   std::string hung_reason;
   std::vector<std::string> expected_violations;
 };
-
-// "baseline" → Scheme::kBaseline etc. (inverse of to_string).
-bool scheme_from_string(std::string_view name, Scheme* out);
 
 // Canonical serialization (see header comment).
 std::string repro_bundle_to_json(const ReproBundle& b);

@@ -4,6 +4,7 @@
 // scheduler-only evaluations), each returning the metrics the paper
 // reports.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,12 @@
 namespace mpdash {
 
 struct FaultPlan;
+class MptcpConnection;
+class DashServer;
+class HttpClient;
+class FaultInjector;
+class MpDashSocket;
+class MpDashAdapter;
 
 enum class Scheme : std::uint8_t {
   kWifiOnly,         // single path (no MPTCP)
@@ -45,12 +52,7 @@ struct SessionConfig {
   // Captures the full telemetry trace (with payload, for the analyzer)
   // into SessionResult::trace.
   bool record_trace = false;
-  // Externally-owned telemetry context (extra sinks, shared registry).
-  // When null and record_trace/metrics is requested, an internal context
-  // is used for the duration of the run.
-  Telemetry* telemetry = nullptr;
-  // When set, registry snapshots are appended here every metrics_interval.
-  MetricsTimeline* metrics = nullptr;
+  // Snapshot cadence when SessionEnv::metrics is set.
   Duration metrics_interval = seconds(1.0);
   DeviceEnergyProfile device = galaxy_note();
   // The paper reports statistics over the last 80% of chunks (steady
@@ -64,12 +66,25 @@ struct SessionConfig {
   // Application recovery: HTTP request timeout/retry layer (inert while
   // request_timeout == 0).
   HttpClientConfig http_recovery;
-  // Fault plan injected during the run. Borrowed; null = no faults.
-  const FaultPlan* faults = nullptr;
   // Run watchdog budgets (sim events / wall clock); inert while disabled.
   // A tripped budget aborts the run by throwing WatchdogTripped out of
   // run_streaming_session — campaign callers map it to a `hung` outcome.
   WatchdogConfig watchdog;
+};
+
+// The borrowed externals a session runs against, grouped so ownership is
+// explicit at the signature level: everything here outlives the session
+// and is never owned by it. SessionConfig stays a pure value.
+struct SessionEnv {
+  // Telemetry context (extra sinks, shared registry). When null and
+  // record_trace/metrics is requested, run_streaming_session uses an
+  // internal context for the duration of the run.
+  Telemetry* telemetry = nullptr;
+  // When set, registry snapshots are appended here every
+  // SessionConfig::metrics_interval.
+  MetricsTimeline* metrics = nullptr;
+  // Fault plan injected during the run; null = no faults.
+  const FaultPlan* faults = nullptr;
 };
 
 struct SessionResult {
@@ -120,8 +135,57 @@ struct SessionResult {
   std::uint64_t server_bytes_in_order = 0;
 };
 
+// One session's full stack — MPTCP connection, DASH server, HTTP client,
+// optional fault injector, adaptation, MP-DASH socket/adapter, player —
+// constructed over borrowed paths on a borrowed loop. Extracted from
+// run_streaming_session so a fleet can host N of these on one EventLoop
+// (each over per-session shared-link facades). Construction order is part
+// of the determinism contract: event ids derive from scheduling order, so
+// the stack always wires up in the same sequence.
+//
+// Scenario-level concerns (link telemetry, energy probe, metrics
+// snapshotter, watchdog, byte/energy accounting) stay with the caller.
+class StreamingSession {
+ public:
+  StreamingSession(EventLoop& loop, std::vector<NetPath*> paths,
+                   const Video& video, const SessionConfig& config,
+                   const SessionEnv& env);
+  ~StreamingSession();
+
+  StreamingSession(const StreamingSession&) = delete;
+  StreamingSession& operator=(const StreamingSession&) = delete;
+
+  // Kicks off the manifest fetch; callable immediately or from a scheduled
+  // join event (fleet staggering).
+  void start();
+  void set_done_callback(std::function<void()> cb);
+  bool done() const;
+  // For fleet-level fault hooks (server stall/drop toggles).
+  DashServer& dash_server() { return *server_; }
+  // Per-tenant wire bytes on the given path (per-flow slices on shared
+  // links, whole-link counters on owned ones).
+  Bytes path_wire_bytes(int path_id) const;
+  // Everything session-local: player/transport/robustness counters and the
+  // steady-state bitrate stats. Byte/energy/trace fields are the caller's.
+  SessionResult collect() const;
+
+ private:
+  EventLoop& loop_;
+  SessionConfig config_;
+  std::vector<NetPath*> fault_paths_;
+  std::unique_ptr<MptcpConnection> conn_;
+  std::unique_ptr<DashServer> server_;
+  std::unique_ptr<HttpClient> client_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<RateAdaptation> adaptation_;
+  std::unique_ptr<MpDashSocket> socket_;
+  std::unique_ptr<MpDashAdapter> adapter_;
+  std::unique_ptr<DashPlayer> player_;
+};
+
 SessionResult run_streaming_session(Scenario& scenario, const Video& video,
-                                    const SessionConfig& config);
+                                    const SessionConfig& config,
+                                    const SessionEnv& env = {});
 
 // --- §7.2: scheduler-only single-file download -------------------------
 struct DownloadConfig {

@@ -69,7 +69,7 @@ namespace {
 ChaosRunResult probe(const ReproBundle& bundle, const FaultPlan& plan,
                      Duration time_limit, Telemetry& telemetry) {
   ChaosConfig cfg = bundle_chaos_config(bundle);
-  cfg.time_limit = time_limit;
+  cfg.session.time_limit = time_limit;
   try {
     return run_chaos_single(cfg, chaos_video(cfg), bundle.seed, plan,
                             telemetry);
@@ -196,7 +196,7 @@ ShrinkResult shrink_repro_bundle(const ReproBundle& bundle,
   {
     ++oracle.sim_runs;
     Telemetry telemetry;
-    base = probe(bundle, bundle.plan, bundle.time_limit, telemetry);
+    base = probe(bundle, bundle.plan, bundle.spec.time_limit, telemetry);
   }
   oracle.target = violation_signature(base.outcome, base.violations,
                                       cfg.strict);
@@ -210,7 +210,7 @@ ShrinkResult shrink_repro_bundle(const ReproBundle& bundle,
   res.reproduced = true;
 
   FaultPlan plan = bundle.plan;
-  Duration time_limit = bundle.time_limit;
+  Duration time_limit = bundle.spec.time_limit;
 
   // --- ddmin over event indices -----------------------------------------
   // Quick exit: if the failure does not need faults at all, the minimal
@@ -330,7 +330,7 @@ ShrinkResult shrink_repro_bundle(const ReproBundle& bundle,
     fin = probe(bundle, plan, time_limit, telemetry);
   }
   res.minimized.plan = plan;
-  res.minimized.time_limit = time_limit;
+  res.minimized.spec.time_limit = time_limit;
   res.minimized.outcome = fin.outcome;
   res.minimized.hung_reason = fin.hung_reason;
   res.minimized.expected_violations = fin.violations;

@@ -12,6 +12,28 @@ Link::Link(EventLoop& loop, LinkConfig config)
     config_.name = "link" + std::to_string(config_.id);
   }
   if (config_.ge_loss) ge_.emplace(*config_.ge_loss);
+  if (config_.fq_quantum < 1) config_.fq_quantum = 1;
+  track_flows_ = config_.discipline == QueueDiscipline::kFairQueue;
+}
+
+void Link::set_flow_deliver(int flow, DeliverHandler h) {
+  track_flows_ = true;
+  flow_deliver_[flow] = std::move(h);
+}
+
+Bytes Link::delivered_bytes_for_flow(int flow) const {
+  auto it = flow_delivered_.find(flow);
+  return it == flow_delivered_.end() ? 0 : it->second;
+}
+
+Bytes Link::dropped_bytes_for_flow(int flow) const {
+  auto it = flow_dropped_.find(flow);
+  return it == flow_dropped_.end() ? 0 : it->second;
+}
+
+Bytes Link::queued_bytes_for_flow(int flow) const {
+  auto it = flow_queued_.find(flow);
+  return it == flow_queued_.end() ? 0 : it->second;
 }
 
 void Link::set_telemetry(Telemetry* telemetry) {
@@ -53,6 +75,7 @@ void Link::emit_packet(TraceType type, const Packet& p) const {
 void Link::drop_packet(const Packet& p) {
   dropped_bytes_ += p.wire_size;
   ++dropped_packets_;
+  if (track_flows_) flow_dropped_[p.flow] += p.wire_size;
   if (telemetry_) {
     dropped_packets_counter_.increment();
     if (telemetry_->tracing()) emit_packet(TraceType::kPacketDrop, p);
@@ -82,6 +105,16 @@ void Link::send(Packet p) {
   if (telemetry_ && telemetry_->tracing()) {
     emit_packet(TraceType::kPacketSend, p);
   }
+  if (config_.discipline == QueueDiscipline::kFairQueue) {
+    if (down_ || loss_model_drops()) {
+      drop_packet(p);
+      return;
+    }
+    fq_enqueue(std::move(p));
+    if (telemetry_) queue_gauge_.set(static_cast<double>(queued_bytes_));
+    if (!busy_ && has_backlog()) start_serializing();
+    return;
+  }
   if (down_ || loss_model_drops() ||
       queued_bytes_ + p.wire_size > config_.queue_capacity) {
     drop_packet(p);
@@ -93,18 +126,133 @@ void Link::send(Packet p) {
   if (!busy_) start_serializing();
 }
 
+int Link::fq_victim() const {
+  // Flow with the most queued bytes; ties break toward the lowest id so the
+  // choice is deterministic.
+  int victim = -1;
+  Bytes most = 0;
+  for (const auto& [flow, bytes] : flow_queued_) {
+    if (bytes > most) {
+      most = bytes;
+      victim = flow;
+    }
+  }
+  return victim;
+}
+
+void Link::fq_deactivate(int flow) {
+  flow_queues_.erase(flow);
+  flow_queued_.erase(flow);
+  flow_deficit_.erase(flow);
+  if (fq_credited_flow_ == flow) fq_credited_flow_ = -1;
+  for (auto it = active_flows_.begin(); it != active_flows_.end(); ++it) {
+    if (*it == flow) {
+      active_flows_.erase(it);
+      break;
+    }
+  }
+}
+
+void Link::fq_enqueue(Packet p) {
+  // Longest-queue drop: when the shared buffer is full, the flow holding
+  // the most bytes pays, so one aggressive tenant cannot squeeze the rest
+  // out of the buffer. If the arriving flow already holds the largest share
+  // (or the buffer cannot fit the packet at all), the arrival is the drop.
+  while (queued_bytes_ + p.wire_size > config_.queue_capacity) {
+    const int victim = fq_victim();
+    if (victim < 0 || queued_bytes_for_flow(victim) <=
+                          queued_bytes_for_flow(p.flow)) {
+      drop_packet(p);
+      return;
+    }
+    auto& q = flow_queues_[victim];
+    Packet shed = std::move(q.back());
+    q.pop_back();
+    queued_bytes_ -= shed.wire_size;
+    flow_queued_[victim] -= shed.wire_size;
+    if (q.empty()) fq_deactivate(victim);
+    drop_packet(shed);
+  }
+  queued_bytes_ += p.wire_size;
+  flow_queued_[p.flow] += p.wire_size;
+  auto& q = flow_queues_[p.flow];
+  if (q.empty()) {
+    active_flows_.push_back(p.flow);
+    flow_deficit_[p.flow] = 0;
+  }
+  q.push_back(std::move(p));
+}
+
+Packet Link::fq_dequeue() {
+  // Deficit round-robin: each time a flow reaches the head of the active
+  // ring it earns one quantum; it sends while its deficit covers the head
+  // packet, then rotates to the back keeping the remainder. The credit is
+  // per *visit* (`fq_credited_flow_`), never re-added while the flow holds
+  // the head — otherwise a backlogged flow with packets smaller than the
+  // quantum would top up forever and drain completely before rotating,
+  // collapsing DRR into per-burst FIFO. A drained flow forfeits its
+  // deficit.
+  for (;;) {
+    assert(!active_flows_.empty());
+    const int flow = active_flows_.front();
+    auto& q = flow_queues_[flow];
+    assert(!q.empty());
+    if (fq_credited_flow_ != flow) {
+      flow_deficit_[flow] += config_.fq_quantum;
+      fq_credited_flow_ = flow;
+    }
+    if (flow_deficit_[flow] < q.front().wire_size) {
+      // Out of credit this round; the next visit earns a fresh quantum
+      // (clearing the marker also lets a lone flow re-credit until it can
+      // afford a packet larger than one quantum).
+      active_flows_.pop_front();
+      active_flows_.push_back(flow);
+      fq_credited_flow_ = -1;
+      continue;
+    }
+    Packet p = std::move(q.front());
+    q.pop_front();
+    flow_deficit_[flow] -= p.wire_size;
+    flow_queued_[flow] -= p.wire_size;
+    if (q.empty()) fq_deactivate(flow);
+    return p;
+  }
+}
+
+bool Link::has_backlog() const {
+  if (serializing_) return true;
+  return config_.discipline == QueueDiscipline::kFairQueue
+             ? !active_flows_.empty()
+             : !queue_.empty();
+}
+
 void Link::set_down(bool down) {
   down_ = down;
   if (!down_) return;
   // Everything still waiting behind the radio is lost with it. The packet
-  // currently serializing (queue front while busy_) is dropped when its
-  // serialization completes; packets already propagating still arrive.
-  const std::size_t keep = busy_ ? 1 : 0;
-  while (queue_.size() > keep) {
-    Packet p = std::move(queue_.back());
-    queue_.pop_back();
-    queued_bytes_ -= p.wire_size;
-    drop_packet(p);
+  // currently serializing (queue front while busy_, or serializing_ under
+  // fair queueing) is dropped when its serialization completes; packets
+  // already propagating still arrive.
+  if (config_.discipline == QueueDiscipline::kFairQueue) {
+    // Deterministic drop order: flows ascending, each front-to-back.
+    for (auto& [flow, q] : flow_queues_) {
+      for (Packet& p : q) {
+        queued_bytes_ -= p.wire_size;
+        drop_packet(p);
+      }
+    }
+    flow_queues_.clear();
+    flow_queued_.clear();
+    flow_deficit_.clear();
+    active_flows_.clear();
+  } else {
+    const std::size_t keep = busy_ ? 1 : 0;
+    while (queue_.size() > keep) {
+      Packet p = std::move(queue_.back());
+      queue_.pop_back();
+      queued_bytes_ -= p.wire_size;
+      drop_packet(p);
+    }
   }
   if (telemetry_) queue_gauge_.set(static_cast<double>(queued_bytes_));
 }
@@ -123,15 +271,22 @@ void Link::set_ge_loss(const std::optional<GilbertElliottConfig>& ge) {
 }
 
 void Link::start_serializing() {
-  assert(!queue_.empty());
+  // Under fair queueing the DRR pick is committed here: the packet moves
+  // into serializing_ (it still occupies buffer bytes until it leaves the
+  // radio). Under FIFO the front of queue_ is the implicit pick.
+  if (config_.discipline == QueueDiscipline::kFairQueue && !serializing_) {
+    serializing_ = fq_dequeue();
+  }
+  assert(serializing_ || !queue_.empty());
   busy_ = true;
+  const Bytes wire =
+      serializing_ ? serializing_->wire_size : queue_.front().wire_size;
   // A factor-f rate scale is equivalent to serializing wire_size/f bytes at
   // the unscaled trace rate; factor 0 behaves like a zero-rate tail.
   TimePoint done = TimePoint::max();
   if (rate_factor_ > 0.0) {
     const auto scaled = static_cast<Bytes>(
-        std::ceil(static_cast<double>(queue_.front().wire_size) /
-                  rate_factor_));
+        std::ceil(static_cast<double>(wire) / rate_factor_));
     done = config_.rate.time_to_deliver(loop_.now(), scaled);
   }
   if (done == TimePoint::max()) {
@@ -139,7 +294,7 @@ void Link::start_serializing() {
     // looped/step traces (or a restored rate factor) can resume.
     loop_.schedule_in(milliseconds(100), [this] {
       busy_ = false;
-      if (!queue_.empty()) start_serializing();
+      if (has_backlog()) start_serializing();
     });
     return;
   }
@@ -147,9 +302,15 @@ void Link::start_serializing() {
 }
 
 void Link::on_serialized() {
-  assert(!queue_.empty());
-  Packet p = std::move(queue_.front());
-  queue_.pop_front();
+  Packet p;
+  if (serializing_) {
+    p = std::move(*serializing_);
+    serializing_.reset();
+  } else {
+    assert(!queue_.empty());
+    p = std::move(queue_.front());
+    queue_.pop_front();
+  }
   queued_bytes_ -= p.wire_size;
   if (telemetry_) queue_gauge_.set(static_cast<double>(queued_bytes_));
 
@@ -161,6 +322,9 @@ void Link::on_serialized() {
                       [this, p = std::move(p)]() mutable {
                         delivered_bytes_ += p.wire_size;
                         ++delivered_packets_;
+                        if (track_flows_) {
+                          flow_delivered_[p.flow] += p.wire_size;
+                        }
                         if (telemetry_) {
                           delivered_bytes_counter_.add(
                               static_cast<double>(p.wire_size));
@@ -169,12 +333,17 @@ void Link::on_serialized() {
                             emit_packet(TraceType::kPacketDeliver, p);
                           }
                         }
-                        if (deliver_) deliver_(std::move(p));
+                        auto it = flow_deliver_.find(p.flow);
+                        if (it != flow_deliver_.end() && it->second) {
+                          it->second(std::move(p));
+                        } else if (deliver_) {
+                          deliver_(std::move(p));
+                        }
                       });
   }
 
   busy_ = false;
-  if (!queue_.empty()) start_serializing();
+  if (has_backlog()) start_serializing();
 }
 
 }  // namespace mpdash

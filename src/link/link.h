@@ -10,6 +10,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -21,6 +22,20 @@
 #include "util/rng.h"
 
 namespace mpdash {
+
+// How the link arbitrates between flows sharing its queue. kFifo is the
+// single-tenant default (one drop-tail queue, arrival order); kFairQueue is
+// deficit-round-robin over per-flow queues with longest-queue drop, so one
+// aggressive tenant can neither starve the serializer nor steal the whole
+// buffer.
+enum class QueueDiscipline : std::uint8_t {
+  kFifo = 0,
+  kFairQueue = 1,
+};
+
+inline const char* to_string(QueueDiscipline d) {
+  return d == QueueDiscipline::kFairQueue ? "fq" : "fifo";
+}
 
 struct LinkConfig {
   int id = 0;
@@ -35,6 +50,12 @@ struct LinkConfig {
   // loss on one link can never perturb another's draws (the seed tests
   // shared one RNG across links, coupling their loss patterns).
   std::uint64_t loss_seed = 0;
+  // Multi-tenant arbitration (fleet workloads). kFifo preserves the
+  // single-tenant behavior bit-for-bit.
+  QueueDiscipline discipline = QueueDiscipline::kFifo;
+  // DRR quantum: bytes a flow earns each time it reaches the head of the
+  // active ring. >= one MTU gives packet-by-packet round robin.
+  Bytes fq_quantum = 1500;
 };
 
 class Link {
@@ -49,6 +70,10 @@ class Link {
   void send(Packet p);
 
   void set_deliver_handler(DeliverHandler h) { deliver_ = std::move(h); }
+  // Per-flow delivery demux for shared links: packets stamped with `flow`
+  // route to their flow's handler; unstamped flows fall back to the default
+  // handler. Registering any flow handler turns on per-flow byte accounting.
+  void set_flow_deliver(int flow, DeliverHandler h);
   // Test hook: overrides the link's own loss stream with an external
   // uniform-draw source (used to script exact drop positions).
   void set_loss_rng(std::function<double()> uniform) {
@@ -89,6 +114,12 @@ class Link {
   Bytes dropped_bytes() const { return dropped_bytes_; }
   std::size_t delivered_packets() const { return delivered_packets_; }
   std::size_t dropped_packets() const { return dropped_packets_; }
+  // Per-flow wire-byte attribution on shared links. Tracked whenever the
+  // discipline is kFairQueue or a flow handler is registered; 0 otherwise.
+  Bytes delivered_bytes_for_flow(int flow) const;
+  Bytes dropped_bytes_for_flow(int flow) const;
+  Bytes queued_bytes_for_flow(int flow) const;
+  QueueDiscipline discipline() const { return config_.discipline; }
 
  private:
   void start_serializing();
@@ -97,6 +128,11 @@ class Link {
   bool loss_model_drops();
   double draw_uniform();
   void emit_packet(TraceType type, const Packet& p) const;
+  bool has_backlog() const;
+  void fq_enqueue(Packet p);
+  Packet fq_dequeue();
+  int fq_victim() const;
+  void fq_deactivate(int flow);
 
   EventLoop& loop_;
   LinkConfig config_;
@@ -105,7 +141,22 @@ class Link {
   Rng rng_;
   std::optional<GilbertElliottLoss> ge_;
 
-  std::deque<Packet> queue_;
+  std::deque<Packet> queue_;  // kFifo backlog (front = serializing when busy)
+  // kFairQueue state: per-flow backlogs, DRR deficits, and the active ring.
+  // A flow appears in every map iff its queue is non-empty; the packet being
+  // serialized is extracted into serializing_ but still counts toward
+  // queued_bytes_ (it occupies the buffer until it leaves the radio).
+  std::map<int, std::deque<Packet>> flow_queues_;
+  std::map<int, Bytes> flow_queued_;
+  std::map<int, Bytes> flow_deficit_;
+  std::deque<int> active_flows_;
+  int fq_credited_flow_ = -1;  // front flow already credited this visit
+  std::optional<Packet> serializing_;
+  std::map<int, DeliverHandler> flow_deliver_;
+  std::map<int, Bytes> flow_delivered_;
+  std::map<int, Bytes> flow_dropped_;
+  bool track_flows_ = false;
+
   Bytes queued_bytes_ = 0;
   bool busy_ = false;
   bool down_ = false;

@@ -15,7 +15,7 @@ NetPath::NetPath(EventLoop& loop, PathEndpointsConfig config)
   down.random_loss = config.random_loss;
   down.ge_loss = config.downlink_ge_loss;
   down.loss_seed = derive_stream_seed(config.loss_seed, ".down");
-  down_ = std::make_unique<Link>(loop, std::move(down));
+  owned_down_ = std::make_unique<Link>(loop, std::move(down));
 
   LinkConfig up;
   up.id = desc_.id * 2 + 1;
@@ -25,7 +25,9 @@ NetPath::NetPath(EventLoop& loop, PathEndpointsConfig config)
   up.queue_capacity = config.queue_capacity;
   up.random_loss = config.random_loss;
   up.loss_seed = derive_stream_seed(config.loss_seed, ".up");
-  up_ = std::make_unique<Link>(loop, std::move(up));
+  owned_up_ = std::make_unique<Link>(loop, std::move(up));
+  down_ = owned_down_.get();
+  up_ = owned_up_.get();
 
   if (config.downlink_shaper) {
     if (config.downlink_shaper->name == "shaper" && !desc_.name.empty()) {
@@ -38,8 +40,16 @@ NetPath::NetPath(EventLoop& loop, PathEndpointsConfig config)
   }
 }
 
+NetPath::NetPath(PathDescription desc, Link& shared_down, Link& shared_up,
+                 int flow)
+    : desc_(std::move(desc)),
+      down_(&shared_down),
+      up_(&shared_up),
+      flow_(flow) {}
+
 void NetPath::send_downlink(Packet p) {
   p.path_id = desc_.id;
+  p.flow = flow_;
   if (down_shaper_) {
     down_shaper_->send(std::move(p));
   } else {
@@ -49,18 +59,28 @@ void NetPath::send_downlink(Packet p) {
 
 void NetPath::send_uplink(Packet p) {
   p.path_id = desc_.id;
+  p.flow = flow_;
   up_->send(std::move(p));
 }
 
 void NetPath::set_downlink_deliver(Link::DeliverHandler h) {
-  down_->set_deliver_handler(std::move(h));
+  if (shared()) {
+    down_->set_flow_deliver(flow_, std::move(h));
+  } else {
+    down_->set_deliver_handler(std::move(h));
+  }
 }
 
 void NetPath::set_uplink_deliver(Link::DeliverHandler h) {
-  up_->set_deliver_handler(std::move(h));
+  if (shared()) {
+    up_->set_flow_deliver(flow_, std::move(h));
+  } else {
+    up_->set_deliver_handler(std::move(h));
+  }
 }
 
 void NetPath::set_telemetry(Telemetry* telemetry) {
+  if (shared()) return;  // the link owner wires shared links exactly once
   down_->set_telemetry(telemetry);
   up_->set_telemetry(telemetry);
   if (down_shaper_) down_shaper_->set_telemetry(telemetry);
@@ -68,6 +88,14 @@ void NetPath::set_telemetry(Telemetry* telemetry) {
 
 Duration NetPath::base_rtt() const {
   return down_->propagation_delay() + up_->propagation_delay();
+}
+
+Bytes NetPath::delivered_wire_bytes() const {
+  if (shared()) {
+    return down_->delivered_bytes_for_flow(flow_) +
+           up_->delivered_bytes_for_flow(flow_);
+  }
+  return down_->delivered_bytes() + up_->delivered_bytes();
 }
 
 }  // namespace mpdash

@@ -53,13 +53,25 @@ struct PathEndpointsConfig {
   std::optional<ShaperConfig> downlink_shaper;
 };
 
-// Owns the two links (and optional shaper) realizing one path.
+// Realizes one path over a forward + reverse link pair. Two modes:
+//  - owning (the classic single-tenant shape): constructs and owns both
+//    links from a PathEndpointsConfig;
+//  - shared (fleet workloads): a facade over externally-owned links that
+//    multiple sessions contend on. Packets are stamped with the session's
+//    flow id and deliveries demux through Link's per-flow handlers, so the
+//    MPTCP stack above is oblivious to the sharing.
 class NetPath {
  public:
   NetPath(EventLoop& loop, PathEndpointsConfig config);
+  // Shared mode. `flow` must be unique per tenant on these links. The
+  // caller owns the links and wires their telemetry; this facade only
+  // stamps and demuxes.
+  NetPath(PathDescription desc, Link& shared_down, Link& shared_up, int flow);
 
   const PathDescription& description() const { return desc_; }
   int id() const { return desc_.id; }
+  int flow() const { return flow_; }
+  bool shared() const { return !owned_down_; }
 
   // Entry points: packets from the server side (data) / client side (ACKs,
   // requests).
@@ -68,7 +80,8 @@ class NetPath {
 
   void set_downlink_deliver(Link::DeliverHandler h);
   void set_uplink_deliver(Link::DeliverHandler h);
-  // Wires telemetry into both links and the optional shaper.
+  // Wires telemetry into both links and the optional shaper. No-op in
+  // shared mode: the link owner wires shared links exactly once.
   void set_telemetry(Telemetry* telemetry);
 
   Link& downlink() { return *down_; }
@@ -76,11 +89,18 @@ class NetPath {
   const Link& downlink() const { return *down_; }
   const Link& uplink() const { return *up_; }
   Duration base_rtt() const;
+  // Wire bytes this path's tenant put on / took off the links. In owning
+  // mode these are the whole-link counters; in shared mode the per-flow
+  // slices.
+  Bytes delivered_wire_bytes() const;
 
  private:
   PathDescription desc_;
-  std::unique_ptr<Link> down_;
-  std::unique_ptr<Link> up_;
+  std::unique_ptr<Link> owned_down_;
+  std::unique_ptr<Link> owned_up_;
+  Link* down_ = nullptr;
+  Link* up_ = nullptr;
+  int flow_ = 0;
   std::unique_ptr<TokenBucketShaper> down_shaper_;
 };
 

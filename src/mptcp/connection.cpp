@@ -42,9 +42,7 @@ NetPath& MptcpConnection::path(int path_id) {
 
 Bytes MptcpConnection::wire_bytes(int path_id) const {
   for (const NetPath* p : paths_) {
-    if (p->id() == path_id) {
-      return p->downlink().delivered_bytes() + p->uplink().delivered_bytes();
-    }
+    if (p->id() == path_id) return p->delivered_wire_bytes();
   }
   throw std::out_of_range("unknown path id");
 }

@@ -32,6 +32,9 @@ struct WatchdogConfig {
   std::uint64_t poll_interval = 4096;
 
   bool enabled() const { return max_sim_events > 0 || max_wall_s > 0.0; }
+
+  friend bool operator==(const WatchdogConfig&,
+                         const WatchdogConfig&) = default;
 };
 
 enum class WatchdogReason : std::uint8_t {

@@ -65,7 +65,8 @@ AttributedRun run_attributed(const ScenarioConfig& net, const FaultPlan& plan,
   if (buffer_capacity > kDurationZero) {
     cfg.player.buffer_capacity = buffer_capacity;
   }
-  cfg.faults = plan.empty() ? nullptr : &plan;
+  SessionEnv env;
+  env.faults = plan.empty() ? nullptr : &plan;
   if (recovery) {
     cfg.mptcp_recovery.max_consecutive_rtos = 4;
     cfg.mptcp_recovery.reprobe_interval = seconds(2.0);
@@ -77,10 +78,10 @@ AttributedRun run_attributed(const ScenarioConfig& net, const FaultPlan& plan,
   Telemetry telemetry;
   TraceCollector collector;
   telemetry.add_sink(&collector);
-  cfg.telemetry = &telemetry;
+  env.telemetry = &telemetry;
 
   AttributedRun out;
-  out.result = run_streaming_session(scenario, video, cfg);
+  out.result = run_streaming_session(scenario, video, cfg, env);
   out.model = build_span_model(collector.records());
   attribute_misses(&out.model, kWifiPathId);
   out.counts = attribution_counts(out.model);

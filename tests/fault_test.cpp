@@ -251,14 +251,15 @@ TEST(FaultInjector, FaultRecordsStayUnspannedWhileChunkSpansOpen) {
   cfg.scheme = Scheme::kMpDashRate;
   cfg.adaptation = "festive";
   cfg.player.max_inflight_chunks = 3;
-  cfg.telemetry = &telemetry;
-  cfg.faults = &plan;
   cfg.http_recovery.request_timeout = seconds(4.0);
   cfg.http_recovery.max_retries = 4;
   cfg.http_recovery.jitter_seed = 11;
+  SessionEnv env;
+  env.telemetry = &telemetry;
+  env.faults = &plan;
   const Video video("clip", seconds(2.0), 14,
                     {DataRate::mbps(0.6), DataRate::mbps(1.2)}, 0.1, 3);
-  const SessionResult res = run_streaming_session(scenario, video, cfg);
+  const SessionResult res = run_streaming_session(scenario, video, cfg, env);
   ASSERT_TRUE(res.completed);
   ASSERT_TRUE(res.faults_quiescent);
 
@@ -301,7 +302,8 @@ class RecoveryAcceptance : public ::testing::Test {
     cfg.scheme = Scheme::kBaseline;  // vanilla MPTCP data plane
     cfg.adaptation = "festive";
     cfg.time_limit = seconds(180.0);
-    cfg.faults = &plan;
+    SessionEnv env;
+    env.faults = &plan;
     if (recovery) {
       cfg.mptcp_recovery.max_consecutive_rtos = 4;
       cfg.mptcp_recovery.reprobe_interval = seconds(5.0);
@@ -314,7 +316,7 @@ class RecoveryAcceptance : public ::testing::Test {
                       {DataRate::mbps(0.58), DataRate::mbps(1.01),
                        DataRate::mbps(1.47)},
                       0.1, 3);
-    return run_streaming_session(scenario, video, cfg);
+    return run_streaming_session(scenario, video, cfg, env);
   }
 };
 
@@ -439,7 +441,7 @@ TEST(ChaosCampaign, PipelinedInvariantsHoldAcrossSeeds) {
   // still delivered or cleanly abandoned, no stale response surfaces to a
   // dead span, retry budgets honored, counters consistent.
   ChaosConfig cfg = small_chaos(8);
-  cfg.inflight = 3;
+  cfg.session.inflight = 3;
   const ChaosCampaignResult res = run_chaos_campaign(cfg);
   ASSERT_EQ(res.runs.size(), 8u);
   for (const ChaosRunResult& r : res.runs) {
@@ -453,7 +455,7 @@ TEST(ChaosCampaign, PipelinedInvariantsHoldAcrossSeeds) {
 
 TEST(ChaosCampaign, PipelinedDigestIsIdenticalForAnyJobCount) {
   ChaosConfig cfg = small_chaos(6);
-  cfg.inflight = 3;
+  cfg.session.inflight = 3;
   cfg.jobs = 1;
   const std::string serial = run_chaos_campaign(cfg).digest();
   cfg.jobs = 4;
@@ -471,8 +473,8 @@ TEST(ChaosCampaign, RecoveryOffProducesViolations) {
   // retransmission papers over the rest.
   ChaosConfig cfg = small_chaos(8);
   cfg.chunk_count = 30;
-  cfg.scheme = Scheme::kMpDashRate;
-  cfg.recovery = false;
+  cfg.session.scheme = Scheme::kMpDashRate;
+  cfg.session.recovery = false;
   const ChaosCampaignResult res = run_chaos_campaign(cfg);
   EXPECT_GT(res.violation_count(), 0);
 }

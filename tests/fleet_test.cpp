@@ -1,0 +1,269 @@
+// Fleet workloads: N tenants on one event loop contending on shared
+// WiFi/LTE links. The contracts under test: campaign output is bitwise
+// --jobs-invariant, fair queueing equalizes tenants that FIFO starves,
+// the cross-session aggregates are consistent with the per-session rows,
+// the session mix cycles deterministically, and fleet repro bundles
+// round-trip and replay to the same outcome.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "exp/fleet.h"
+#include "exp/spec.h"
+#include "fault/fault.h"
+#include "runner/campaign.h"
+
+namespace mpdash {
+namespace {
+
+// Small contended fleet: aggregate capacity well below N × top bitrate so
+// the queue discipline decides who gets what.
+FleetConfig small_fleet(int sessions, int chunks = 8) {
+  FleetConfig cfg;
+  cfg.sessions = sessions;
+  cfg.seed = 5;
+  cfg.chunk_count = chunks;
+  return cfg;
+}
+
+// --- determinism ---------------------------------------------------------
+
+TEST(Fleet, RepeatedRunsFingerprintIdentically) {
+  const FleetConfig cfg = small_fleet(3);
+  const FleetResult a = run_fleet(cfg);
+  const FleetResult b = run_fleet(cfg);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(fleet_sessions_csv(a), fleet_sessions_csv(b));
+}
+
+TEST(Fleet, CampaignOutputIsJobsInvariant) {
+  FleetCampaignConfig cfg;
+  cfg.fleet = small_fleet(4, 6);
+  cfg.seed_count = 3;
+  cfg.base_seed = 9;
+  cfg.progress = nullptr;
+
+  cfg.jobs = 1;
+  const FleetCampaignResult serial = run_fleet_campaign(cfg);
+  cfg.jobs = 8;
+  const FleetCampaignResult parallel = run_fleet_campaign(cfg);
+
+  ASSERT_EQ(serial.runs.size(), 3u);
+  EXPECT_EQ(serial.digest(), parallel.digest());
+  // The CSV the CI lane compares must be byte-identical, header included.
+  EXPECT_EQ(serial.sessions_csv(), parallel.sessions_csv());
+  EXPECT_EQ(serial.sessions_csv().rfind(kFleetCsvHeader, 0), 0u);
+}
+
+TEST(Fleet, DifferentSeedsDiverge) {
+  FleetConfig cfg = small_fleet(2);
+  const std::string a = run_fleet(cfg).fingerprint();
+  cfg.seed = 6;
+  EXPECT_NE(run_fleet(cfg).fingerprint(), a);
+}
+
+// --- fair queueing vs FIFO on the shared bottleneck ----------------------
+
+TEST(Fleet, FairQueueingEqualizesTenantsThatFifoSkews) {
+  // Two tenants on one tight AP (aggregate far below 2× top bitrate).
+  // Under FIFO the first joiner's standing queue crowds out the second;
+  // DRR gives each flow its own queue and alternating service, so steady
+  // bitrates come out (near-)equal.
+  FleetConfig cfg = small_fleet(2, 12);
+  cfg.wifi_mbps = 3.0;
+  cfg.lte_mbps = 2.0;
+  cfg.wifi_up_mbps = 2.0;
+  cfg.lte_up_mbps = 2.0;
+  cfg.queue_capacity = 96 * 1000;
+
+  cfg.discipline = QueueDiscipline::kFairQueue;
+  const FleetResult fq = run_fleet(cfg);
+  cfg.discipline = QueueDiscipline::kFifo;
+  const FleetResult fifo = run_fleet(cfg);
+
+  ASSERT_EQ(fq.sessions.size(), 2u);
+  ASSERT_EQ(fifo.sessions.size(), 2u);
+  const auto steady = [](const FleetResult& r, int i) {
+    return r.sessions[i].result.steady_avg_bitrate_mbps;
+  };
+  // FQ: both tenants land on the same steady rung.
+  EXPECT_GT(steady(fq, 0), 0.0);
+  EXPECT_GT(steady(fq, 1), 0.0);
+  EXPECT_NEAR(steady(fq, 0), steady(fq, 1), 0.25);
+  // And the fleet-level Jain index reflects it.
+  EXPECT_GE(fq.jain_fairness, 0.99);
+  EXPECT_GE(fq.jain_fairness, fifo.jain_fairness);
+}
+
+// --- aggregates ----------------------------------------------------------
+
+TEST(Fleet, AggregatesAreConsistentWithPerSessionRows) {
+  const FleetResult r = run_fleet(small_fleet(4));
+  ASSERT_EQ(r.sessions.size(), 4u);
+
+  int completed = 0;
+  double qoe_sum = 0.0;
+  for (const FleetSessionResult& s : r.sessions) {
+    completed += s.result.completed ? 1 : 0;
+    qoe_sum += s.qoe;
+    EXPECT_EQ(s.qoe, s.result.steady_avg_bitrate_mbps -
+                         kFleetStallPenalty * s.result.stall_s);
+    EXPECT_EQ(s.seed, derive_stream_seed(
+                          5, "session/" + std::to_string(s.session)));
+  }
+  EXPECT_EQ(r.completed, completed);
+  EXPECT_NEAR(r.qoe_mean, qoe_sum / 4.0, 1e-12);
+  EXPECT_GE(r.jain_fairness, 0.0);
+  EXPECT_LE(r.jain_fairness, 1.0 + 1e-12);
+  EXPECT_GE(r.cell_fraction, 0.0);
+  EXPECT_LE(r.cell_fraction, 1.0);
+  EXPECT_GT(r.wifi_bytes + r.cell_bytes, 0);
+  // Joins are staggered in session order.
+  for (std::size_t i = 0; i < r.sessions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r.sessions[i].join_s, static_cast<double>(i));
+  }
+}
+
+TEST(Fleet, MixCyclesAcrossTenants) {
+  FleetConfig cfg = small_fleet(4, 6);
+  SessionSpec a;  // mpdash-duration / festive defaults
+  SessionSpec b;
+  b.scheme = Scheme::kBaseline;
+  b.adaptation = "bba";
+  cfg.mix = {a, b};
+  const FleetResult r = run_fleet(cfg);
+  ASSERT_EQ(r.sessions.size(), 4u);
+  EXPECT_EQ(r.sessions[0].scheme, a.scheme);
+  EXPECT_EQ(r.sessions[1].scheme, Scheme::kBaseline);
+  EXPECT_EQ(r.sessions[1].adaptation, "bba");
+  EXPECT_EQ(r.sessions[2].scheme, a.scheme);
+  EXPECT_EQ(r.sessions[3].scheme, Scheme::kBaseline);
+}
+
+// --- chaos on the shared links -------------------------------------------
+
+TEST(Fleet, SharedFaultPlanPerturbsTheWholeFleet) {
+  // A WiFi blackout squarely inside the streaming window: every tenant
+  // shares that AP, so the run must stay deterministic and the fault
+  // windows must open and close (quiescence is a fleet invariant).
+  FaultEvent e;
+  e.kind = FaultKind::kBlackout;
+  e.at = kTimeZero + seconds(6.0);
+  e.duration = seconds(2.0);
+  e.path_id = 0;
+  FaultPlan plan;
+  plan.events.push_back(e);
+
+  FleetConfig cfg = small_fleet(3, 10);
+  cfg.faults = &plan;
+  const FleetResult a = run_fleet(cfg);
+  const FleetResult b = run_fleet(cfg);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.faults_started, 1);
+  EXPECT_EQ(a.faults_skipped, 0);
+}
+
+TEST(Fleet, ChaosCampaignIsJobsInvariant) {
+  FleetCampaignConfig cfg;
+  cfg.fleet = small_fleet(3, 6);
+  cfg.seed_count = 2;
+  cfg.base_seed = 21;
+  cfg.chaos = true;
+  cfg.plan.num_events = 3;
+  cfg.progress = nullptr;
+
+  cfg.jobs = 1;
+  const std::string serial = run_fleet_campaign(cfg).sessions_csv();
+  cfg.jobs = 4;
+  EXPECT_EQ(run_fleet_campaign(cfg).sessions_csv(), serial);
+}
+
+// --- fleet repro bundles -------------------------------------------------
+
+FleetBundle sample_fleet_bundle() {
+  FleetBundle b;
+  b.seed = 33;
+  b.config = FleetConfig{};
+  b.config.sessions = 2;
+  b.config.chunk_count = 6;
+  FaultEvent e;
+  e.kind = FaultKind::kRateCollapse;
+  e.at = kTimeZero + seconds(5.0);
+  e.duration = seconds(3.0);
+  e.path_id = 0;
+  e.value = 0.25;
+  b.plan.events.push_back(e);
+  b.outcome = RunOutcome::kViolation;
+  b.expected_violations = {"session 0: fake violation"};
+  return b;
+}
+
+TEST(FleetBundle, JsonRoundTripsBitwise) {
+  const FleetBundle b = sample_fleet_bundle();
+  const std::string text = fleet_bundle_to_json(b);
+  FleetBundle parsed;
+  std::string err;
+  ASSERT_TRUE(fleet_bundle_from_json(text, &parsed, &err)) << err;
+  EXPECT_EQ(parsed.seed, b.seed);
+  EXPECT_EQ(parsed.config, b.config);
+  EXPECT_EQ(parsed.outcome, b.outcome);
+  EXPECT_EQ(parsed.expected_violations, b.expected_violations);
+  EXPECT_EQ(fleet_bundle_to_json(parsed), text);
+
+  EXPECT_FALSE(fleet_bundle_from_json("{}", &parsed, &err));
+  EXPECT_FALSE(fleet_bundle_from_json("not json", &parsed, &err));
+}
+
+TEST(FleetBundle, FileRoundTripAndPath) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mpdash_fleet_bundle_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  const FleetBundle b = sample_fleet_bundle();
+  const std::string path = fleet_bundle_path(dir, b.seed);
+  EXPECT_NE(path.find("fleet_repro_33.json"), std::string::npos);
+  std::string err;
+  ASSERT_TRUE(write_fleet_bundle(b, path, &err)) << err;
+  FleetBundle loaded;
+  ASSERT_TRUE(load_fleet_bundle(path, &loaded, &err)) << err;
+  EXPECT_EQ(fleet_bundle_to_json(loaded), fleet_bundle_to_json(b));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetBundle, ReplayReproducesTheRecordedRun) {
+  // Record a real run (whatever its outcome), snapshot it as a bundle,
+  // and check the replay path reports a match against itself.
+  FaultEvent e;
+  e.kind = FaultKind::kBlackout;
+  e.at = kTimeZero + seconds(4.0);
+  e.duration = seconds(2.0);
+  e.path_id = 0;
+  FaultPlan plan;
+  plan.events.push_back(e);
+
+  FleetBundle b;
+  b.seed = 13;
+  b.config = small_fleet(2, 8);
+  b.config.seed = 13;
+  b.plan = plan;
+  b.config.faults = nullptr;  // the bundle's plan is authoritative
+
+  FleetConfig probe = b.config;
+  probe.faults = &plan;
+  const FleetResult run = run_fleet(probe);
+  b.outcome = run.outcome;
+  b.hung_reason = run.hung_reason;
+  b.expected_violations = run.violations;
+
+  const FleetReplayResult replay = replay_fleet_bundle(b);
+  EXPECT_TRUE(replay.matches)
+      << (replay.mismatches.empty() ? "" : replay.mismatches.front());
+  EXPECT_EQ(replay.run.fingerprint(), run.fingerprint());
+}
+
+}  // namespace
+}  // namespace mpdash

@@ -119,8 +119,9 @@ TEST(GoldenTrace, StreamingSchedulerDecisions) {
   SessionConfig cfg;
   cfg.scheme = Scheme::kMpDashRate;
   cfg.adaptation = "festive";
-  cfg.telemetry = &telemetry;
-  const SessionResult res = run_streaming_session(scenario, video, cfg);
+  SessionEnv env;
+  env.telemetry = &telemetry;
+  const SessionResult res = run_streaming_session(scenario, video, cfg, env);
   EXPECT_TRUE(res.completed);
 
   check_golden("streaming_sched_decisions.jsonl",
@@ -154,14 +155,15 @@ TEST(GoldenTrace, BlackoutSchedulerDecisions) {
   SessionConfig cfg;
   cfg.scheme = Scheme::kMpDashRate;
   cfg.adaptation = "festive";
-  cfg.telemetry = &telemetry;
-  cfg.faults = &plan;
   cfg.mptcp_recovery.max_consecutive_rtos = 4;
   cfg.mptcp_recovery.reprobe_interval = seconds(2.0);
   cfg.http_recovery.request_timeout = seconds(4.0);
   cfg.http_recovery.max_retries = 4;
   cfg.http_recovery.jitter_seed = 11;
-  const SessionResult res = run_streaming_session(scenario, video, cfg);
+  SessionEnv env;
+  env.telemetry = &telemetry;
+  env.faults = &plan;
+  const SessionResult res = run_streaming_session(scenario, video, cfg, env);
   EXPECT_TRUE(res.completed);
   EXPECT_TRUE(res.faults_quiescent);
 
@@ -198,8 +200,9 @@ TEST(GoldenTrace, PipelinedSchedulerDecisions) {
   cfg.scheme = Scheme::kMpDashRate;
   cfg.adaptation = "festive";
   cfg.player.max_inflight_chunks = 3;
-  cfg.telemetry = &telemetry;
-  const SessionResult res = run_streaming_session(scenario, video, cfg);
+  SessionEnv env;
+  env.telemetry = &telemetry;
+  const SessionResult res = run_streaming_session(scenario, video, cfg, env);
   EXPECT_TRUE(res.completed);
   EXPECT_EQ(res.chunks, 10);
 

@@ -62,12 +62,13 @@ RunOutput run_session(const ScenarioConfig& net, const Video& video,
   SessionConfig cfg;
   cfg.scheme = scheme;
   cfg.adaptation = adaptation;
-  cfg.telemetry = &telemetry;
   cfg.player.max_inflight_chunks = inflight;
   if (buffer_capacity > kDurationZero) {
     cfg.player.buffer_capacity = buffer_capacity;
   }
-  cfg.faults = faults;
+  SessionEnv env;
+  env.telemetry = &telemetry;
+  env.faults = faults;
   if (recovery) {
     cfg.mptcp_recovery.max_consecutive_rtos = 4;
     cfg.mptcp_recovery.reprobe_interval = seconds(2.0);
@@ -78,7 +79,7 @@ RunOutput run_session(const ScenarioConfig& net, const Video& video,
   }
 
   RunOutput out;
-  out.result = run_streaming_session(scenario, video, cfg);
+  out.result = run_streaming_session(scenario, video, cfg, env);
   out.trace = collector.take();
   return out;
 }

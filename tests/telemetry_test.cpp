@@ -239,9 +239,10 @@ RunOutcome run_once(Telemetry* telemetry) {
       constant_scenario(DataRate::mbps(5.0), DataRate::mbps(3.0)));
   SessionConfig cfg;
   cfg.scheme = Scheme::kMpDashRate;
-  cfg.telemetry = telemetry;
+  SessionEnv env;
+  env.telemetry = telemetry;
   RunOutcome out;
-  out.res = run_streaming_session(scenario, determinism_video(), cfg);
+  out.res = run_streaming_session(scenario, determinism_video(), cfg, env);
   out.executed = scenario.loop().executed_events();
   if (telemetry) scenario.set_telemetry(nullptr);
   return out;
@@ -290,9 +291,10 @@ TEST(Telemetry, SessionMetricsTimelineSamplesBufferAndCwnd) {
   SessionConfig cfg;
   cfg.scheme = Scheme::kMpDashRate;
   MetricsTimeline timeline;
-  cfg.metrics = &timeline;
+  SessionEnv env;
+  env.metrics = &timeline;
   const SessionResult res =
-      run_streaming_session(scenario, determinism_video(), cfg);
+      run_streaming_session(scenario, determinism_video(), cfg, env);
   ASSERT_TRUE(res.completed);
   ASSERT_FALSE(timeline.empty());
   const std::string csv = timeline.to_csv();

@@ -366,13 +366,14 @@ class SessionTrace : public ::testing::Test {
     Scenario scenario(net);
     SessionConfig cfg;
     cfg.scheme = Scheme::kMpDashDuration;
-    cfg.telemetry = &telemetry;
-    cfg.metrics = metrics;
+    SessionEnv env;
+    env.telemetry = &telemetry;
+    env.metrics = metrics;
     // 12 chunks (24 s): long enough for the buffer to clear omega so the
     // deadline scheduler engages at least once mid-session.
     const Video video("clip", seconds(2.0), 12,
                       {DataRate::mbps(0.6), DataRate::mbps(1.2)}, 0.1, 11);
-    return run_streaming_session(scenario, video, cfg);
+    return run_streaming_session(scenario, video, cfg, env);
   }
 
   std::string write_and_read(const std::vector<TraceRecord>& records,

@@ -296,7 +296,7 @@ TEST(Flame, NestsAttemptsBackoffAndPathActivity) {
 TEST(Flame, GoldenPipelinedSnapshot) {
   ChaosConfig cfg;
   cfg.chunk_count = 8;
-  cfg.inflight = 3;
+  cfg.session.inflight = 3;
 
   FaultPlan plan;
   FaultEvent blackout;
@@ -313,9 +313,10 @@ TEST(Flame, GoldenPipelinedSnapshot) {
 
   Scenario scenario(chaos_scenario_config(7));
   SessionConfig scfg = chaos_session_config(cfg, 7);
-  scfg.telemetry = &telemetry;
-  scfg.faults = &plan;
-  run_streaming_session(scenario, chaos_video(cfg), scfg);
+  SessionEnv env;
+  env.telemetry = &telemetry;
+  env.faults = &plan;
+  run_streaming_session(scenario, chaos_video(cfg), scfg, env);
   telemetry.remove_sink(&filter);
   const std::vector<TraceRecord>& trace = capture.records();
 

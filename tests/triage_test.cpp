@@ -193,14 +193,14 @@ TEST(Watchdog, HookClearedOnScopeExit) {
 ReproBundle sample_bundle() {
   ReproBundle b;
   b.seed = 0xDEADBEEFull;
-  b.scheme = Scheme::kMpDashDuration;
-  b.adaptation = "bba";
-  b.mptcp_scheduler = "roundrobin";
+  b.spec.scheme = Scheme::kMpDashDuration;
+  b.spec.adaptation = "bba";
+  b.spec.mptcp_scheduler = "roundrobin";
   b.chunk_count = 6;
-  b.inflight = 3;
-  b.recovery = false;
-  b.time_limit = seconds(30.0);
-  b.watchdog = WatchdogConfig{12345, 0.25, 512};
+  b.spec.inflight = 3;
+  b.spec.recovery = false;
+  b.spec.time_limit = seconds(30.0);
+  b.spec.watchdog = WatchdogConfig{12345, 0.25, 512};
   b.plan.events.push_back(make_event(FaultKind::kServerStall, 2.0, 26.0, -1));
   b.plan.events.push_back(
       make_event(FaultKind::kRttSpike, 3.0, 1.0, 1, 0.1 + 0.2));
@@ -220,16 +220,8 @@ TEST(ReproBundleJson, RoundTripsBitwise) {
   std::string err;
   ASSERT_TRUE(repro_bundle_from_json(text, &parsed, &err)) << err;
   EXPECT_EQ(parsed.seed, b.seed);
-  EXPECT_EQ(parsed.scheme, b.scheme);
-  EXPECT_EQ(parsed.adaptation, b.adaptation);
-  EXPECT_EQ(parsed.mptcp_scheduler, b.mptcp_scheduler);
+  EXPECT_EQ(parsed.spec, b.spec);
   EXPECT_EQ(parsed.chunk_count, b.chunk_count);
-  EXPECT_EQ(parsed.inflight, b.inflight);
-  EXPECT_EQ(parsed.recovery, b.recovery);
-  EXPECT_EQ(parsed.time_limit, b.time_limit);
-  EXPECT_EQ(parsed.watchdog.max_sim_events, b.watchdog.max_sim_events);
-  EXPECT_EQ(parsed.watchdog.max_wall_s, b.watchdog.max_wall_s);
-  EXPECT_EQ(parsed.watchdog.poll_interval, b.watchdog.poll_interval);
   ASSERT_EQ(parsed.plan.events.size(), b.plan.events.size());
   EXPECT_EQ(parsed.outcome, b.outcome);
   EXPECT_EQ(parsed.expected_violations, b.expected_violations);
@@ -242,7 +234,7 @@ TEST(ReproBundleJson, RejectsWrongKindAndSchema) {
   EXPECT_FALSE(repro_bundle_from_json("{}", &parsed, &err));
   EXPECT_FALSE(repro_bundle_from_json("not json at all", &parsed, &err));
   std::string text = repro_bundle_to_json(sample_bundle());
-  const std::string needle = "\"schema\": 1";
+  const std::string needle = "\"schema\": 2";
   text.replace(text.find(needle), needle.size(), "\"schema\": 99");
   EXPECT_FALSE(repro_bundle_from_json(text, &parsed, &err));
   EXPECT_NE(err.find("schema"), std::string::npos);
@@ -255,8 +247,8 @@ ReproBundle stalled_session_bundle() {
   ReproBundle b;
   b.seed = 7;
   b.chunk_count = 6;
-  b.recovery = false;
-  b.time_limit = seconds(30.0);
+  b.spec.recovery = false;
+  b.spec.time_limit = seconds(30.0);
   b.plan.events.push_back(make_event(FaultKind::kServerStall, 2.0, 26.0, -1));
   return b;
 }
@@ -295,7 +287,7 @@ TEST(Repro, CampaignEmitsLoadableBundlesForNonOkRuns) {
   cfg.chunk_count = 6;
   // A time limit shorter than the content guarantees every run violates
   // ("session hung"), so bundle emission is deterministic.
-  cfg.time_limit = seconds(5.0);
+  cfg.session.time_limit = seconds(5.0);
   cfg.progress = nullptr;
   cfg.bundle_dir = dir.string();
   const ChaosCampaignResult res = run_chaos_campaign(cfg);
@@ -332,7 +324,7 @@ TEST(Chaos, InjectedLivelockIsQuarantinedJobsInvariantly) {
   cfg.progress = nullptr;
   // Budget far above a normal 4-chunk run, so only the injected livelock
   // can exhaust it; poll often enough that the test stays fast.
-  cfg.watchdog = WatchdogConfig{2'000'000, 0.0, 256};
+  cfg.session.watchdog = WatchdogConfig{2'000'000, 0.0, 256};
   const std::uint64_t hung_seed = derive_run_seed(cfg.base_seed, "chaos/3");
   cfg.pre_session_hook = [hung_seed](EventLoop& loop, std::uint64_t seed) {
     if (seed == hung_seed) livelock(loop);

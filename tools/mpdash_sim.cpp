@@ -1,17 +1,16 @@
 // mpdash_sim — command-line driver for the MP-DASH simulator.
 //
-// Runs a single streaming session or deadline download with every knob on
-// the command line, printing a human-readable report or machine-readable
-// CSV. Bandwidth can come from constants, built-in location profiles, or
-// trace CSV files (time_s,rate_mbps — see trace/trace_io.h).
+// Subcommands are table-driven (kCommands): `mpdash_sim --help` lists them,
+// `mpdash_sim <command> --help` prints that command's options, and unknown
+// commands exit 2. Bandwidth can come from constants, built-in location
+// profiles, or trace CSV files (time_s,rate_mbps — see trace/trace_io.h).
 //
 //   mpdash_sim stream --scheme mpdash-rate --algo festive
 //       --wifi 3.8 --lte 3.0 --video bbb --csv out.csv
-//   mpdash_sim stream --location "Hotel Hi" --algo bba
-//   mpdash_sim stream --wifi-trace wifi.csv --lte 8.0
 //   mpdash_sim download --size-mb 5 --deadline 10 --no-mpdash
-//   mpdash_sim locations            # list the field-study profile DB
-//   mpdash_sim sweep --algo bba --jobs 8   # parallel field-study campaign
+//   mpdash_sim sweep --algo bba --jobs 8      # parallel field-study campaign
+//   mpdash_sim chaos --seed-count 50 --jobs 8 # fault-plan invariant sweep
+//   mpdash_sim fleet --sessions 16 --seed 7   # N tenants, shared bottleneck
 
 #include <algorithm>
 #include <cstdio>
@@ -23,6 +22,7 @@
 
 #include "dash/video.h"
 #include "exp/chaos.h"
+#include "exp/fleet.h"
 #include "exp/repro.h"
 #include "exp/scenario.h"
 #include "exp/session.h"
@@ -42,7 +42,7 @@ namespace {
 
 struct Args {
   std::string command;
-  std::string input;  // positional: repro/shrink bundle path
+  std::string input;  // positional: repro/shrink/fleet bundle path
   std::string scheme = "mpdash-rate";
   std::string algo = "festive";
   std::string video = "bbb";
@@ -57,69 +57,148 @@ struct Args {
   std::string series_path;   // chaos: aggregated per-run QoE series CSV
   double series_interval_s = 1.0;
   std::string attrib_path;   // chaos: per-seed miss-attribution roll-up CSV
-  double wifi_mbps = 3.8;
-  double lte_mbps = 3.0;
+  std::optional<double> wifi_mbps;  // unset = per-command default
+  std::optional<double> lte_mbps;
   double chunk_s = 4.0;
   double alpha = 1.0;
   double size_mb = 5.0;
   double deadline_s = 10.0;
   bool use_mpdash = true;
   std::string mptcp_scheduler = "minrtt";
-  int jobs = 0;  // sweep workers; 0 = MPDASH_JOBS env, then hardware cores
-  int seed_count = 50;              // chaos: number of seeded fault plans
-  unsigned long long seed = 1;      // chaos: campaign base seed
-  bool recovery = true;             // chaos: --no-recovery disables
-  int inflight = 1;                 // stream/chaos: player prefetch window
-  bool keep_going = false;          // chaos: exit 0 despite bad outcomes
-  std::string bundle_dir;           // chaos: repro bundles for bad runs
+  int jobs = 0;  // campaign workers; 0 = MPDASH_JOBS env, then cores
+  int seed_count = -1;              // campaigns; -1 = per-command default
+  unsigned long long seed = 1;      // campaign base seed
+  bool recovery = true;             // chaos/fleet: --no-recovery disables
+  int inflight = 1;                 // player prefetch window
+  int chunks = 0;                   // chaos/fleet chunk count; 0 = default
+  bool keep_going = false;          // exit 0 despite bad outcomes
+  std::string bundle_dir;           // repro bundles for bad runs
   bool strict = false;              // shrink: exact-string oracle
   std::string out_path;             // shrink: minimized bundle path
+  // --- fleet ------------------------------------------------------------
+  int sessions = 16;                // tenant count
+  double stagger_s = 1.0;           // join stagger between tenants
+  std::string discipline = "fq";    // shared-link arbitration: fifo|fq
+  std::string mix;                  // scheme[:algo] list, cycled per tenant
+  bool chaos = false;               // fleet: random fault plan per seed
 };
 
+// Table-driven subcommand registry: one row per command. `--help` renders
+// the list from this table; per-command `--help` prints `usage`.
+struct CommandSpec {
+  const char* name;
+  const char* summary;
+  const char* usage;  // option help, one "  --flag ..." line each
+  int (*handler)(const Args&);
+};
+
+int cmd_stream(const Args& a);
+int cmd_download(const Args& a);
+int cmd_sweep(const Args& a);
+int cmd_chaos(const Args& a);
+int cmd_fleet(const Args& a);
+int cmd_repro(const Args& a);
+int cmd_shrink(const Args& a);
+int cmd_locations(const Args& a);
+
+constexpr const char kNetworkUsage[] =
+    "  --wifi <mbps> | --wifi-trace <csv>   --lte <mbps> | --lte-trace <csv>\n"
+    "  --location <name from `locations`>\n";
+
+const CommandSpec kCommands[] = {
+    {"stream", "one DASH streaming session, every knob on the command line",
+     "  --scheme wifi-only|baseline|mpdash-rate|mpdash-duration\n"
+     "  --algo gpac|festive|bba|bba-c|mpc\n"
+     "  --video bbb|redbull|tears|tears-hd   --chunk <seconds>\n"
+     "  --wifi <mbps> | --wifi-trace <csv>   --lte <mbps> | --lte-trace "
+     "<csv>\n"
+     "  --location <name from `locations`>\n"
+     "  --alpha <0..1>  --scheduler minrtt|roundrobin\n"
+     "  --inflight <n>   player prefetch window, 1 = sequential\n"
+     "  --csv <path>   write the result row as CSV\n"
+     "  --metrics <path>   per-second metrics timeline "
+     "(CSV: time_s,metric,value)\n"
+     "  --metrics-prom <path>   final metrics as Prometheus text exposition\n"
+     "  --trace <path>     structured event trace (JSONL)\n"
+     "  --trace-types a,b,c   keep only these record types\n",
+     cmd_stream},
+    {"download", "one deadline-aware file download (scheduler only, §7.2)",
+     "  --size-mb <mb> --deadline <s> --no-mpdash\n"
+     "  --wifi <mbps> | --wifi-trace <csv>   --lte <mbps> | --lte-trace "
+     "<csv>\n"
+     "  --location <name>  --alpha <0..1>  --scheduler minrtt|roundrobin\n"
+     "  --metrics <path>  --trace <path>  --trace-types a,b,c\n",
+     cmd_download},
+    {"sweep", "baseline-vs-MP-DASH field-study campaign over all locations",
+     "  --scheme mpdash-rate|mpdash-duration   --algo <name>\n"
+     "  --video <name>  --chunk <seconds>  --alpha <0..1>\n"
+     "  --jobs <n>   campaign workers (default: hardware cores)\n"
+     "  --csv <path>   per-location results\n",
+     cmd_sweep},
+    {"chaos", "seeded random-fault campaign with per-run invariant audits",
+     "  --seed-count <n> (default 50)  --seed <base>  --jobs <n>\n"
+     "  --scheme <name>  --algo <name>  --scheduler <name>  --alpha <0..1>\n"
+     "  --inflight <n>  --chunks <n>  --no-recovery\n"
+     "  --csv <path>   per-seed results\n"
+     "  --series <path>  per-run QoE/byte-share time series CSV\n"
+     "  --series-interval <s>   series cadence (default 1.0)\n"
+     "  --attrib <path>  per-seed deadline-miss attribution roll-up CSV\n"
+     "  --trace <path>  per-run JSONL traces  --trace-types a,b,c\n"
+     "  --bundle-dir <dir>   write repro_<seed>.json for every non-ok run\n"
+     "  --keep-going   exit 0 even when runs report violations\n",
+     cmd_chaos},
+    {"fleet",
+     "N concurrent sessions contending on one shared WiFi+LTE bottleneck",
+     "  --sessions <n> (default 16)   --seed <base>   --seed-count <n> "
+     "(default 1)\n"
+     "  --jobs <n>   campaign workers (seeds run in parallel)\n"
+     "  --scheme <name>  --algo <name>   every tenant's session spec\n"
+     "  --mix scheme[:algo],scheme[:algo],...   cycled per tenant "
+     "(overrides --scheme/--algo)\n"
+     "  --discipline fifo|fq   shared-link arbitration (default fq)\n"
+     "  --wifi <mbps> --lte <mbps>   shared aggregate capacities "
+     "(default 20/12)\n"
+     "  --stagger <s>   join stagger between tenants (default 1.0)\n"
+     "  --chunks <n>   chunks per tenant (default 20)  --no-recovery\n"
+     "  --chaos   seeded random fault plan per seed on the shared links\n"
+     "  --csv <path>   per-session rows, bitwise identical for any --jobs\n"
+     "  --bundle-dir <dir>   write fleet_repro_<seed>.json for non-ok runs\n"
+     "  --keep-going   exit 0 even when runs report violations\n"
+     "  fleet <bundle.json>   replay a fleet repro bundle instead\n",
+     cmd_fleet},
+    {"repro", "replay a chaos repro bundle and verify the failure reproduces",
+     "  repro <bundle.json>\n",
+     cmd_repro},
+    {"shrink", "ddmin-minimize a repro bundle's fault plan",
+     "  shrink <bundle.json>   (writes <bundle>.min.json + .log)\n"
+     "  --out <path>   minimized bundle destination\n"
+     "  --strict       oracle matches exact violation strings\n"
+     "  --jobs <n>\n",
+     cmd_shrink},
+    {"locations", "list the built-in field-study location profiles", "",
+     cmd_locations},
+};
+
+const CommandSpec* find_command(const std::string& name) {
+  for (const CommandSpec& c : kCommands) {
+    if (name == c.name) return &c;
+  }
+  return nullptr;
+}
+
 void print_usage(std::FILE* out) {
+  std::fprintf(out, "usage: mpdash_sim <command> [options]\n\ncommands:\n");
+  for (const CommandSpec& c : kCommands) {
+    std::fprintf(out, "  %-10s %s\n", c.name, c.summary);
+  }
   std::fprintf(out,
-               "usage: mpdash_sim "
-               "<stream|download|sweep|chaos|repro|shrink|locations> "
-               "[options]\n"
-               "  --scheme wifi-only|baseline|mpdash-rate|mpdash-duration\n"
-               "  --algo gpac|festive|bba|bba-c|mpc\n"
-               "  --video bbb|redbull|tears|tears-hd   --chunk <seconds>\n"
-               "  --wifi <mbps> | --wifi-trace <csv>   --lte <mbps> | "
-               "--lte-trace <csv>\n"
-               "  --location <name from `locations`>\n"
-               "  --alpha <0..1>  --scheduler minrtt|roundrobin\n"
-               "  --size-mb <mb> --deadline <s> --no-mpdash   (download)\n"
-               "  --jobs <n>     sweep/chaos workers (default: hardware "
-               "cores)\n"
-               "  --seed-count <n> --seed <base> --no-recovery   (chaos)\n"
-               "  --inflight <n>   player prefetch window, 1 = sequential "
-               "(stream/chaos)\n"
-               "  --csv <path>   write the result row as CSV\n"
-               "  --metrics <path>   per-second metrics timeline "
-               "(CSV: time_s,metric,value)\n"
-               "  --metrics-prom <path>   final metrics as Prometheus "
-               "text exposition (stream)\n"
-               "  --trace <path>     structured event trace "
-               "(JSONL, one record per line)\n"
-               "  --trace-types a,b,c   keep only these record types "
-               "(e.g. sched_decision,fault,player)\n"
-               "  --series <path>    chaos: per-run QoE/byte-share time "
-               "series CSV\n"
-               "  --series-interval <s>   series cadence (default 1.0)\n"
-               "  --attrib <path>    chaos: per-seed deadline-miss "
-               "attribution roll-up CSV\n"
-               "  --bundle-dir <dir>   chaos: write a repro_<seed>.json "
-               "bundle for every non-ok run\n"
-               "  --keep-going   chaos: exit 0 even when runs report "
-               "violations, hangs, or crashes\n"
-               "  repro <bundle.json>    replay a repro bundle and verify "
-               "the stored failure reproduces\n"
-               "  shrink <bundle.json>   ddmin-minimize a bundle's fault "
-               "plan (writes <bundle>.min.json + .log)\n"
-               "  --out <path>   shrink: minimized bundle destination\n"
-               "  --strict       shrink: oracle matches exact violation "
-               "strings, not failure classes\n"
-               "  -h, --help     print this help and exit\n");
+               "\nrun `mpdash_sim <command> --help` for that command's "
+               "options\n");
+}
+
+void print_command_usage(const CommandSpec& c, std::FILE* out) {
+  std::fprintf(out, "usage: mpdash_sim %s [options]\n%s\n%s", c.name,
+               c.summary, c.usage);
 }
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -136,6 +215,8 @@ Args parse(int argc, char** argv) {
   }
   Args a;
   a.command = argv[1];
+  const CommandSpec* spec = find_command(a.command);
+  if (spec == nullptr) usage(("unknown command " + a.command).c_str());
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     auto value = [&]() -> std::string {
@@ -143,7 +224,7 @@ Args parse(int argc, char** argv) {
       return argv[++i];
     };
     if (flag == "-h" || flag == "--help") {
-      print_usage(stdout);
+      print_command_usage(*spec, stdout);
       std::exit(0);
     }
     else if (flag == "--scheme") a.scheme = value();
@@ -165,6 +246,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--seed") a.seed = std::strtoull(value().c_str(), nullptr, 10);
     else if (flag == "--no-recovery") a.recovery = false;
     else if (flag == "--inflight") a.inflight = std::atoi(value().c_str());
+    else if (flag == "--chunks") a.chunks = std::atoi(value().c_str());
     else if (flag == "--csv") a.csv_path = value();
     else if (flag == "--metrics") a.metrics_path = value();
     else if (flag == "--metrics-prom") a.metrics_prom_path = value();
@@ -178,6 +260,11 @@ Args parse(int argc, char** argv) {
     else if (flag == "--keep-going") a.keep_going = true;
     else if (flag == "--strict") a.strict = true;
     else if (flag == "--out") a.out_path = value();
+    else if (flag == "--sessions") a.sessions = std::atoi(value().c_str());
+    else if (flag == "--stagger") a.stagger_s = std::atof(value().c_str());
+    else if (flag == "--discipline") a.discipline = value();
+    else if (flag == "--mix") a.mix = value();
+    else if (flag == "--chaos") a.chaos = true;
     else if (!flag.empty() && flag[0] != '-' && a.input.empty())
       a.input = flag;
     else usage(("unknown flag " + flag).c_str());
@@ -186,11 +273,9 @@ Args parse(int argc, char** argv) {
 }
 
 Scheme parse_scheme(const std::string& s) {
-  if (s == "wifi-only") return Scheme::kWifiOnly;
-  if (s == "baseline") return Scheme::kBaseline;
-  if (s == "mpdash-rate") return Scheme::kMpDashRate;
-  if (s == "mpdash-duration") return Scheme::kMpDashDuration;
-  usage(("unknown scheme " + s).c_str());
+  Scheme out;
+  if (!scheme_from_string(s, &out)) usage(("unknown scheme " + s).c_str());
+  return out;
 }
 
 Video pick_video(const Args& a) {
@@ -216,14 +301,15 @@ ScenarioConfig build_network(const Args& a, Duration horizon) {
     }
     usage(("unknown location " + a.location).c_str());
   }
-  ScenarioConfig cfg = constant_scenario(DataRate::mbps(a.wifi_mbps),
-                                         DataRate::mbps(a.lte_mbps));
+  ScenarioConfig cfg =
+      constant_scenario(DataRate::mbps(a.wifi_mbps.value_or(3.8)),
+                        DataRate::mbps(a.lte_mbps.value_or(3.0)));
   if (!a.wifi_trace_path.empty()) cfg.wifi_down = load_trace(a.wifi_trace_path);
   if (!a.lte_trace_path.empty()) cfg.lte_down = load_trace(a.lte_trace_path);
   return cfg;
 }
 
-int cmd_locations() {
+int cmd_locations(const Args&) {
   TextTable table({"name", "venue", "state", "scenario", "WiFi Mbps",
                    "WiFi RTT ms", "LTE Mbps", "LTE RTT ms"});
   for (const auto& loc : field_study_locations()) {
@@ -270,12 +356,13 @@ int cmd_stream(const Args& a) {
 
   Telemetry telemetry;
   MetricsTimeline timeline;
+  SessionEnv env;
   std::unique_ptr<JsonlSink> jsonl;
   std::unique_ptr<TypeFilterSink> filter;
   if (!a.metrics_path.empty() || !a.metrics_prom_path.empty() ||
       !a.trace_path.empty()) {
-    cfg.telemetry = &telemetry;
-    if (!a.metrics_path.empty()) cfg.metrics = &timeline;
+    env.telemetry = &telemetry;
+    if (!a.metrics_path.empty()) env.metrics = &timeline;
     if (!a.trace_path.empty()) {
       jsonl = std::make_unique<JsonlSink>(a.trace_path);
       if (!jsonl->ok()) {
@@ -292,7 +379,7 @@ int cmd_stream(const Args& a) {
     }
   }
 
-  const SessionResult res = run_streaming_session(scenario, video, cfg);
+  const SessionResult res = run_streaming_session(scenario, video, cfg, env);
 
   if (!a.metrics_path.empty()) {
     if (!write_text_file(a.metrics_path, timeline.to_csv())) {
@@ -531,14 +618,16 @@ int cmd_sweep(const Args& a) {
 // uses: 0 only when every invariant held on every seed.
 int cmd_chaos(const Args& a) {
   ChaosConfig cfg;
-  cfg.seed_count = a.seed_count;
+  cfg.seed_count = a.seed_count < 0 ? 50 : a.seed_count;
   cfg.base_seed = a.seed;
   cfg.jobs = a.jobs;
-  cfg.scheme = parse_scheme(a.scheme);
-  cfg.adaptation = a.algo;
-  cfg.mptcp_scheduler = a.mptcp_scheduler;
-  cfg.recovery = a.recovery;
-  cfg.inflight = a.inflight;
+  cfg.session.scheme = parse_scheme(a.scheme);
+  cfg.session.adaptation = a.algo;
+  cfg.session.mptcp_scheduler = a.mptcp_scheduler;
+  cfg.session.alpha = a.alpha;
+  cfg.session.recovery = a.recovery;
+  cfg.session.inflight = a.inflight;
+  if (a.chunks > 0) cfg.chunk_count = a.chunks;
   cfg.trace_path = a.trace_path;
   cfg.trace_types = trace_type_mask(a);
   cfg.series_interval =
@@ -652,6 +741,142 @@ int cmd_chaos(const Args& a) {
   return a.keep_going ? 0 : (oc.bad() == 0 ? 0 : 1);
 }
 
+// Parses the --mix list: comma-separated scheme[:algo] entries, cycled
+// over tenants by run_fleet.
+std::vector<SessionSpec> parse_mix(const Args& a) {
+  std::vector<SessionSpec> mix;
+  SessionSpec base;
+  base.scheme = parse_scheme(a.scheme);
+  base.adaptation = a.algo;
+  base.mptcp_scheduler = a.mptcp_scheduler;
+  base.alpha = a.alpha;
+  base.inflight = std::max(1, a.inflight);
+  base.recovery = a.recovery;
+  if (a.mix.empty()) {
+    mix.push_back(base);
+    return mix;
+  }
+  std::string rest = a.mix;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string entry = rest.substr(0, comma);
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    if (entry.empty()) continue;
+    SessionSpec spec = base;
+    const std::size_t colon = entry.find(':');
+    spec.scheme = parse_scheme(entry.substr(0, colon));
+    if (colon != std::string::npos) spec.adaptation = entry.substr(colon + 1);
+    mix.push_back(std::move(spec));
+  }
+  if (mix.empty()) usage(("empty --mix '" + a.mix + "'").c_str());
+  return mix;
+}
+
+int replay_fleet(const Args& a) {
+  FleetBundle bundle;
+  std::string err;
+  if (!load_fleet_bundle(a.input, &bundle, &err)) {
+    usage(("cannot load fleet bundle " + a.input + ": " + err).c_str());
+  }
+  std::printf("fleet repro: %s\n", a.input.c_str());
+  std::printf("  seed %llu, %d sessions, %d chunks, discipline %s\n",
+              static_cast<unsigned long long>(bundle.seed),
+              bundle.config.sessions, bundle.config.chunk_count,
+              to_string(bundle.config.discipline));
+  std::printf("  fault plan (%zu events), expected outcome %s, "
+              "%zu violation%s\n",
+              bundle.plan.events.size(), to_string(bundle.outcome),
+              bundle.expected_violations.size(),
+              bundle.expected_violations.size() == 1 ? "" : "s");
+  const FleetReplayResult replay = replay_fleet_bundle(bundle);
+  std::printf("  replayed outcome %s, %zu violation%s\n",
+              to_string(replay.run.outcome), replay.run.violations.size(),
+              replay.run.violations.size() == 1 ? "" : "s");
+  if (replay.matches) {
+    std::printf("fleet repro: reproduced\n");
+    return 0;
+  }
+  for (const std::string& m : replay.mismatches) {
+    std::fprintf(stderr, "mismatch: %s\n", m.c_str());
+  }
+  std::fprintf(stderr, "fleet repro: did NOT reproduce\n");
+  return 1;
+}
+
+// Fleet workload: per seed, N tenants share one WiFi+LTE bottleneck pair
+// on a single event loop; seeds fan out over the campaign runner. The
+// per-session CSV lands in (seed, session) order for any --jobs count.
+int cmd_fleet(const Args& a) {
+  if (!a.input.empty()) return replay_fleet(a);
+
+  FleetCampaignConfig cfg;
+  cfg.fleet.sessions = std::max(1, a.sessions);
+  if (a.chunks > 0) cfg.fleet.chunk_count = a.chunks;
+  cfg.fleet.mix = parse_mix(a);
+  if (a.discipline == "fifo") {
+    cfg.fleet.discipline = QueueDiscipline::kFifo;
+  } else if (a.discipline == "fq") {
+    cfg.fleet.discipline = QueueDiscipline::kFairQueue;
+  } else {
+    usage(("unknown discipline " + a.discipline + " (fifo|fq)").c_str());
+  }
+  if (a.wifi_mbps) cfg.fleet.wifi_mbps = *a.wifi_mbps;
+  if (a.lte_mbps) cfg.fleet.lte_mbps = *a.lte_mbps;
+  cfg.fleet.join_stagger = seconds(a.stagger_s);
+  cfg.seed_count = a.seed_count < 0 ? 1 : a.seed_count;
+  cfg.base_seed = a.seed;
+  cfg.jobs = a.jobs;
+  cfg.chaos = a.chaos;
+  cfg.bundle_dir = a.bundle_dir;
+
+  const FleetCampaignResult res = run_fleet_campaign(cfg);
+
+  TextTable table({"seed", "outcome", "done", "qoe mean", "qoe p10",
+                   "jain", "cell share", "violations"});
+  for (const FleetResult& r : res.runs) {
+    table.add_row({std::to_string(r.seed), to_string(r.outcome),
+                   std::to_string(r.completed) + "/" +
+                       std::to_string(cfg.fleet.sessions),
+                   TextTable::num(r.qoe_mean, 3),
+                   TextTable::num(r.qoe_p10, 3),
+                   TextTable::num(r.jain_fairness, 4),
+                   TextTable::pct(r.cell_fraction, 1),
+                   std::to_string(r.violations.size())});
+  }
+  std::printf("%s", table.render().c_str());
+  for (const FleetResult& r : res.runs) {
+    if (!r.hung_reason.empty()) {
+      std::fprintf(stderr, "seed %llu: %s\n",
+                   static_cast<unsigned long long>(r.seed),
+                   r.hung_reason.c_str());
+    }
+    for (const std::string& v : r.violations) {
+      std::fprintf(stderr, "seed %llu: %s\n",
+                   static_cast<unsigned long long>(r.seed), v.c_str());
+    }
+  }
+  const OutcomeCounts oc = res.outcome_counts();
+  std::printf("fleet: %d seeds x %d sessions (%s) on %d workers, %.2fs "
+              "wall, chaos %s\n",
+              res.stats.runs, cfg.fleet.sessions,
+              to_string(cfg.fleet.discipline), res.stats.jobs,
+              res.stats.wall_s, a.chaos ? "on" : "off");
+  std::printf("outcomes: %d ok, %d violation, %d hung, %d crashed\n", oc.ok,
+              oc.violation, oc.hung, oc.crashed);
+  if (!a.csv_path.empty()) {
+    if (!write_text_file(a.csv_path, res.sessions_csv())) {
+      std::fprintf(stderr, "cannot write %s\n", a.csv_path.c_str());
+      return 1;
+    }
+    std::printf("per-session results written to %s\n", a.csv_path.c_str());
+  }
+  if (!a.bundle_dir.empty() && oc.bad() > 0) {
+    std::printf("fleet repro bundles for %d non-ok run%s written to %s\n",
+                oc.bad(), oc.bad() == 1 ? "" : "s", a.bundle_dir.c_str());
+  }
+  return a.keep_going ? 0 : (oc.bad() == 0 ? 0 : 1);
+}
+
 // Replays a repro bundle through the identical campaign code path and
 // verifies the stored failure reproduces bitwise (outcome + violation
 // strings). Exit 0 only on an exact match.
@@ -665,8 +890,8 @@ int cmd_repro(const Args& a) {
   std::printf("repro: %s\n", a.input.c_str());
   std::printf("  seed %llu, scheme %s, %d chunks, recovery %s\n",
               static_cast<unsigned long long>(bundle.seed),
-              to_string(bundle.scheme), bundle.chunk_count,
-              bundle.recovery ? "on" : "off");
+              to_string(bundle.spec.scheme), bundle.chunk_count,
+              bundle.spec.recovery ? "on" : "off");
   std::printf("  fault plan (%zu events):\n", bundle.plan.events.size());
   for (const FaultEvent& e : bundle.plan.events) {
     std::printf("    %s\n", describe(e).c_str());
@@ -733,12 +958,6 @@ int cmd_shrink(const Args& a) {
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
-  if (args.command == "locations") return cmd_locations();
-  if (args.command == "stream") return cmd_stream(args);
-  if (args.command == "download") return cmd_download(args);
-  if (args.command == "sweep") return cmd_sweep(args);
-  if (args.command == "chaos") return cmd_chaos(args);
-  if (args.command == "repro") return cmd_repro(args);
-  if (args.command == "shrink") return cmd_shrink(args);
-  usage(("unknown command " + args.command).c_str());
+  // parse() already rejected unknown commands with exit 2.
+  return find_command(args.command)->handler(args);
 }
